@@ -1,0 +1,586 @@
+package detshmem
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/affine"
+	"detshmem/internal/analysis"
+	"detshmem/internal/audit"
+	"detshmem/internal/baseline"
+	"detshmem/internal/core"
+	"detshmem/internal/experiments"
+	"detshmem/internal/mpc"
+	"detshmem/internal/network"
+	"detshmem/internal/pram"
+	"detshmem/internal/protocol"
+	"detshmem/internal/workload"
+)
+
+// The benchmarks below regenerate the measured side of every experiment in
+// DESIGN.md's per-experiment index (E1–E10), plus the ablations. Each bench
+// reports domain metrics (MPC rounds, Φ) alongside ns/op.
+
+func mustScheme(b *testing.B, m, n int) (*core.Scheme, core.Indexer) {
+	b.Helper()
+	s, err := core.New(m, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, idx
+}
+
+func mustSystem(b *testing.B, m, n int, cfg protocol.Config) *protocol.System {
+	b.Helper()
+	s, idx := mustScheme(b, m, n)
+	sys, err := protocol.NewSystem(s, idx, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkE1GraphParameters measures instance construction (field tables,
+// group setup, Theorem 8 indexer) per extension degree.
+func BenchmarkE1GraphParameters(b *testing.B) {
+	for _, n := range []int{3, 5, 7, 9} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := core.New(1, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.NewIndexer(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2PairwiseIntersection measures the Theorem 2 check: computing
+// |Γ(v1)∩Γ(v2)| for random variable pairs.
+func BenchmarkE2PairwiseIntersection(b *testing.B) {
+	s, idx := mustScheme(b, 1, 7)
+	rng := rand.New(rand.NewSource(1))
+	var bufA, bufB []uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := uint64(rng.Int63n(int64(idx.M())))
+		c := uint64(rng.Int63n(int64(idx.M())))
+		bufA = s.VarModules(bufA[:0], idx.Mat(a))
+		bufB = s.VarModules(bufB[:0], idx.Mat(c))
+		inter := 0
+		for _, x := range bufA {
+			for _, y := range bufB {
+				if x == y {
+					inter++
+				}
+			}
+		}
+		if a != c && inter > 1 {
+			b.Fatal("Theorem 2 violated")
+		}
+	}
+}
+
+// BenchmarkE3GammaSquared measures computing Γ²(u) for random modules.
+func BenchmarkE3GammaSquared(b *testing.B) {
+	s, _ := mustScheme(b, 1, 5)
+	rng := rand.New(rand.NewSource(2))
+	var buf []uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := uint64(rng.Int63n(int64(s.NumModules)))
+		out := make(map[uint64]struct{}, s.F.Order)
+		for k := uint32(0); k < s.ModuleSize; k++ {
+			buf = s.VarModules(buf[:0], s.ModuleVarMat(j, k))
+			for _, j2 := range buf {
+				if j2 != j {
+					out[j2] = struct{}{}
+				}
+			}
+		}
+		if uint32(len(out)) != s.F.Order {
+			b.Fatal("Lemma 3 violated")
+		}
+	}
+}
+
+// BenchmarkE4Expansion measures |Γ(S)| computation for random sets of 1024
+// variables (the Theorem 4 witness measurement).
+func BenchmarkE4Expansion(b *testing.B) {
+	s, idx := mustScheme(b, 1, 7)
+	rng := rand.New(rand.NewSource(3))
+	vars := workload.DistinctRandom(rng, idx.M(), 1024)
+	floor := analysis.Theorem4Lower(len(vars), s.Q)
+	var buf []uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mods := make(map[uint64]struct{})
+		for _, v := range vars {
+			buf = s.VarModules(buf[:0], idx.Mat(v))
+			for _, j := range buf {
+				mods[j] = struct{}{}
+			}
+		}
+		if float64(len(mods)) < floor {
+			b.Fatal("Theorem 4 violated")
+		}
+	}
+}
+
+// BenchmarkE5Recurrence measures a traced full-N batch (the Recurrence (2)
+// measurement) and reports Φ.
+func BenchmarkE5Recurrence(b *testing.B) {
+	sys := mustSystem(b, 1, 5, protocol.Config{TraceLive: true})
+	N := int(sys.Scheme.NumModules)
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]uint64, N)
+	var phi int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vars := workload.DistinctRandom(rng, sys.Index.M(), N)
+		met, err := sys.WriteBatch(vars, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		phi = met.MaxIterations
+	}
+	b.ReportMetric(float64(phi), "phi")
+}
+
+// BenchmarkE6ProtocolScaling measures full-batch access per degree; the
+// reported phi column is the Theorem 6 quantity.
+func BenchmarkE6ProtocolScaling(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sys := mustSystem(b, 1, n, protocol.Config{})
+			N := int(sys.Scheme.NumModules)
+			rng := rand.New(rand.NewSource(5))
+			vars := workload.DistinctRandom(rng, sys.Index.M(), N)
+			vals := make([]uint64, N)
+			var phi, rounds int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				met, err := sys.WriteBatch(vars, vals)
+				if err != nil {
+					b.Fatal(err)
+				}
+				phi, rounds = met.MaxIterations, met.TotalRounds
+			}
+			b.ReportMetric(float64(phi), "phi")
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkE7Baselines measures a 1024-variable random write batch under
+// each organization (the E7 comparison's random row).
+func BenchmarkE7Baselines(b *testing.B) {
+	s, idx := mustScheme(b, 1, 7)
+	N, M := s.NumModules, s.NumVariables
+	mappers := map[string]protocol.Mapper{
+		"pp93": protocol.NewCoreMapper(s, idx),
+	}
+	if mv, err := baseline.NewMV(N, M, 2); err == nil {
+		mappers["mv-c2"] = mv
+	}
+	if sc, err := baseline.NewSingleCopy(N, M, baseline.PlaceHashed, 7); err == nil {
+		mappers["single"] = sc
+	}
+	if uw, err := baseline.NewUW(N, M, 7, 7); err == nil {
+		mappers["uw-c7"] = uw
+	}
+	rng := rand.New(rand.NewSource(6))
+	vars := workload.DistinctRandom(rng, M, 1024)
+	vals := make([]uint64, len(vars))
+	for name, m := range mappers {
+		m := m
+		b.Run(name, func(b *testing.B) {
+			sys, err := protocol.NewGenericSystem(m, protocol.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rounds int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				met, err := sys.WriteBatch(vars, vals)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = met.TotalRounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkE8LowerBound measures the greedy-adversary batch against the PP
+// scheme and reports achieved rounds vs the Theorem 7 floor.
+func BenchmarkE8LowerBound(b *testing.B) {
+	s, idx := mustScheme(b, 1, 5)
+	m := protocol.NewCoreMapper(s, idx)
+	rng := rand.New(rand.NewSource(7))
+	batch := analysis.GreedyAdversary(m, 512, 4000, rng)
+	sys, err := protocol.NewGenericSystem(m, protocol.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rounds int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, met, err := sys.ReadBatch(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = met.TotalRounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(analysis.Theorem7Lower(m.NumVars(), m.NumModules(), m.Copies()), "floor")
+}
+
+// BenchmarkE9Addressing measures the Section 4 address computations.
+func BenchmarkE9Addressing(b *testing.B) {
+	for _, n := range []int{5, 7, 9, 11} {
+		s, err := core.New(1, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ex, err := core.NewExplicitIndexer(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(8))
+		ids := make([]uint64, 4096)
+		for i := range ids {
+			ids[i] = uint64(rng.Int63n(int64(ex.M())))
+		}
+		b.Run(fmt.Sprintf("Mat/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = ex.Mat(ids[i&4095])
+			}
+		})
+		b.Run(fmt.Sprintf("CopyLocation/n=%d", n), func(b *testing.B) {
+			a := ex.Mat(ids[0])
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				mod, off := s.CopyLocation(a, i%s.Copies)
+				sink += mod + uint64(off)
+			}
+			_ = sink
+		})
+		b.Run(fmt.Sprintf("Index/n=%d", n), func(b *testing.B) {
+			a := ex.Mat(ids[1])
+			for i := 0; i < b.N; i++ {
+				if _, ok := ex.Index(a); !ok {
+					b.Fatal("inverse failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10PRAM measures a full parallel prefix sum (512 cells) through
+// the PP organization.
+func BenchmarkE10PRAM(b *testing.B) {
+	sys := mustSystem(b, 1, 5, protocol.Config{})
+	p := pram.New(sys)
+	const n = 512
+	addrs := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = uint64(i)
+		vals[i] = 1
+	}
+	var rounds int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Write(addrs, vals); err != nil {
+			b.Fatal(err)
+		}
+		p.Rounds = 0
+		if _, err := p.PrefixSum(0, n); err != nil {
+			b.Fatal(err)
+		}
+		rounds = p.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkAblationArbitration compares module arbitration policies
+// (DESIGN.md §5: Φ should be insensitive).
+func BenchmarkAblationArbitration(b *testing.B) {
+	for name, arb := range map[string]mpc.Arbiter{
+		"lowest":      mpc.ArbLowest,
+		"round-robin": mpc.ArbRoundRobin,
+		"random":      mpc.ArbRandom,
+	} {
+		arb := arb
+		b.Run(name, func(b *testing.B) {
+			sys := mustSystem(b, 1, 5, protocol.Config{Arb: arb, Seed: 11})
+			N := int(sys.Scheme.NumModules)
+			rng := rand.New(rand.NewSource(9))
+			vars := workload.DistinctRandom(rng, sys.Index.M(), N)
+			vals := make([]uint64, N)
+			var phi int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				met, err := sys.WriteBatch(vars, vals)
+				if err != nil {
+					b.Fatal(err)
+				}
+				phi = met.MaxIterations
+			}
+			b.ReportMetric(float64(phi), "phi")
+		})
+	}
+}
+
+// BenchmarkAblationCopyChoice compares the paper's all-copies-with-
+// cancellation rule against fixed-quorum targeting.
+func BenchmarkAblationCopyChoice(b *testing.B) {
+	for name, pol := range map[string]protocol.CopyPolicy{
+		"all-cancel":     protocol.PolicyAllCancel,
+		"fixed-majority": protocol.PolicyFixedMajority,
+	} {
+		pol := pol
+		b.Run(name, func(b *testing.B) {
+			sys := mustSystem(b, 1, 5, protocol.Config{Policy: pol})
+			N := int(sys.Scheme.NumModules)
+			rng := rand.New(rand.NewSource(10))
+			vars := workload.DistinctRandom(rng, sys.Index.M(), N)
+			vals := make([]uint64, N)
+			var phi, rounds int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				met, err := sys.WriteBatch(vars, vals)
+				if err != nil {
+					b.Fatal(err)
+				}
+				phi, rounds = met.MaxIterations, met.TotalRounds
+			}
+			b.ReportMetric(float64(phi), "phi")
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkAblationEngine compares the sequential and goroutine MPC engines
+// (identical Φ by construction; wall-clock differs).
+func BenchmarkAblationEngine(b *testing.B) {
+	for name, par := range map[string]bool{"sequential": false, "parallel": true} {
+		par := par
+		b.Run(name, func(b *testing.B) {
+			sys := mustSystem(b, 1, 7, protocol.Config{Parallel: par})
+			N := int(sys.Scheme.NumModules)
+			rng := rand.New(rand.NewSource(11))
+			vars := workload.DistinctRandom(rng, sys.Index.M(), N)
+			vals := make([]uint64, N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.WriteBatch(vars, vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationClusterSize shows the effect of decoupling cluster size
+// from the copy count (larger clusters = fewer concurrent variables,
+// more phases).
+func BenchmarkAblationClusterSize(b *testing.B) {
+	for _, cs := range []int{3, 6, 12} {
+		cs := cs
+		b.Run(fmt.Sprintf("cluster=%d", cs), func(b *testing.B) {
+			sys := mustSystem(b, 1, 5, protocol.Config{ClusterSize: cs})
+			N := int(sys.Scheme.NumModules)
+			rng := rand.New(rand.NewSource(12))
+			vars := workload.DistinctRandom(rng, sys.Index.M(), N)
+			vals := make([]uint64, N)
+			var rounds int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				met, err := sys.WriteBatch(vars, vals)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = met.TotalRounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkExperimentTables regenerates every E-table in quick mode (the
+// bench-driven path to the same outputs cmd/smembench prints).
+func BenchmarkExperimentTables(b *testing.B) {
+	for _, r := range experiments.All() {
+		r := r
+		b.Run(r.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := r.Run(io.Discard, experiments.Options{Quick: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12Routing measures one full protocol batch over each
+// bounded-degree topology and reports the routed interconnect cost.
+func BenchmarkE12Routing(b *testing.B) {
+	for _, topo := range []network.Topology{network.TopoButterfly, network.TopoHypercube} {
+		topo := topo
+		b.Run(topo.String(), func(b *testing.B) {
+			sys := mustSystem(b, 1, 5, protocol.Config{
+				NewMachine: func(cfg mpc.Config) (protocol.Machine, error) {
+					return network.NewMachineTopology(cfg, topo)
+				},
+			})
+			N := int(sys.Scheme.NumModules)
+			rng := rand.New(rand.NewSource(13))
+			vars := workload.DistinctRandom(rng, sys.Index.M(), N)
+			vals := make([]uint64, N)
+			var cost uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				met, err := sys.WriteBatch(vars, vals)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = met.InterconnectCost
+			}
+			b.ReportMetric(float64(cost), "linksteps")
+		})
+	}
+}
+
+// BenchmarkRouteMakespan measures raw permutation routing on both topologies.
+func BenchmarkRouteMakespan(b *testing.B) {
+	const size = 1024
+	rng := rand.New(rand.NewSource(14))
+	perm := rng.Perm(size)
+	src := make([]int64, size)
+	dst := make([]int64, size)
+	for i := range perm {
+		src[i] = int64(i)
+		dst[i] = int64(perm[i])
+	}
+	b.Run("butterfly", func(b *testing.B) {
+		bf, err := network.NewButterfly(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			bf.RouteMakespan(src, dst)
+		}
+	})
+	b.Run("hypercube", func(b *testing.B) {
+		hc, err := network.NewHypercube(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			hc.RouteMakespan(src, dst)
+		}
+	})
+}
+
+// BenchmarkE13Affine measures the companion Θ(N²)-regime scheme on its
+// adversarial grid batch (the √N'-tight set family).
+func BenchmarkE13Affine(b *testing.B) {
+	plane, err := affine.New(337, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := protocol.NewGenericSystem(plane, protocol.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := plane.WorstBatch(900)
+	vals := make([]uint64, len(batch))
+	var rounds int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		met, err := sys.WriteBatch(batch, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = met.TotalRounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE14Audit measures a full structural audit of the PP scheme.
+func BenchmarkE14Audit(b *testing.B) {
+	s, idx := mustScheme(b, 1, 5)
+	m := protocol.NewCoreMapper(s, idx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := audit.Run(m, audit.Options{PairSamples: 5000, SetSamples: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.PlacementErrors != 0 || r.MaxPairIntersection > 1 {
+			b.Fatal("audit failed")
+		}
+	}
+}
+
+// BenchmarkE11FailureMasking measures a full batch with one failed module
+// (the masked-failure fast path).
+func BenchmarkE11FailureMasking(b *testing.B) {
+	s, idx := mustScheme(b, 1, 5)
+	sys, err := protocol.NewSystem(s, idx, protocol.Config{
+		NewMachine: func(cfg mpc.Config) (protocol.Machine, error) {
+			return mpc.NewFailing(cfg, []uint64{0})
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	N := int(s.NumModules)
+	vars := make([]uint64, N)
+	vals := make([]uint64, N)
+	for i := range vars {
+		vars[i] = uint64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.WriteBatch(vars, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPRAMBitonicSort measures the full Batcher network over the PP
+// shared memory.
+func BenchmarkPRAMBitonicSort(b *testing.B) {
+	sys := mustSystem(b, 1, 5, protocol.Config{})
+	p := pram.New(sys)
+	const n = 256
+	rng := rand.New(rand.NewSource(15))
+	addrs := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = uint64(i)
+		vals[i] = rng.Uint64() % 100000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Write(addrs, vals); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.BitonicSort(0, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command graphinfo inspects a memory-organization instance: its Fact 1
+// parameters, a chosen variable's copy addresses, and a chosen module's
+// stored variables. It exercises exactly the O(log N) address computations a
+// processor would perform.
+//
+// Usage:
+//
+//	graphinfo -q 2 -n 5 [-var 17] [-module 9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"detshmem/internal/core"
+)
+
+func main() {
+	var (
+		qFlag   = flag.Int("q", 2, "base-field size q (power of 2)")
+		nFlag   = flag.Int("n", 5, "extension degree n (>= 3)")
+		varFlag = flag.Int64("var", -1, "variable index to locate (-1 = skip)")
+		modFlag = flag.Int64("module", -1, "module index to list (-1 = skip)")
+	)
+	flag.Parse()
+
+	m := 0
+	for q := *qFlag; q > 1; q >>= 1 {
+		if q%2 != 0 {
+			fmt.Fprintln(os.Stderr, "q must be a power of 2")
+			os.Exit(2)
+		}
+		m++
+	}
+	if m == 0 {
+		fmt.Fprintln(os.Stderr, "q must be >= 2")
+		os.Exit(2)
+	}
+
+	s, err := core.New(m, *nFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("instance: %s\n", s.Params())
+	fmt.Printf("exponent: M = Θ(N^{3/2 - 3/(4n-2)}) = Θ(N^%.4f)\n",
+		1.5-3.0/float64(4*s.Deg-2))
+
+	idx, err := s.NewIndexer()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("indexer: %T (M = %d)\n", idx, idx.M())
+
+	if *varFlag >= 0 {
+		v := uint64(*varFlag)
+		if v >= idx.M() {
+			fmt.Fprintf(os.Stderr, "variable %d out of range [0,%d)\n", v, idx.M())
+			os.Exit(2)
+		}
+		a := idx.Mat(v)
+		fmt.Printf("\nvariable %d  coset representative %v\n", v, a)
+		for c := 0; c < s.Copies; c++ {
+			mod, off := s.CopyLocation(a, c)
+			fmt.Printf("  copy %d: module %d, offset %d\n", c, mod, off)
+		}
+	}
+
+	if *modFlag >= 0 {
+		j := uint64(*modFlag)
+		if j >= s.NumModules {
+			fmt.Fprintf(os.Stderr, "module %d out of range [0,%d)\n", j, s.NumModules)
+			os.Exit(2)
+		}
+		fmt.Printf("\nmodule %d  representative %v  (%d stored copies)\n",
+			j, s.ModuleMat(j), s.ModuleSize)
+		inv, canInvert := idx.(core.Inverter)
+		limit := s.ModuleSize
+		if limit > 16 {
+			limit = 16
+		}
+		for k := uint32(0); k < limit; k++ {
+			mat := s.ModuleVarMat(j, k)
+			if canInvert {
+				if i, ok := inv.Index(mat); ok {
+					fmt.Printf("  offset %2d: variable %d\n", k, i)
+					continue
+				}
+			}
+			fmt.Printf("  offset %2d: coset %v\n", k, s.VarKey(mat))
+		}
+		if limit < s.ModuleSize {
+			fmt.Printf("  … %d more\n", s.ModuleSize-limit)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command mpcrun executes an ad-hoc workload batch on the MPC under a chosen
+// memory organization and prints the access metrics — a workbench for poking
+// at the protocol.
+//
+// Usage:
+//
+//	mpcrun -q 2 -n 5 -batch 1023 -workload random|stride|gamma -op read|write \
+//	       [-scheme pp|mv|single|uw] [-arb lowest|rr|random] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"detshmem/internal/baseline"
+	"detshmem/internal/core"
+	"detshmem/internal/mpc"
+	"detshmem/internal/protocol"
+	"detshmem/internal/workload"
+)
+
+func main() {
+	var (
+		nFlag  = flag.Int("n", 5, "extension degree (q=2)")
+		batch  = flag.Int("batch", 0, "batch size (0 = full N)")
+		wl     = flag.String("workload", "random", "random | stride | gamma")
+		op     = flag.String("op", "write", "read | write")
+		scheme = flag.String("scheme", "pp", "pp | mv | single | uw")
+		arb    = flag.String("arb", "lowest", "lowest | rr | random")
+		seed   = flag.Int64("seed", 1993, "workload seed")
+		trace  = flag.Bool("trace", false, "print per-iteration live counts")
+	)
+	flag.Parse()
+
+	s, err := core.New(1, *nFlag)
+	fatal(err)
+	idx, err := s.NewIndexer()
+	fatal(err)
+
+	var mapper protocol.Mapper
+	switch *scheme {
+	case "pp":
+		mapper = protocol.NewCoreMapper(s, idx)
+	case "mv":
+		mapper, err = baseline.NewMV(s.NumModules, s.NumVariables, 2)
+	case "single":
+		mapper, err = baseline.NewSingleCopy(s.NumModules, s.NumVariables, baseline.PlaceHashed, 7)
+	case "uw":
+		c := 1
+		for (uint64(1) << uint(2*c)) < s.NumModules {
+			c++
+		}
+		mapper, err = baseline.NewUW(s.NumModules, s.NumVariables, c, 7)
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	fatal(err)
+
+	arbiter := mpc.ArbLowest
+	switch *arb {
+	case "rr":
+		arbiter = mpc.ArbRoundRobin
+	case "random":
+		arbiter = mpc.ArbRandom
+	}
+
+	size := *batch
+	if size == 0 || uint64(size) > s.NumModules {
+		size = int(s.NumModules)
+	}
+	var vars []uint64
+	switch *wl {
+	case "random":
+		vars = workload.DistinctRandom(rand.New(rand.NewSource(*seed)), s.NumVariables, size)
+	case "stride":
+		vars = workload.Stride(s.NumVariables, size, s.NumModules)
+	case "gamma":
+		vars, err = workload.GammaConcentrated(s, idx, 0, size)
+		fatal(err)
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+
+	sys, err := protocol.NewGenericSystem(mapper, protocol.Config{Arb: arbiter, Seed: uint64(*seed), TraceLive: *trace})
+	fatal(err)
+
+	reqs := make([]protocol.Request, len(vars))
+	theOp := protocol.Write
+	if *op == "read" {
+		theOp = protocol.Read
+	}
+	for i, v := range vars {
+		reqs[i] = protocol.Request{Var: v, Op: theOp, Value: uint64(i)}
+	}
+	res, err := sys.Access(reqs)
+	fatal(err)
+
+	m := res.Metrics
+	fmt.Printf("scheme=%s workload=%s op=%s N=%d M=%d batch=%d\n",
+		mapper.Name(), *wl, *op, mapper.NumModules(), mapper.NumVars(), len(vars))
+	fmt.Printf("phases=%d Φ=%d totalRounds=%d copyAccesses=%d\n",
+		m.Phases, m.MaxIterations, m.TotalRounds, m.CopyAccesses)
+	fmt.Printf("perPhase=%v\n", m.PhaseIterations)
+	if *trace {
+		for p, tr := range m.LiveTrace {
+			fmt.Printf("phase %d live: %v\n", p, tr)
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// Command smembench regenerates the experiment tables E1–E10 (the paper's
+// analytical claims as measurements). See DESIGN.md for the per-experiment
+// index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	smembench [-exp e1,e4,...] [-quick] [-seed N]
+//
+// With no -exp it runs everything in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"detshmem/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "", "comma-separated experiment ids (e1..e10); empty = all")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		seed    = flag.Int64("seed", 0, "workload RNG seed (0 = default)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	ran := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", strings.ToUpper(r.ID), r.Title)
+		start := time.Now()
+		if err := r.Run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known ids:", *expFlag)
+		for _, r := range experiments.All() {
+			fmt.Fprintf(os.Stderr, " %s", r.ID)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,14 @@
+// Package detshmem is a reproduction of "A Practical Constructive Scheme for
+// Deterministic Shared-Memory Access" (A. Pietracaprina and F.P. Preparata,
+// SPAA 1993): an explicit memory organization distributing
+// M ∈ Θ(N^{1.5−O(1/log N)}) shared variables over N memory modules with O(1)
+// copies per variable, such that any N' ≤ N distinct variables can be
+// accessed in O((N')^{1/3} log* N' + log N) worst-case time on the Module
+// Parallel Computer, with O(log N)-time, O(1)-space address computation.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are under cmd/ and examples/. The
+// benchmarks in bench_test.go regenerate the measured counterpart of every
+// analytical claim in the paper (experiments E1–E10, recorded in
+// EXPERIMENTS.md).
+package detshmem

@@ -1,0 +1,72 @@
+// adversary: demonstrate why deterministic redundancy matters. The same
+// adversarial batch — all variables mapped to one module under a
+// no-redundancy layout — is served by the single-copy scheme, the
+// Mehlhorn–Vishkin write-all scheme and the Pietracaprina–Preparata scheme,
+// all under identical MPC accounting.
+//
+// Run with: go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"detshmem/internal/baseline"
+	"detshmem/internal/core"
+	"detshmem/internal/protocol"
+	"detshmem/internal/workload"
+)
+
+func main() {
+	scheme, err := core.New(1, 5) // N = 1023, M = 5456
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := scheme.NewIndexer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	N, M := scheme.NumModules, scheme.NumVariables
+
+	single, err := baseline.NewSingleCopy(N, M, baseline.PlaceInterleaved, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mv, err := baseline.NewMV(N, M, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pp := protocol.NewCoreMapper(scheme, idx)
+
+	// The adversarial batch: variables ≡ 0 (mod N). Under the interleaved
+	// single-copy layout they all live in module 0; under MV their first
+	// digit is 0, so every write-all must hit module 0.
+	batch := workload.Stride(M, int(M/N), N)
+	fmt.Printf("adversarial batch: %d variables, all congruent 0 mod N\n\n", len(batch))
+
+	fmt.Printf("%-20s %8s %8s %10s\n", "scheme", "copies", "op", "MPC rounds")
+	for _, m := range []protocol.Mapper{single, mv, pp} {
+		for _, op := range []protocol.Op{protocol.Write, protocol.Read} {
+			sys, err := protocol.NewGenericSystem(m, protocol.Config{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			reqs := make([]protocol.Request, len(batch))
+			for i, v := range batch {
+				reqs[i] = protocol.Request{Var: v, Op: op, Value: uint64(i)}
+			}
+			res, err := sys.Access(reqs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opName := "write"
+			if op == protocol.Read {
+				opName = "read"
+			}
+			fmt.Printf("%-20s %8d %8s %10d\n", m.Name(), m.Copies(), opName, res.Metrics.TotalRounds)
+		}
+	}
+	fmt.Println("\nsingle-copy serializes entirely on module 0; MV reads escape via copy")
+	fmt.Println("choice but MV writes serialize on the shared digit; the PP scheme's")
+	fmt.Println("expander spreads every batch, reads and writes alike.")
+}

@@ -1,0 +1,65 @@
+// expansion: measure the Theorem 4 expansion |Γ(S)| ≥ |S|^{2/3}·q/2^{1/3}
+// directly on the graph, for random sets, locality-adversarial sets, and —
+// on composite n — the subfield-structured sets that make the bound tight.
+//
+// Run with: go run ./examples/expansion
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"detshmem/internal/core"
+	"detshmem/internal/workload"
+)
+
+func main() {
+	scheme, err := core.New(1, 9) // composite n: the tightness case exists
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := scheme.NewIndexer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instance:", scheme.Params())
+	fmt.Printf("%-16s %8s %10s %10s %7s\n", "set", "|S|", "|Γ(S)|", "floor", "ratio")
+
+	measure := func(label string, vars []uint64) {
+		mods := make(map[uint64]bool)
+		var buf []uint64
+		for _, v := range vars {
+			buf = scheme.VarModules(buf[:0], idx.Mat(v))
+			for _, j := range buf {
+				mods[j] = true
+			}
+		}
+		floor := math.Pow(float64(len(vars)), 2.0/3.0) * float64(scheme.Q) / math.Cbrt(2)
+		fmt.Printf("%-16s %8d %10d %10.1f %7.2f\n",
+			label, len(vars), len(mods), floor, float64(len(mods))/floor)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	for _, size := range []int{64, 512, 4096} {
+		measure("random", workload.DistinctRandom(rng, idx.M(), size))
+		g, err := workload.GammaConcentrated(scheme, idx, 0, size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		measure("Γ-concentrated", g)
+	}
+
+	// The embedded PGL₂(2³) cosets: 84 variables whose structure mirrors the
+	// whole graph at scale n=3 — the paper notes such sets witness tightness
+	// for composite n.
+	sub, err := workload.SubfieldSet(scheme, idx, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure("subfield d=3", sub)
+
+	fmt.Println("\nthe ratio column stays >= 1 everywhere (Theorem 4); the subfield set")
+	fmt.Println("sits closest to the floor — the structured sets the paper warns about.")
+}

@@ -1,0 +1,92 @@
+// pramsim: run PRAM algorithms — parallel prefix sum and list ranking —
+// whose shared memory is served by the deterministic organization on the
+// MPC. This is the paper's motivating application: simulating an idealized
+// shared-memory machine on a machine with banked memory.
+//
+// Run with: go run ./examples/pramsim
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"detshmem/internal/core"
+	"detshmem/internal/pram"
+	"detshmem/internal/protocol"
+)
+
+func main() {
+	scheme, err := core.New(1, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := scheme.NewIndexer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := protocol.NewSystem(scheme, idx, protocol.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := pram.New(sys)
+
+	// --- Parallel prefix sum over 512 shared cells -----------------------
+	const n = 512
+	addrs := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = uint64(i)
+		vals[i] = uint64(i % 7)
+	}
+	if err := p.Write(addrs, vals); err != nil {
+		log.Fatal(err)
+	}
+	steps, err := p.PrefixSum(0, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := p.Read(addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := uint64(0)
+	for i := range vals {
+		sum += vals[i]
+		if got[i] != sum {
+			log.Fatalf("prefix sum wrong at %d", i)
+		}
+	}
+	fmt.Printf("prefix sum over %d cells: %d PRAM steps, %d MPC rounds total\n",
+		n, steps, p.Rounds)
+
+	// --- List ranking over a scrambled linked list -----------------------
+	rng := rand.New(rand.NewSource(1))
+	order := rng.Perm(n)
+	next := make([]uint64, n)
+	for k := 0; k < n-1; k++ {
+		next[order[k]] = uint64(order[k+1])
+	}
+	next[order[n-1]] = uint64(order[n-1])
+	base := uint64(1024)
+	laddrs := make([]uint64, n)
+	for i := range laddrs {
+		laddrs[i] = base + uint64(i)
+	}
+	if err := p.Write(laddrs, next); err != nil {
+		log.Fatal(err)
+	}
+	before := p.Rounds
+	dist, err := p.ListRank(base, base+uint64(n), n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k, node := range order {
+		if dist[node] != uint64(n-1-k) {
+			log.Fatalf("list rank wrong for node %d", node)
+		}
+	}
+	fmt.Printf("list ranking over %d nodes: %d MPC rounds\n", n, p.Rounds-before)
+	fmt.Printf("(every PRAM step became one distinct-variable batch on the MPC;\n")
+	fmt.Printf(" concurrent reads were combined client-side)\n")
+}

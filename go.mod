@@ -1,0 +1,3 @@
+module detshmem
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package affine implements a constructive memory organization for the
+// companion regime M ∈ Θ(N²) that PP93 cite as their own earlier work
+// ([PP93] in the paper's references: "An O(√n)-worst-case-time solution to
+// the granularity problem", STACS 1993): constant redundancy, pairwise
+// module-intersection ≤ 1, and O(√N') worst-case batch time.
+//
+// The construction here is the affine-plane parallel-class realization of
+// that regime (the original STACS construction is not reproduced verbatim;
+// see DESIGN.md §6): fix a prime p and r parallel classes of lines of the
+// affine plane AG(2, p). Variables are the p² points (x, y); modules are the
+// r·p chosen lines; copy i of point (x, y) is the line of class i through
+// it:
+//
+//	class 0:  x = c            (vertical lines)
+//	class i:  y = s_i·x + c    (slope s_i = i−1, for 1 ≤ i < r)
+//
+// Two distinct points lie on at most one common line, so — exactly as in the
+// paper's Corollary 1 — any set S of variables with a module receiving t of
+// its copies expands to ≥ (r−1)·t other modules, giving
+// |Γ(S)| ≳ sqrt(|S|·(r−1)) and an O(√N') protocol bound via the same
+// argument as Theorem 6's first stage. With N = r·p modules this stores
+// M = p² = N²/r² ∈ Θ(N²) variables with r copies each.
+//
+// It implements protocol.Mapper, so the Section 3 quorum protocol runs on it
+// unchanged (read/write quorums of ⌈(r+1)/2⌉ with timestamps).
+package affine
+
+import "fmt"
+
+// Plane is the affine parallel-class organization over AG(2, p).
+type Plane struct {
+	P uint64 // plane order (prime)
+	R int    // parallel classes = copies per variable
+}
+
+// New builds the organization. p must be prime (verified) and the class
+// count r must satisfy 3 <= r <= p+1 (class 0 plus up to p slopes; r ≥ 3
+// keeps a nontrivial majority).
+func New(p uint64, r int) (*Plane, error) {
+	if !isPrime(p) {
+		return nil, fmt.Errorf("affine: order %d is not prime", p)
+	}
+	if r < 3 || uint64(r) > p+1 {
+		return nil, fmt.Errorf("affine: class count %d out of range [3, p+1]", r)
+	}
+	return &Plane{P: p, R: r}, nil
+}
+
+// Name identifies the scheme.
+func (a *Plane) Name() string { return fmt.Sprintf("affine-p%d-r%d", a.P, a.R) }
+
+// NumVars returns M = p².
+func (a *Plane) NumVars() uint64 { return a.P * a.P }
+
+// NumModules returns N = r·p.
+func (a *Plane) NumModules() uint64 { return uint64(a.R) * a.P }
+
+// Copies returns r.
+func (a *Plane) Copies() int { return a.R }
+
+// ReadQuorum returns the majority ⌈(r+1)/2⌉ (= ⌊r/2⌋+1).
+func (a *Plane) ReadQuorum() int { return a.R/2 + 1 }
+
+// WriteQuorum returns the majority.
+func (a *Plane) WriteQuorum() int { return a.R/2 + 1 }
+
+// Point returns the coordinates of variable v.
+func (a *Plane) Point(v uint64) (x, y uint64) { return v % a.P, v / a.P }
+
+// CopyAddr places copy c of variable v = (x, y): class 0 is the vertical
+// line x = const; class i ≥ 1 is the line with slope i−1 through (x, y),
+// identified by its intercept y − (i−1)x mod p. Lines of class c occupy the
+// module block [c·p, (c+1)·p).
+func (a *Plane) CopyAddr(v uint64, c int) (uint64, uint64) {
+	x, y := a.Point(v)
+	var line uint64
+	if c == 0 {
+		line = x
+	} else {
+		// Intercept (y − slope·x) mod p, avoiding unsigned underflow.
+		slope := uint64(c - 1)
+		line = (y + a.P - slope*x%a.P) % a.P
+	}
+	module := uint64(c)*a.P + line
+	return module, v*uint64(a.R) + uint64(c)
+}
+
+// AddrSpace returns M·r.
+func (a *Plane) AddrSpace() uint64 { return a.NumVars() * uint64(a.R) }
+
+// LineOf reports which variable offsets share copy c's module with v —
+// exposed for tests of the ≤1-intersection property.
+func (a *Plane) LineOf(v uint64, c int) []uint64 {
+	x, y := a.Point(v)
+	out := make([]uint64, 0, a.P)
+	for t := uint64(0); t < a.P; t++ {
+		var px, py uint64
+		if c == 0 {
+			px, py = x, t
+		} else {
+			slope := uint64(c - 1)
+			px = t
+			// y' = slope·(x'−x) + y (mod p)
+			py = (slope*((t+a.P-x)%a.P) + y) % a.P
+		}
+		out = append(out, py*a.P+px)
+	}
+	return out
+}
+
+// WorstBatch returns up to size distinct variables forming an s×s
+// coordinate grid with s = ⌈√size⌉: every parallel class sees the grid
+// through only O(s) lines carrying ~s points each, so every 2-of-r quorum
+// choice is congested and batch time is Ω(√size) — the set family that
+// makes the Θ(N²)-regime's O(√N') bound tight.
+func (a *Plane) WorstBatch(size int) []uint64 {
+	s := uint64(1)
+	for s*s < uint64(size) {
+		s++
+	}
+	if s > a.P {
+		s = a.P
+	}
+	out := make([]uint64, 0, size)
+	for y := uint64(0); y < s && len(out) < size; y++ {
+		for x := uint64(0); x < s && len(out) < size; x++ {
+			out = append(out, y*a.P+x)
+		}
+	}
+	return out
+}
+
+func isPrime(p uint64) bool {
+	if p < 2 {
+		return false
+	}
+	for d := uint64(2); d*d <= p; d++ {
+		if p%d == 0 {
+			return false
+		}
+	}
+	return true
+}

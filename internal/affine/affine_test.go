@@ -1,0 +1,235 @@
+package affine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/protocol"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(10, 3); err == nil {
+		t.Error("composite order accepted")
+	}
+	if _, err := New(7, 2); err == nil {
+		t.Error("r=2 accepted")
+	}
+	if _, err := New(7, 9); err == nil {
+		t.Error("r > p+1 accepted")
+	}
+	if _, err := New(7, 3); err != nil {
+		t.Errorf("valid plane rejected: %v", err)
+	}
+}
+
+func TestParameters(t *testing.T) {
+	a, err := New(31, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVars() != 961 || a.NumModules() != 93 {
+		t.Fatalf("M=%d N=%d", a.NumVars(), a.NumModules())
+	}
+	if a.ReadQuorum() != 2 || a.WriteQuorum() != 2 {
+		t.Fatalf("quorums %d/%d", a.ReadQuorum(), a.WriteQuorum())
+	}
+	// M ∈ Θ(N²): M = N²/r².
+	if a.NumVars()*9 != a.NumModules()*a.NumModules() {
+		t.Fatal("M != N²/r²")
+	}
+}
+
+// TestCopiesDistinctModules: each variable's r copies land in r distinct
+// modules, one per class block.
+func TestCopiesDistinctModules(t *testing.T) {
+	a, err := New(13, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < a.NumVars(); v++ {
+		seen := make(map[uint64]bool)
+		for c := 0; c < a.R; c++ {
+			mod, addr := a.CopyAddr(v, c)
+			if mod >= a.NumModules() {
+				t.Fatalf("module %d out of range", mod)
+			}
+			if mod/a.P != uint64(c) {
+				t.Fatalf("copy %d of %d in wrong class block (module %d)", c, v, mod)
+			}
+			if seen[mod] {
+				t.Fatalf("variable %d has two copies in module %d", v, mod)
+			}
+			seen[mod] = true
+			if addr != v*uint64(a.R)+uint64(c) {
+				t.Fatalf("address %d wrong", addr)
+			}
+		}
+	}
+}
+
+// TestPairwiseIntersection: the defining linear-hypergraph property — any
+// two distinct variables share at most one module (two points, one line).
+func TestPairwiseIntersection(t *testing.T) {
+	a, err := New(11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := make([][]uint64, a.NumVars())
+	for v := uint64(0); v < a.NumVars(); v++ {
+		for c := 0; c < a.R; c++ {
+			m, _ := a.CopyAddr(v, c)
+			mods[v] = append(mods[v], m)
+		}
+	}
+	for u := range mods {
+		for v := u + 1; v < len(mods); v++ {
+			inter := 0
+			for _, x := range mods[u] {
+				for _, y := range mods[v] {
+					if x == y {
+						inter++
+					}
+				}
+			}
+			if inter > 1 {
+				t.Fatalf("variables %d,%d share %d modules", u, v, inter)
+			}
+		}
+	}
+}
+
+// TestLineOfConsistency: LineOf(v, c) lists exactly the p variables whose
+// copy c lands in v's copy-c module, including v itself.
+func TestLineOfConsistency(t *testing.T) {
+	a, err := New(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < a.NumVars(); v += 3 {
+		for c := 0; c < a.R; c++ {
+			mod, _ := a.CopyAddr(v, c)
+			line := a.LineOf(v, c)
+			if uint64(len(line)) != a.P {
+				t.Fatalf("line size %d", len(line))
+			}
+			found := false
+			for _, u := range line {
+				um, _ := a.CopyAddr(u, c)
+				if um != mod {
+					t.Fatalf("LineOf(%d,%d) contains %d from another line", v, c, u)
+				}
+				if u == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("LineOf(%d,%d) misses the point itself", v, c)
+			}
+		}
+	}
+}
+
+// TestModuleLoadBalance: every module stores exactly p copies (each line has
+// p points) — the affine analogue of Fact 1's deg_U = q^{n-1}.
+func TestModuleLoadBalance(t *testing.T) {
+	a, err := New(13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := make(map[uint64]int)
+	for v := uint64(0); v < a.NumVars(); v++ {
+		for c := 0; c < a.R; c++ {
+			m, _ := a.CopyAddr(v, c)
+			load[m]++
+		}
+	}
+	if uint64(len(load)) != a.NumModules() {
+		t.Fatalf("%d modules used, want %d", len(load), a.NumModules())
+	}
+	for m, l := range load {
+		if uint64(l) != a.P {
+			t.Fatalf("module %d stores %d copies, want p=%d", m, l, a.P)
+		}
+	}
+}
+
+// TestThroughProtocol: the plane runs under the generic quorum executor
+// against a reference model, like every other Mapper.
+func TestThroughProtocol(t *testing.T) {
+	a, err := New(31, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := protocol.NewGenericSystem(a, protocol.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(17))
+	for batch := 0; batch < 25; batch++ {
+		k := 1 + rng.Intn(60)
+		chosen := make(map[uint64]bool)
+		var reqs []protocol.Request
+		for len(chosen) < k {
+			v := uint64(rng.Intn(int(a.NumVars())))
+			if chosen[v] {
+				continue
+			}
+			chosen[v] = true
+			if rng.Intn(2) == 0 {
+				reqs = append(reqs, protocol.Request{Var: v, Op: protocol.Write, Value: rng.Uint64()})
+			} else {
+				reqs = append(reqs, protocol.Request{Var: v, Op: protocol.Read})
+			}
+		}
+		res, err := sys.Access(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range reqs {
+			if r.Op == protocol.Read && res.Values[i] != ref[r.Var] {
+				t.Fatalf("batch %d: read %d = %d want %d", batch, r.Var, res.Values[i], ref[r.Var])
+			}
+		}
+		for _, r := range reqs {
+			if r.Op == protocol.Write {
+				ref[r.Var] = r.Value
+			}
+		}
+	}
+}
+
+// TestSqrtScaling: full batches of size N' should complete in
+// O(sqrt(N'))-ish iterations — crucially sub-linear. The check is a loose
+// envelope: Φ ≤ 6·sqrt(N') and Φ grows with N'.
+func TestSqrtScaling(t *testing.T) {
+	a, err := New(101, 3) // N = 303, M = 10201
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := protocol.NewGenericSystem(a, protocol.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	for _, np := range []int{30, 100, 300} {
+		chosen := make(map[uint64]bool)
+		var vars, vals []uint64
+		for len(chosen) < np {
+			v := uint64(rng.Intn(int(a.NumVars())))
+			if !chosen[v] {
+				chosen[v] = true
+				vars = append(vars, v)
+				vals = append(vals, v)
+			}
+		}
+		met, err := sys.WriteBatch(vars, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(met.MaxIterations) > 6*math.Sqrt(float64(np)) {
+			t.Fatalf("N'=%d: Φ=%d exceeds the √N' envelope", np, met.MaxIterations)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/baseline"
+	"detshmem/internal/protocol"
+)
+
+func TestLogStar(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{1, 0}, {2, 1}, {4, 2}, {16, 3}, {65536, 4}, {1e6, 5}, {1e19, 5},
+	}
+	for _, c := range cases {
+		if got := LogStar(c.x); got != c.want {
+			t.Errorf("LogStar(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBoundsMonotone(t *testing.T) {
+	if Theorem4Lower(8, 2) <= Theorem4Lower(1, 2) {
+		t.Error("Theorem4Lower not increasing in |S|")
+	}
+	if Theorem4Lower(10, 4) <= Theorem4Lower(10, 2) {
+		t.Error("Theorem4Lower not increasing in q")
+	}
+	if Theorem5Lower(10, 2) >= Theorem4Lower(10, 2) {
+		t.Error("Theorem 5 (live copies) bound should be weaker than Theorem 4")
+	}
+	if Theorem7Lower(1000, 10, 3) <= 1 {
+		t.Error("Theorem7Lower degenerate")
+	}
+	// (M/N)^{1/r} exact check.
+	if got := Theorem7Lower(8000, 8, 3); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Theorem7Lower = %g, want 10", got)
+	}
+}
+
+func TestRecurrenceEnvelope(t *testing.T) {
+	env := RecurrenceEnvelope(1000, 2, 100000)
+	if env[0] != 1000 {
+		t.Fatalf("R_0 = %g", env[0])
+	}
+	for i := 1; i < len(env); i++ {
+		if env[i] > env[i-1] {
+			t.Fatalf("envelope increased at %d", i)
+		}
+	}
+	if env[len(env)-1] >= 1 {
+		t.Fatalf("envelope did not converge: %g", env[len(env)-1])
+	}
+	// Iterations should scale like N^{1/3}·log*: ratio between N and 8N
+	// should be about 2 (cube root), well below 8.
+	i1 := RecurrenceIterations(1000, 2, 1<<20)
+	i8 := RecurrenceIterations(8000, 2, 1<<20)
+	ratio := float64(i8) / float64(i1)
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Errorf("iteration scaling ratio %.2f outside the cube-root regime", ratio)
+	}
+}
+
+func TestTheorem6BoundShape(t *testing.T) {
+	if Theorem6Bound(64) <= 0 {
+		t.Error("bound not positive")
+	}
+	r := Theorem6Bound(512) / Theorem6Bound(64)
+	if r < 1.9 || r > 2.7 { // cube root of 8 = 2 modulo the log* factor
+		t.Errorf("Theorem6Bound scaling %g", r)
+	}
+}
+
+// TestGreedyAdversaryTrapsSingleCopy: against the single-copy scheme the
+// greedy adversary must find a heavily colliding batch (free = 0, so every
+// variable whose module enters T is trapped immediately).
+func TestGreedyAdversaryTrapsSingleCopy(t *testing.T) {
+	s, err := baseline.NewSingleCopy(63, 20000, baseline.PlaceHashed, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	batch := GreedyAdversary(s, 60, 5000, rng)
+	if len(batch) != 60 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	seen := make(map[uint64]bool)
+	counts := make(map[uint64]int)
+	for _, v := range batch {
+		if seen[v] {
+			t.Fatal("duplicate in adversarial batch")
+		}
+		seen[v] = true
+		mod, _ := s.CopyAddr(v, 0)
+		counts[mod]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// A uniform batch of 60 over 63 modules has max congestion ~3; the
+	// adversary should concentrate far beyond that.
+	if max < 20 {
+		t.Fatalf("greedy adversary achieved max congestion %d; want >= 20", max)
+	}
+	// And the protocol must actually pay for it.
+	sys, err := protocol.NewGenericSystem(s, protocol.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, met, err := sys.ReadBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.TotalRounds < max {
+		t.Fatalf("congestion %d but only %d rounds", max, met.TotalRounds)
+	}
+}
+
+func TestGreedyAdversaryPoolClamp(t *testing.T) {
+	s, err := baseline.NewSingleCopy(10, 50, baseline.PlaceInterleaved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	batch := GreedyAdversary(s, 10, 1000, rng) // pool larger than M
+	if len(batch) != 10 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+}

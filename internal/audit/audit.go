@@ -1,0 +1,185 @@
+// Package audit certifies structural properties of a memory organization
+// (any protocol.Mapper). The paper's first criticism of the
+// Upfal–Wigderson school is exactly that a sampled random graph cannot be
+// efficiently certified to expand ("no efficient way is known of testing a
+// random graph for such expansion properties", §1). This auditor makes the
+// testable part explicit: it verifies copy-placement well-formedness and
+// degree regularity exhaustively (or on a sampled prefix for huge M), and
+// measures pairwise intersections, load balance and sampled expansion — the
+// quantities the PP93 construction pins down by algebra and a random graph
+// only promises on average.
+package audit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"detshmem/internal/protocol"
+)
+
+// Report summarizes an audit run.
+type Report struct {
+	Scheme string
+	Vars   uint64 // variables examined (≤ M)
+	Copies int
+
+	// Well-formedness. Range violations and cell-address collisions are
+	// hard errors; a variable carrying two copies in one module is only a
+	// warning (quorum correctness survives, but the copies stop being
+	// independent failure domains — MV's digit placement does this whenever
+	// a variable has repeated digits).
+	PlacementErrors     int // module out of range / address collision
+	DuplicateModuleVars int // variables with ≥2 copies in one module
+
+	// Structure.
+	MaxPairIntersection int     // max |Γ(v1)∩Γ(v2)| over sampled pairs
+	MaxModuleLoad       int     // max copies per module over examined vars
+	MinModuleLoad       int     // min copies per module among loaded modules
+	LoadImbalance       float64 // max/mean load over loaded modules
+
+	// Sampled expansion: min over sampled sets of |Γ(S)|/(|S|^{2/3}·r-ish
+	// normalization is scheme-specific, so the raw minimum ratio
+	// |Γ(S)|/|S| is reported instead, together with the set size).
+	MinExpansionRatio float64
+	ExpansionSetSize  int
+}
+
+// Options bounds audit cost.
+type Options struct {
+	MaxVars     uint64 // cap on examined variables (0 = min(M, 200k))
+	PairSamples int    // sampled variable pairs (0 = 50k)
+	SetSamples  int    // sampled expansion sets (0 = 64)
+	SetSize     int    // expansion set size (0 = 256)
+	Seed        int64
+}
+
+// Run audits the mapper and returns a report. It never modifies the mapper.
+func Run(m protocol.Mapper, o Options) (*Report, error) {
+	if o.MaxVars == 0 {
+		o.MaxVars = 200000
+	}
+	if o.MaxVars > m.NumVars() {
+		o.MaxVars = m.NumVars()
+	}
+	if o.PairSamples == 0 {
+		o.PairSamples = 50000
+	}
+	if o.SetSamples == 0 {
+		o.SetSamples = 64
+	}
+	if o.SetSize == 0 {
+		o.SetSize = 256
+	}
+	if uint64(o.SetSize) > o.MaxVars {
+		o.SetSize = int(o.MaxVars)
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	r := &Report{Scheme: m.Name(), Vars: o.MaxVars, Copies: m.Copies()}
+
+	// Pass 1: well-formedness and load. Address collisions are detected via
+	// a map (addresses must be globally unique cells).
+	load := make(map[uint64]int)
+	addrs := make(map[uint64]bool, o.MaxVars*uint64(m.Copies()))
+	modsOf := func(v uint64) []uint64 {
+		out := make([]uint64, m.Copies())
+		for c := 0; c < m.Copies(); c++ {
+			out[c], _ = m.CopyAddr(v, c)
+		}
+		return out
+	}
+	for v := uint64(0); v < o.MaxVars; v++ {
+		seen := make(map[uint64]bool, m.Copies())
+		dup := false
+		for c := 0; c < m.Copies(); c++ {
+			mod, addr := m.CopyAddr(v, c)
+			if mod >= m.NumModules() || addr >= m.AddrSpace() {
+				r.PlacementErrors++
+				continue
+			}
+			if seen[mod] {
+				dup = true
+			}
+			seen[mod] = true
+			if addrs[addr] {
+				r.PlacementErrors++ // two cells collide
+			}
+			addrs[addr] = true
+			load[mod]++
+		}
+		if dup {
+			r.DuplicateModuleVars++
+		}
+	}
+	r.MinModuleLoad = math.MaxInt
+	total := 0
+	for _, l := range load {
+		total += l
+		if l > r.MaxModuleLoad {
+			r.MaxModuleLoad = l
+		}
+		if l < r.MinModuleLoad {
+			r.MinModuleLoad = l
+		}
+	}
+	if len(load) > 0 {
+		r.LoadImbalance = float64(r.MaxModuleLoad) / (float64(total) / float64(len(load)))
+	}
+
+	// Pass 2: pairwise intersections.
+	for i := 0; i < o.PairSamples; i++ {
+		a := uint64(rng.Int63n(int64(o.MaxVars)))
+		b := uint64(rng.Int63n(int64(o.MaxVars)))
+		if a == b {
+			continue
+		}
+		// |Γ(a) ∩ Γ(b)| as a set intersection (a malformed scheme may place
+		// several copies in one module; those still count once).
+		sa := make(map[uint64]bool, m.Copies())
+		for _, x := range modsOf(a) {
+			sa[x] = true
+		}
+		sb := make(map[uint64]bool, m.Copies())
+		inter := 0
+		for _, y := range modsOf(b) {
+			if sa[y] && !sb[y] {
+				inter++
+			}
+			sb[y] = true
+		}
+		if inter > r.MaxPairIntersection {
+			r.MaxPairIntersection = inter
+		}
+	}
+
+	// Pass 3: sampled expansion.
+	r.MinExpansionRatio = math.Inf(1)
+	r.ExpansionSetSize = o.SetSize
+	for s := 0; s < o.SetSamples; s++ {
+		set := make(map[uint64]bool, o.SetSize)
+		for len(set) < o.SetSize {
+			set[uint64(rng.Int63n(int64(o.MaxVars)))] = true
+		}
+		mods := make(map[uint64]bool)
+		for v := range set {
+			for _, mod := range modsOf(v) {
+				mods[mod] = true
+			}
+		}
+		ratio := float64(len(mods)) / float64(len(set))
+		if ratio < r.MinExpansionRatio {
+			r.MinExpansionRatio = ratio
+		}
+	}
+	return r, nil
+}
+
+// String renders the report as a compact block.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"scheme=%s vars=%d copies=%d placementErrors=%d dupModuleVars=%d "+
+			"maxPairIntersection=%d moduleLoad=[%d,%d] imbalance=%.2f minExpansion(|S|=%d)=%.2f",
+		r.Scheme, r.Vars, r.Copies, r.PlacementErrors, r.DuplicateModuleVars,
+		r.MaxPairIntersection, r.MinModuleLoad, r.MaxModuleLoad, r.LoadImbalance,
+		r.ExpansionSetSize, r.MinExpansionRatio)
+}

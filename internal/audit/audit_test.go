@@ -1,0 +1,100 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"detshmem/internal/baseline"
+	"detshmem/internal/core"
+	"detshmem/internal/protocol"
+)
+
+func TestAuditPPScheme(t *testing.T) {
+	s, err := core.New(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(protocol.NewCoreMapper(s, idx), Options{PairSamples: 20000, SetSamples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlacementErrors != 0 {
+		t.Fatalf("PP scheme has %d placement errors", r.PlacementErrors)
+	}
+	if r.MaxPairIntersection > 1 {
+		t.Fatalf("Theorem 2 violated under audit: max intersection %d", r.MaxPairIntersection)
+	}
+	// All M variables examined; every module loaded with exactly q^{n-1}.
+	if r.Vars != s.NumVariables {
+		t.Fatalf("examined %d of %d variables", r.Vars, s.NumVariables)
+	}
+	if r.MaxModuleLoad != int(s.ModuleSize) || r.MinModuleLoad != int(s.ModuleSize) {
+		t.Fatalf("module load [%d,%d], want uniform %d", r.MinModuleLoad, r.MaxModuleLoad, s.ModuleSize)
+	}
+	if r.LoadImbalance < 0.99 || r.LoadImbalance > 1.01 {
+		t.Fatalf("imbalance %.3f, want 1.0", r.LoadImbalance)
+	}
+	if !strings.Contains(r.String(), "pp93") {
+		t.Fatalf("report string missing scheme name: %s", r)
+	}
+}
+
+func TestAuditDetectsBrokenScheme(t *testing.T) {
+	// A deliberately broken mapper: all copies of every variable in module 0
+	// at colliding addresses.
+	b := brokenMapper{}
+	r, err := Run(b, Options{MaxVars: 100, PairSamples: 100, SetSamples: 2, SetSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlacementErrors == 0 {
+		t.Fatal("auditor missed placement errors")
+	}
+	if r.DuplicateModuleVars != 100 {
+		t.Fatalf("duplicate-module variables %d, want all 100", r.DuplicateModuleVars)
+	}
+	if r.MaxPairIntersection != 1 {
+		t.Fatalf("max intersection %d, want 1 (the single shared module, counted as a set)", r.MaxPairIntersection)
+	}
+	if r.MinExpansionRatio > 0.2 {
+		t.Fatalf("broken scheme should show near-zero expansion, got %.2f", r.MinExpansionRatio)
+	}
+}
+
+type brokenMapper struct{}
+
+func (brokenMapper) Name() string                              { return "broken" }
+func (brokenMapper) NumVars() uint64                           { return 1000 }
+func (brokenMapper) NumModules() uint64                        { return 64 }
+func (brokenMapper) Copies() int                               { return 3 }
+func (brokenMapper) ReadQuorum() int                           { return 2 }
+func (brokenMapper) WriteQuorum() int                          { return 2 }
+func (brokenMapper) CopyAddr(v uint64, c int) (uint64, uint64) { return 0, 0 }
+func (brokenMapper) AddrSpace() uint64                         { return 3000 }
+
+func TestAuditUWRandomGraph(t *testing.T) {
+	uw, err := baseline.NewUW(1023, 50000, 4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(uw, Options{MaxVars: 20000, PairSamples: 20000, SetSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlacementErrors != 0 {
+		t.Fatalf("UW placement errors: %d", r.PlacementErrors)
+	}
+	// A random graph's pairwise intersections are small but NOT certified
+	// ≤ 1 — the contrast with the PP scheme the paper draws.
+	if r.MaxPairIntersection < 1 {
+		t.Fatal("suspiciously perfect random graph")
+	}
+	// Load is balanced only on average.
+	if r.LoadImbalance <= 1.0 {
+		t.Fatalf("random placement reported perfectly balanced (%.3f)", r.LoadImbalance)
+	}
+}

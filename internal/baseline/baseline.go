@@ -1,0 +1,112 @@
+// Package baseline implements the comparison memory-organization schemes the
+// paper positions itself against, as protocol.Mapper implementations so they
+// run under the same MPC-accounted quorum executor as the
+// Pietracaprina–Preparata organization:
+//
+//   - SingleCopy: no redundancy, module chosen by interleaving or by a seeded
+//     hash. Fast on random batches, Θ(N') on adversarial ones.
+//   - MV: Mehlhorn–Vishkin multi-copy (c copies = the base-N digits of the
+//     variable index; read-one/write-all). Reads are O(cN^{1-1/c}) worst
+//     case, but writes degrade to Θ(N') under digit collisions.
+//   - UW: Upfal–Wigderson random bipartite graph with 2c−1 copies and
+//     majority quorums — the existential scheme whose randomness PP93
+//     replaces with algebra.
+//
+// Each scheme also exposes the adversarial batch construction that realizes
+// its worst case, used by experiment E7/E8.
+package baseline
+
+import "fmt"
+
+// splitmix is SplitMix64, used for all seeded placement decisions.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// SinglePlacement selects how the single-copy scheme places variables.
+type SinglePlacement int
+
+const (
+	// PlaceInterleaved stores variable v in module v mod N.
+	PlaceInterleaved SinglePlacement = iota
+	// PlaceHashed stores variable v in module splitmix(seed^v) mod N.
+	PlaceHashed
+)
+
+// SingleCopy is the no-redundancy organization: one copy per variable.
+type SingleCopy struct {
+	N, M  uint64
+	Place SinglePlacement
+	Seed  uint64
+}
+
+// NewSingleCopy builds a single-copy scheme over N modules and M variables.
+func NewSingleCopy(modules, vars uint64, place SinglePlacement, seed uint64) (*SingleCopy, error) {
+	if modules == 0 || vars == 0 {
+		return nil, fmt.Errorf("baseline: need positive module and variable counts")
+	}
+	return &SingleCopy{N: modules, M: vars, Place: place, Seed: seed}, nil
+}
+
+// Name identifies the scheme.
+func (s *SingleCopy) Name() string {
+	if s.Place == PlaceHashed {
+		return "single-hashed"
+	}
+	return "single-interleaved"
+}
+
+// NumVars returns M.
+func (s *SingleCopy) NumVars() uint64 { return s.M }
+
+// NumModules returns N.
+func (s *SingleCopy) NumModules() uint64 { return s.N }
+
+// Copies returns 1.
+func (s *SingleCopy) Copies() int { return 1 }
+
+// ReadQuorum returns 1.
+func (s *SingleCopy) ReadQuorum() int { return 1 }
+
+// WriteQuorum returns 1.
+func (s *SingleCopy) WriteQuorum() int { return 1 }
+
+// CopyAddr places the unique copy of v.
+func (s *SingleCopy) CopyAddr(v uint64, c int) (uint64, uint64) {
+	return s.module(v), v
+}
+
+// AddrSpace returns M (one cell per variable).
+func (s *SingleCopy) AddrSpace() uint64 { return s.M }
+
+func (s *SingleCopy) module(v uint64) uint64 {
+	if s.Place == PlaceHashed {
+		return splitmix(s.Seed^v) % s.N
+	}
+	return v % s.N
+}
+
+// WorstBatch returns up to size distinct variables that all collide on one
+// module — the Θ(N') adversarial batch. For the hashed placement the
+// adversary simply inverts the (public) hash by enumeration, which is the
+// paper's point: a fixed deterministic map without redundancy always has
+// such a set as soon as M ≥ N·size.
+func (s *SingleCopy) WorstBatch(size int) []uint64 {
+	out := make([]uint64, 0, size)
+	if s.Place == PlaceInterleaved {
+		for v := uint64(0); v < s.M && len(out) < size; v += s.N {
+			out = append(out, v)
+		}
+		return out
+	}
+	target := s.module(0)
+	for v := uint64(0); v < s.M && len(out) < size; v++ {
+		if s.module(v) == target {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/protocol"
+)
+
+// distinctOK verifies a batch has pairwise-distinct in-range variables.
+func distinctOK(t *testing.T, batch []uint64, m uint64) {
+	t.Helper()
+	seen := make(map[uint64]bool, len(batch))
+	for _, v := range batch {
+		if v >= m {
+			t.Fatalf("batch variable %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("batch repeats variable %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSingleCopyPlacement(t *testing.T) {
+	for _, place := range []SinglePlacement{PlaceInterleaved, PlaceHashed} {
+		s, err := NewSingleCopy(63, 1000, place, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := uint64(0); v < s.M; v++ {
+			mod, addr := s.CopyAddr(v, 0)
+			if mod >= s.N {
+				t.Fatalf("module %d out of range", mod)
+			}
+			if addr != v {
+				t.Fatalf("addr %d for var %d", addr, v)
+			}
+		}
+		batch := s.WorstBatch(10)
+		distinctOK(t, batch, s.M)
+		if len(batch) != 10 {
+			t.Fatalf("worst batch size %d", len(batch))
+		}
+		mod0, _ := s.CopyAddr(batch[0], 0)
+		for _, v := range batch {
+			if m, _ := s.CopyAddr(v, 0); m != mod0 {
+				t.Fatalf("%s worst batch not collinear: %d vs %d", s.Name(), m, mod0)
+			}
+		}
+	}
+}
+
+func TestMVDigits(t *testing.T) {
+	s, err := NewMV(10, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Digit(345, 0) != 5 || s.Digit(345, 1) != 4 || s.Digit(345, 2) != 3 {
+		t.Fatalf("digits of 345 wrong: %d %d %d", s.Digit(345, 0), s.Digit(345, 1), s.Digit(345, 2))
+	}
+	// Copy addresses are distinct cells.
+	seen := make(map[uint64]bool)
+	for v := uint64(0); v < 100; v++ {
+		for c := 0; c < s.C; c++ {
+			_, addr := s.CopyAddr(v, c)
+			if seen[addr] {
+				t.Fatalf("duplicate cell address %d", addr)
+			}
+			seen[addr] = true
+		}
+	}
+}
+
+func TestMVValidation(t *testing.T) {
+	if _, err := NewMV(10, 11, 1); err == nil {
+		t.Error("M > N^1 accepted for c=1")
+	}
+	if _, err := NewMV(10, 100, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := NewMV(10, 10, 1); err != nil {
+		t.Errorf("M = N^1 rejected: %v", err)
+	}
+	if _, err := NewMV(10, 100, 2); err != nil {
+		t.Errorf("M = N^2 rejected: %v", err)
+	}
+}
+
+func TestMVWorstBatches(t *testing.T) {
+	s, err := NewMV(63, 3969, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := s.WorstWriteBatch(50)
+	distinctOK(t, wb, s.M)
+	for _, v := range wb {
+		if s.Digit(v, 0) != 0 {
+			t.Fatalf("worst write batch var %d has digit0 = %d", v, s.Digit(v, 0))
+		}
+	}
+	rb := s.WorstReadBatch(49)
+	distinctOK(t, rb, s.M)
+	if len(rb) != 49 {
+		t.Fatalf("worst read batch size %d", len(rb))
+	}
+	// All copies of the read batch live in at most c·side modules.
+	mods := make(map[uint64]bool)
+	for _, v := range rb {
+		for c := 0; c < s.C; c++ {
+			m, _ := s.CopyAddr(v, c)
+			mods[m] = true
+		}
+	}
+	if len(mods) > 2*7 {
+		t.Fatalf("worst read batch spreads over %d modules", len(mods))
+	}
+}
+
+func TestUWPlacement(t *testing.T) {
+	s, err := NewUW(63, 5456, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Copies() != 5 {
+		t.Fatalf("copies = %d", s.Copies())
+	}
+	for v := uint64(0); v < 200; v++ {
+		mods := s.Modules(v)
+		seen := make(map[uint64]bool)
+		for _, m := range mods {
+			if m >= s.N {
+				t.Fatalf("module %d out of range", m)
+			}
+			if seen[m] {
+				t.Fatalf("variable %d has two copies in module %d", v, m)
+			}
+			seen[m] = true
+		}
+		// Determinism.
+		again := s.Modules(v)
+		for i := range mods {
+			if mods[i] != again[i] {
+				t.Fatalf("module placement not deterministic for %d", v)
+			}
+		}
+	}
+}
+
+func TestUWValidation(t *testing.T) {
+	if _, err := NewUW(3, 100, 3, 0); err == nil {
+		t.Error("2c-1 > N accepted")
+	}
+	if _, err := NewUW(10, 100, 0, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+}
+
+// TestBaselinesThroughProtocol runs each baseline under the generic quorum
+// executor against a reference model — the same harness the PP93 scheme
+// passes, demonstrating interchangeability.
+func TestBaselinesThroughProtocol(t *testing.T) {
+	single, err := NewSingleCopy(63, 2000, PlaceHashed, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := NewMV(63, 3900, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uw, err := NewUW(63, 2000, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []protocol.Mapper{single, mv, uw} {
+		sys, err := protocol.NewGenericSystem(m, protocol.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		ref := make(map[uint64]uint64)
+		rng := rand.New(rand.NewSource(13))
+		for batch := 0; batch < 25; batch++ {
+			k := 1 + rng.Intn(60)
+			chosen := make(map[uint64]bool)
+			var reqs []protocol.Request
+			for len(chosen) < k {
+				v := uint64(rng.Intn(int(m.NumVars())))
+				if chosen[v] {
+					continue
+				}
+				chosen[v] = true
+				if rng.Intn(2) == 0 {
+					reqs = append(reqs, protocol.Request{Var: v, Op: protocol.Write, Value: rng.Uint64()})
+				} else {
+					reqs = append(reqs, protocol.Request{Var: v, Op: protocol.Read})
+				}
+			}
+			res, err := sys.Access(reqs)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			for i, r := range reqs {
+				if r.Op == protocol.Read && res.Values[i] != ref[r.Var] {
+					t.Fatalf("%s batch %d: read %d = %d want %d",
+						m.Name(), batch, r.Var, res.Values[i], ref[r.Var])
+				}
+			}
+			for _, r := range reqs {
+				if r.Op == protocol.Write {
+					ref[r.Var] = r.Value
+				}
+			}
+		}
+	}
+}
+
+// TestAdversarialCongestion checks the headline asymmetry: the single-copy
+// scheme's worst batch takes Θ(size) rounds, and MV's worst write batch also
+// takes Θ(size) rounds, while MV reads on the same shape stay cheap.
+func TestAdversarialCongestion(t *testing.T) {
+	single, err := NewSingleCopy(63, 5000, PlaceHashed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := protocol.NewGenericSystem(single, protocol.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := single.WorstBatch(40)
+	if len(batch) < 40 {
+		t.Fatalf("could not build a 40-variable collision batch (got %d)", len(batch))
+	}
+	_, met, err := sys.ReadBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.TotalRounds < 40 {
+		t.Fatalf("single-copy adversarial batch finished in %d rounds; expected >= 40", met.TotalRounds)
+	}
+
+	mv, err := NewMV(63, 3900, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msys, err := protocol.NewGenericSystem(mv, protocol.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := mv.WorstWriteBatch(40)
+	vals := make([]uint64, len(wb))
+	wmet, err := msys.WriteBatch(wb, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wmet.TotalRounds < 40 {
+		t.Fatalf("MV adversarial write batch finished in %d rounds; expected >= 40", wmet.TotalRounds)
+	}
+	_, rmet, err := msys.ReadBatch(wb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmet.TotalRounds >= wmet.TotalRounds {
+		t.Fatalf("MV read (%d rounds) should beat write-all (%d rounds) on the digit-collision batch",
+			rmet.TotalRounds, wmet.TotalRounds)
+	}
+}

@@ -1,0 +1,119 @@
+package baseline
+
+import "fmt"
+
+// MV is the Mehlhorn–Vishkin multi-copy organization for M ≤ N^c variables:
+// variable v is written in base N as (d_0, …, d_{c-1}) and copy i is stored
+// in module d_i(v). A read needs any one copy ("the most convenient"), which
+// yields O(cN^{1-1/c}) worst-case read batches; a write must refresh all c
+// copies, which costs Θ(N') when a digit is shared by the whole batch —
+// the asymmetry PP93's majority scheme removes.
+type MV struct {
+	N, M uint64
+	C    int // number of copies (base-N digits)
+}
+
+// NewMV builds the scheme; M must fit in c base-N digits.
+func NewMV(modules, vars uint64, c int) (*MV, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("baseline: MV needs at least 1 copy, got %d", c)
+	}
+	if modules == 0 || vars == 0 {
+		return nil, fmt.Errorf("baseline: need positive module and variable counts")
+	}
+	cap := uint64(1)
+	for i := 0; i < c; i++ {
+		next := cap * modules
+		if next/modules != cap { // overflow means plenty of room
+			cap = ^uint64(0)
+			break
+		}
+		cap = next
+	}
+	if vars > cap {
+		return nil, fmt.Errorf("baseline: MV with %d copies addresses at most N^c = %d variables, got %d",
+			c, cap, vars)
+	}
+	return &MV{N: modules, M: vars, C: c}, nil
+}
+
+// Name identifies the scheme.
+func (s *MV) Name() string { return fmt.Sprintf("mv-c%d", s.C) }
+
+// NumVars returns M.
+func (s *MV) NumVars() uint64 { return s.M }
+
+// NumModules returns N.
+func (s *MV) NumModules() uint64 { return s.N }
+
+// Copies returns c.
+func (s *MV) Copies() int { return s.C }
+
+// ReadQuorum returns 1: a read accesses only the most convenient copy.
+func (s *MV) ReadQuorum() int { return 1 }
+
+// WriteQuorum returns c: a write must refresh every copy.
+func (s *MV) WriteQuorum() int { return s.C }
+
+// Digit returns d_i(v), the i-th base-N digit.
+func (s *MV) Digit(v uint64, i int) uint64 {
+	for ; i > 0; i-- {
+		v /= s.N
+	}
+	return v % s.N
+}
+
+// CopyAddr places copy c of v in module d_c(v).
+func (s *MV) CopyAddr(v uint64, c int) (uint64, uint64) {
+	return s.Digit(v, c), v*uint64(s.C) + uint64(c)
+}
+
+// AddrSpace returns M·c.
+func (s *MV) AddrSpace() uint64 { return s.M * uint64(s.C) }
+
+// WorstWriteBatch returns up to size distinct variables sharing digit 0, so
+// every write's copy 0 lands in the same module: write time Θ(size).
+func (s *MV) WorstWriteBatch(size int) []uint64 {
+	out := make([]uint64, 0, size)
+	for v := uint64(0); v < s.M && len(out) < size; v += s.N {
+		out = append(out, v) // d_0(v) = 0
+	}
+	return out
+}
+
+// WorstReadBatch returns up to size distinct variables forming a base-N
+// sub-grid of side length ceil(size^{1/c}): their copies occupy only c·side
+// modules, forcing read time ≥ size/(c·side) ≈ size^{1-1/c}/c.
+func (s *MV) WorstReadBatch(size int) []uint64 {
+	side := uint64(1)
+	for pow(side, s.C) < uint64(size) {
+		side++
+	}
+	out := make([]uint64, 0, size)
+	var rec func(v uint64, digit int)
+	rec = func(v uint64, digit int) {
+		if len(out) >= size {
+			return
+		}
+		if digit == s.C {
+			if v < s.M {
+				out = append(out, v)
+			}
+			return
+		}
+		base := pow(s.N, digit)
+		for d := uint64(0); d < side; d++ {
+			rec(v+d*base, digit+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+func pow(b uint64, e int) uint64 {
+	out := uint64(1)
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package baseline
+
+import "fmt"
+
+// UW is the Upfal–Wigderson organization: each variable carries 2c−1 copies
+// placed in distinct modules by a random bipartite graph, and both reads and
+// writes touch a majority of c copies with timestamps. UW prove that a
+// random graph has the expansion needed for O(log N (log log N)²) batch time
+// with c = Θ(log N) — but only existentially: no efficient test certifies a
+// sampled graph, and storing it needs a full memory map. This implementation
+// samples the graph from a seed on the fly (deterministically per variable),
+// standing in for "a random graph that was never verified", exactly the
+// practical gap PP93's constructive scheme closes.
+type UW struct {
+	N, M uint64
+	C    int // majority size; copies = 2c−1
+	Seed uint64
+}
+
+// NewUW builds the scheme. c >= 1; 2c−1 copies must fit in N modules.
+func NewUW(modules, vars uint64, c int, seed uint64) (*UW, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("baseline: UW needs c >= 1, got %d", c)
+	}
+	if uint64(2*c-1) > modules {
+		return nil, fmt.Errorf("baseline: UW needs 2c-1 = %d distinct modules, have %d", 2*c-1, modules)
+	}
+	if modules == 0 || vars == 0 {
+		return nil, fmt.Errorf("baseline: need positive module and variable counts")
+	}
+	return &UW{N: modules, M: vars, C: c, Seed: seed}, nil
+}
+
+// Name identifies the scheme.
+func (s *UW) Name() string { return fmt.Sprintf("uw-c%d", s.C) }
+
+// NumVars returns M.
+func (s *UW) NumVars() uint64 { return s.M }
+
+// NumModules returns N.
+func (s *UW) NumModules() uint64 { return s.N }
+
+// Copies returns 2c−1.
+func (s *UW) Copies() int { return 2*s.C - 1 }
+
+// ReadQuorum returns the majority c.
+func (s *UW) ReadQuorum() int { return s.C }
+
+// WriteQuorum returns the majority c.
+func (s *UW) WriteQuorum() int { return s.C }
+
+// Modules returns the 2c−1 distinct modules holding v's copies. The set is
+// a deterministic function of (Seed, v): a pseudorandom sample without
+// replacement.
+func (s *UW) Modules(v uint64) []uint64 {
+	r := s.Copies()
+	out := make([]uint64, 0, r)
+	ctr := uint64(0)
+	for len(out) < r {
+		m := splitmix(s.Seed^v*0x9e3779b97f4a7c15^ctr) % s.N
+		ctr++
+		dup := false
+		for _, x := range out {
+			if x == m {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// CopyAddr places copy c of v.
+func (s *UW) CopyAddr(v uint64, c int) (uint64, uint64) {
+	return s.Modules(v)[c], v*uint64(s.Copies()) + uint64(c)
+}
+
+// AddrSpace returns M·(2c−1).
+func (s *UW) AddrSpace() uint64 { return s.M * uint64(s.Copies()) }

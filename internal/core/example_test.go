@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"fmt"
+
+	"detshmem/internal/core"
+)
+
+// Example demonstrates the processor-side address computation: a variable
+// index becomes a PGL₂ coset representative, and each of its q+1 copies
+// resolves to a (module, offset) physical address in O(log N) time.
+func Example() {
+	scheme, err := core.New(1, 5) // q=2, n=5: N=1023, M=5456
+	if err != nil {
+		panic(err)
+	}
+	idx, err := scheme.NewIndexer()
+	if err != nil {
+		panic(err)
+	}
+	a := idx.Mat(42)
+	for c := 0; c < scheme.Copies; c++ {
+		module, offset := scheme.CopyLocation(a, c)
+		fmt.Printf("copy %d: module %d offset %d\n", c, module, offset)
+	}
+	// The inverse direction recovers the variable index from any
+	// representative of its coset.
+	if inv, ok := idx.(core.Inverter); ok {
+		i, _ := inv.Index(a)
+		fmt.Printf("inverse: %d\n", i)
+	}
+	// Output:
+	// copy 0: module 166 offset 11
+	// copy 1: module 513 offset 2
+	// copy 2: module 377 offset 4
+	// inverse: 42
+}

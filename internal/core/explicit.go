@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"detshmem/internal/gf"
+	"detshmem/internal/pgl"
+)
+
+// ExplicitIndexer is the Section 4 / Theorem 8 variable-index bijection for
+// q = 2 and n odd. Matrices are encoded as pairs ⟨α, β⟩ of elements of the
+// quadratic extension F_{2^{2n}} (one per row, in the basis (w, 1) over
+// F_{2^n}, w = λ^ρ a cube root of unity outside the subfield), and the M
+// coset representatives are split into the four families
+//
+//	S₁ = { ⟨1, λ^{iσ}·w⟩ : 0 ≤ i < 2^n−1 }
+//	S₂ = { ⟨1, λ^{k(s,t)}·w^j⟩ }
+//	S₃ = { ⟨λ^{k(s,t)}·w^j, 1⟩ }
+//	S₄ = { ⟨λ^{k(s,0)}, λ^i·w^j⟩ : 1 ≤ i < ρ, τ ∤ i,
+//	       λ^{k(s,0)}·(w^j·λ^i)^{-1} ∉ F_{2^n}^* }
+//
+// with k(s,t) = (s + tσ) mod ρ, s ∈ [1, (2^{n-1}−1)/3], t ∈ [0, 2^n−1),
+// j ∈ {0,1,2}. Theorem 8 states these are a complete set of representatives
+// of PGL₂(2ⁿ)/H₀; the package's tests verify this exhaustively for n = 3, 5
+// and against edge enumeration for n = 7.
+//
+// Decoding an index costs O(log N): O(1) closed-form arithmetic for S₁–S₃
+// and a binary search over a counting function for S₄ (the S₄ exclusions
+// "τ | i" and "i ≡ k(s,0) − jρ (mod σ)" are arithmetic progressions, so
+// ranks are computable in O(1)).
+type ExplicitIndexer struct {
+	s  *Scheme
+	qd *gf.Quad
+
+	c1   uint64 // |S₁| = 2^n − 1
+	c2   uint64 // |S₂| = |S₃| = (2^n−1)(2^{n-1}−1)
+	c4   uint64 // |S₄|
+	c4s  uint64 // per-s block of S₄: (2^n−1)(2^n−3)
+	sMax uint64 // (2^{n-1}−1)/3
+
+	rho, sigma, tau uint64
+}
+
+// NewExplicitIndexer builds the Theorem 8 bijection. It requires q = 2 and
+// n odd (and 2n within the field-table budget).
+func NewExplicitIndexer(s *Scheme) (*ExplicitIndexer, error) {
+	if s.Q != 2 || s.Deg%2 == 0 {
+		return nil, errNotApplicable(s.Q, s.Deg)
+	}
+	qd, err := gf.NewQuad(s.Deg)
+	if err != nil {
+		return nil, err
+	}
+	n := uint(s.Deg)
+	pow := uint64(1) << n // 2^n
+	e := &ExplicitIndexer{
+		s:     s,
+		qd:    qd,
+		c1:    pow - 1,
+		c2:    (pow - 1) * (pow/2 - 1),
+		sMax:  (pow/2 - 1) / 3,
+		rho:   uint64(qd.Rho),
+		sigma: uint64(qd.Sigma),
+		tau:   uint64(qd.Tau),
+	}
+	e.c4s = (pow - 1) * (pow - 3)
+	e.c4 = e.sMax * e.c4s
+	if got, want := e.c1+2*e.c2+e.c4, s.NumVariables; got != want {
+		return nil, fmt.Errorf("core: internal: |S₁|+|S₂|+|S₃|+|S₄| = %d != M = %d", got, want)
+	}
+	return e, nil
+}
+
+// M returns the number of variables.
+func (e *ExplicitIndexer) M() uint64 { return e.s.NumVariables }
+
+// k computes k(s,t) = (s + t·σ) mod ρ.
+func (e *ExplicitIndexer) k(s, t uint64) uint64 { return (s + t*e.sigma) % e.rho }
+
+// matFromPair converts the row encoding ⟨α, β⟩ into a canonical PGL₂ matrix.
+func (e *ExplicitIndexer) matFromPair(alpha, beta uint32) pgl.Mat {
+	x1, y1 := e.qd.Unpair(alpha)
+	x2, y2 := e.qd.Unpair(beta)
+	return e.s.G.MustMake(x1, y1, x2, y2)
+}
+
+// Mat decodes variable index i into its coset representative A_i.
+func (e *ExplicitIndexer) Mat(i uint64) pgl.Mat {
+	if i >= e.M() {
+		panic(fmt.Sprintf("core: variable index %d out of range [0,%d)", i, e.M()))
+	}
+	switch {
+	case i < e.c1:
+		// S₁: ⟨1, λ^{iσ}·w⟩ = ⟨1, λ^{iσ+ρ}⟩.
+		return e.matFromPair(1, e.qd.Lambda(int(i*e.sigma+e.rho)))
+	case i < e.c1+e.c2:
+		s, t, j := e.splitS23(i - e.c1)
+		return e.matFromPair(1, e.qd.Lambda(int(e.k(s, t)+j*e.rho)))
+	case i < e.c1+2*e.c2:
+		s, t, j := e.splitS23(i - e.c1 - e.c2)
+		return e.matFromPair(e.qd.Lambda(int(e.k(s, t)+j*e.rho)), 1)
+	default:
+		return e.matS4(i - e.c1 - 2*e.c2)
+	}
+}
+
+// splitS23 decomposes an offset within S₂ (or S₃) into (s, t, j):
+// blocks of (2^n−1)·3 per s, then 3 per t, then j.
+func (e *ExplicitIndexer) splitS23(off uint64) (s, t, j uint64) {
+	perS := e.c1 * 3 // (2^n−1) values of t × 3 values of j
+	s = 1 + off/perS
+	rem := off % perS
+	return s, rem / 3, rem % 3
+}
+
+// matS4 decodes an offset within S₄. For fixed s and j the admissible i form
+// the set {1 ≤ i < ρ : τ ∤ i, i ≢ c_j (mod σ)} with
+// c_j = (k(s,0) − jρ) mod σ; rankUpTo counts them, and a binary search
+// recovers the i of a given rank.
+func (e *ExplicitIndexer) matS4(off uint64) pgl.Mat {
+	s := 1 + off/e.c4s
+	r := off % e.c4s
+	ks0 := e.k(s, 0)
+	var j uint64
+	for j = 0; j < 3; j++ {
+		cnt := e.validS4Count(ks0, j, e.rho-1)
+		if r < cnt {
+			break
+		}
+		r -= cnt
+	}
+	if j == 3 {
+		panic("core: internal: S₄ rank exceeded per-s block")
+	}
+	i := e.searchS4(ks0, j, r)
+	alpha := e.qd.Lambda(int(ks0))
+	beta := e.qd.Lambda(int(i + j*e.rho))
+	return e.matFromPair(alpha, beta)
+}
+
+// cJ returns c_j = (k(s,0) − jρ) mod σ, the excluded residue class.
+func (e *ExplicitIndexer) cJ(ks0, j uint64) uint64 {
+	m := int64(ks0) - int64(j)*int64(e.rho)
+	m %= int64(e.sigma)
+	if m < 0 {
+		m += int64(e.sigma)
+	}
+	return uint64(m)
+}
+
+// validS4Count counts admissible i in [1, x] for fixed (s, j): those not
+// divisible by τ and not ≡ c_j (mod σ). Because σ = 3τ, an i ≡ c_j (mod σ)
+// is a multiple of τ exactly when τ | c_j, in which case the congruence
+// class is already excluded by the τ rule and must not be double-counted.
+func (e *ExplicitIndexer) validS4Count(ks0, j, x uint64) uint64 {
+	bad := x / e.tau
+	c := e.cJ(ks0, j)
+	if c%e.tau != 0 {
+		bad += countCong(x, c, e.sigma)
+	}
+	return x - bad
+}
+
+// countCong counts i in [1, x] with i ≡ c (mod m), 0 <= c < m.
+func countCong(x, c, m uint64) uint64 {
+	if c == 0 {
+		return x / m
+	}
+	if c > x {
+		return 0
+	}
+	return (x-c)/m + 1
+}
+
+// searchS4 finds the admissible i of rank r (0-based) for fixed (s, j) by
+// binary search on validS4Count; O(log ρ) = O(log N).
+func (e *ExplicitIndexer) searchS4(ks0, j, r uint64) uint64 {
+	lo, hi := uint64(1), e.rho-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.validS4Count(ks0, j, mid) >= r+1 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// SetSizes reports (|S₁|, |S₂|, |S₃|, |S₄|) for inspection and tests.
+func (e *ExplicitIndexer) SetSizes() (uint64, uint64, uint64, uint64) {
+	return e.c1, e.c2, e.c2, e.c4
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExplicitIndexRoundTripExhaustive: Index(Mat(i)) == i for every
+// variable, and for random non-canonical representatives of the coset.
+func TestExplicitIndexRoundTripExhaustive(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		s := newScheme(t, 1, n)
+		ex, err := NewExplicitIndexer(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h0 := s.G.H0Elements()
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := uint64(0); i < ex.M(); i++ {
+			a := ex.Mat(i)
+			got, ok := ex.Index(a)
+			if !ok || got != i {
+				t.Fatalf("n=%d: Index(Mat(%d)) = %d,%v", n, i, got, ok)
+			}
+			// Any representative of the coset must yield the same index.
+			ar := s.G.Mul(a, h0[rng.Intn(len(h0))])
+			got, ok = ex.Index(ar)
+			if !ok || got != i {
+				t.Fatalf("n=%d: Index on alternate representative of %d = %d,%v", n, i, got, ok)
+			}
+		}
+	}
+}
+
+// TestExplicitIndexMatchesEnumerated: both inverters agree on coset
+// identity for n = 5.
+func TestExplicitIndexMatchesEnumerated(t *testing.T) {
+	s := newScheme(t, 1, 5)
+	ex, err := NewExplicitIndexer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := NewEnumeratedIndexer(s)
+	for i := uint64(0); i < en.M(); i++ {
+		a := en.Mat(i)
+		exIdx, ok := ex.Index(a)
+		if !ok {
+			t.Fatalf("explicit inverter missed coset %d", i)
+		}
+		if s.VarKey(ex.Mat(exIdx)) != s.VarKey(a) {
+			t.Fatalf("explicit inverter returned wrong coset for %d", i)
+		}
+	}
+}
+
+// TestExplicitIndexLargeSampled: round-trips on n = 9 (M = 22.4M), sampled.
+func TestExplicitIndexLargeSampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	s := newScheme(t, 1, 9)
+	ex, err := NewExplicitIndexer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20000; trial++ {
+		i := uint64(rng.Int63n(int64(ex.M())))
+		got, ok := ex.Index(ex.Mat(i))
+		if !ok || got != i {
+			t.Fatalf("Index(Mat(%d)) = %d,%v", i, got, ok)
+		}
+	}
+}
+
+// TestExplicitIndexClassifyUniqueness: exactly one of the 6 coset members
+// matches a pattern (a sharper form of Theorem 8's distinctness).
+func TestExplicitIndexClassifyUniqueness(t *testing.T) {
+	s := newScheme(t, 1, 5)
+	ex, err := NewExplicitIndexer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < ex.M(); i += 7 {
+		a := ex.Mat(i)
+		hits := 0
+		for _, h := range s.G.H0Elements() {
+			if _, ok := ex.classify(s.G.Mul(a, h)); ok {
+				hits++
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("coset %d has %d pattern matches, want exactly 1", i, hits)
+		}
+	}
+}

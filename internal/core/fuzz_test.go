@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// Shared fixtures for fuzz targets (built once; fuzzing re-enters the
+// function many times).
+var (
+	fuzzOnce sync.Once
+	fuzzS    *Scheme
+	fuzzEx   *ExplicitIndexer
+)
+
+func fuzzSetup(t testing.TB) (*Scheme, *ExplicitIndexer) {
+	fuzzOnce.Do(func() {
+		s, err := New(1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := NewExplicitIndexer(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzS, fuzzEx = s, ex
+	})
+	return fuzzS, fuzzEx
+}
+
+// FuzzExplicitIndexRoundTrip: for any variable index, decoding to a matrix
+// and re-encoding must return the same index; all copy addresses must be in
+// range and mutually consistent.
+func FuzzExplicitIndexRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(83))
+	f.Add(uint64(349503))
+	f.Fuzz(func(t *testing.T, i uint64) {
+		s, ex := fuzzSetup(t)
+		i %= ex.M()
+		a := ex.Mat(i)
+		back, ok := ex.Index(a)
+		if !ok || back != i {
+			t.Fatalf("Index(Mat(%d)) = %d,%v", i, back, ok)
+		}
+		for c := 0; c < s.Copies; c++ {
+			mod, off := s.CopyLocation(a, c)
+			if mod >= s.NumModules || off >= s.ModuleSize {
+				t.Fatalf("copy %d of %d out of range: (%d,%d)", c, i, mod, off)
+			}
+			if s.VarKey(s.ModuleVarMat(mod, off)) != s.VarKey(a) {
+				t.Fatalf("copy %d of %d points to a different variable", c, i)
+			}
+		}
+	})
+}
+
+// FuzzModuleIndexRoundTrip: module index ↔ representative for arbitrary
+// module ids, plus offset decoding for arbitrary slots.
+func FuzzModuleIndexRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint32(0))
+	f.Add(uint64(16382), uint32(63))
+	f.Fuzz(func(t *testing.T, j uint64, k uint32) {
+		s, _ := fuzzSetup(t)
+		j %= s.NumModules
+		k %= s.ModuleSize
+		if got := s.ModuleIndex(s.ModuleMat(j)); got != j {
+			t.Fatalf("ModuleIndex(ModuleMat(%d)) = %d", j, got)
+		}
+		v := s.ModuleVarMat(j, k)
+		off, err := s.Offset(v, j)
+		if err != nil {
+			t.Fatalf("Offset(ModuleVarMat(%d,%d)): %v", j, k, err)
+		}
+		if off != k {
+			t.Fatalf("offset roundtrip: (%d,%d) -> %d", j, k, off)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"detshmem/internal/pgl"
+)
+
+// hn1Elements enumerates H_{n-1} = {(a α; 0 1): a ∈ F_q^*, α ∈ F_{q^n}} in
+// canonical form.
+func hn1Elements(s *Scheme) []pgl.Mat {
+	out := make([]pgl.Mat, 0, int(s.Q-1)*int(s.F.Order))
+	for a := uint32(1); a < s.Q; a++ {
+		for al := uint32(0); al < s.F.Order; al++ {
+			out = append(out, s.G.MustMake(a, al, 0, 1))
+		}
+	}
+	return out
+}
+
+// cosetElements materializes the canonical matrices of g·H for the given
+// subgroup element list.
+func cosetElements(s *Scheme, g pgl.Mat, sub []pgl.Mat) map[pgl.Mat]bool {
+	out := make(map[pgl.Mat]bool, len(sub))
+	for _, h := range sub {
+		out[s.G.Mul(g, h)] = true
+	}
+	return out
+}
+
+// TestLemma4IntersectionFormulas verifies Lemma 4 exhaustively on small
+// instances: for every module j = f(s,t) and offset k, the intersection
+// B_j·H_{n-1} ∩ C_k^j·H₀ equals
+//
+//	t = −1:  { (a·γ^s, (p_k+b)·γ^s; 0, 1)            : a ∈ F_q^*, b ∈ F_q }
+//	t >= 0:  { (a·α_t, (p_k+b)·α_t + γ^s; a, p_k+b)  : a ∈ F_q^*, b ∈ F_q }
+//
+// and in particular has exactly |H₀ ∩ H_{n-1}| = q(q−1) projective elements
+// … of which q−1 scalar-collapse classes remain in PGL (the edge ↔ coset
+// correspondence of Section 2).
+func TestLemma4IntersectionFormulas(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {2, 3}} {
+		s := newScheme(t, c.m, c.n)
+		f := s.F
+		hn1 := hn1Elements(s)
+		h0 := s.G.H0Elements()
+		k := uint64(f.Order)
+		for j := uint64(0); j < s.NumModules; j += 5 {
+			b := s.ModuleMat(j)
+			cs := uint32(j / (k + 1))
+			tt := int64(j%(k+1)) - 1
+			gs := f.Exp(int(cs))
+			bset := cosetElements(s, b, hn1)
+			for off := uint32(0); off < s.ModuleSize; off += 3 {
+				ck := s.ModuleVarMat(j, off)
+				cset := cosetElements(s, ck, h0)
+				inter := make(map[pgl.Mat]bool)
+				for m := range cset {
+					if bset[m] {
+						inter[m] = true
+					}
+				}
+				// Expected set from Lemma 4's closed form.
+				want := make(map[pgl.Mat]bool)
+				pk := f.PElem(off)
+				for a := uint32(1); a < s.Q; a++ {
+					for bb := uint32(0); bb < s.Q; bb++ {
+						pkb := f.Add(pk, bb)
+						var m pgl.Mat
+						if tt == -1 {
+							m = s.G.MustMake(f.Mul(a, gs), f.Mul(pkb, gs), 0, 1)
+						} else {
+							at := uint32(tt)
+							m = s.G.MustMake(
+								f.Mul(a, at),
+								f.Add(f.Mul(pkb, at), gs),
+								a, pkb)
+						}
+						want[m] = true
+					}
+				}
+				if len(inter) != len(want) {
+					t.Fatalf("q=%d j=%d k=%d: intersection size %d, formula size %d",
+						s.Q, j, off, len(inter), len(want))
+				}
+				for m := range want {
+					if !inter[m] {
+						t.Fatalf("q=%d j=%d k=%d: formula element %v missing from intersection",
+							s.Q, j, off, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeCosetCorrespondence: the edges of G are in bijection with the
+// cosets of H₀ ∩ H_{n-1} (Section 2): |E| = |PGL₂(qⁿ)| / |H₀ ∩ H_{n-1}| with
+// |H₀ ∩ H_{n-1}| = q(q−1)/(q−1)·… — as canonical projective matrices,
+// {(a b; 0 1): a ∈ F_q^*, b ∈ F_q} has q(q−1) members, and the projective
+// order of the subgroup is q(q−1)/1 (scalars already quotiented). The edge
+// count must also equal M(q+1) = N·q^{n-1}.
+func TestEdgeCosetCorrespondence(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {1, 5}, {2, 3}} {
+		s := newScheme(t, c.m, c.n)
+		// |H₀ ∩ H_{n-1}| by enumeration.
+		cnt := uint64(0)
+		for _, h := range s.G.H0Elements() {
+			if s.G.InHn1(h) {
+				cnt++
+			}
+		}
+		wantSub := uint64(s.Q) * uint64(s.Q-1)
+		if cnt != wantSub {
+			t.Fatalf("q=%d: |H₀∩H_{n-1}| = %d, want q(q−1) = %d", s.Q, cnt, wantSub)
+		}
+		edges := s.G.Order() / cnt
+		if edges != s.NumVariables*uint64(s.Q+1) {
+			t.Fatalf("q=%d n=%d: |PGL|/|H₀∩H_{n-1}| = %d != M(q+1) = %d",
+				s.Q, c.n, edges, s.NumVariables*uint64(s.Q+1))
+		}
+		if edges != s.NumModules*uint64(s.ModuleSize) {
+			t.Fatalf("q=%d n=%d: edge count != N·q^{n-1}", s.Q, c.n)
+		}
+	}
+}
+
+// TestGammaLemma1Lemma2Duality: v ∈ Γ(u) iff u ∈ Γ(v), checked through both
+// lemmas' parameterizations.
+func TestGammaLemma1Lemma2Duality(t *testing.T) {
+	s := newScheme(t, 1, 5)
+	for j := uint64(0); j < s.NumModules; j += 17 {
+		for k := uint32(0); k < s.ModuleSize; k += 5 {
+			v := s.ModuleVarMat(j, k)
+			found := false
+			for c := 0; c < s.Copies; c++ {
+				if s.ModuleIndex(s.CopyModuleMat(v, c)) == j {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("module %d stores offset %d but the variable does not list it", j, k)
+			}
+		}
+	}
+}

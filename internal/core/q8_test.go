@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The q = 8 instance (nine copies, majority five) exercises the scheme-level
+// machinery at a third base-field size. The enumerated indexer is too
+// expensive to build here (CosetKeyH0 costs q³−q group products per coset),
+// so these tests stay at the coset/address layer, which is all the protocol
+// actually needs per access.
+
+func TestQ8Parameters(t *testing.T) {
+	s := newScheme(t, 3, 3) // q=8, n=3
+	if s.NumModules != 37449 {
+		t.Fatalf("N = %d, want 37449", s.NumModules)
+	}
+	if s.NumVariables != 266304 {
+		t.Fatalf("M = %d, want 266304", s.NumVariables)
+	}
+	if s.Copies != 9 || s.Majority != 5 || s.ModuleSize != 64 {
+		t.Fatalf("copies=%d majority=%d moduleSize=%d", s.Copies, s.Majority, s.ModuleSize)
+	}
+	if s.NumVariables*9 != s.NumModules*64 {
+		t.Fatal("edge counts disagree")
+	}
+}
+
+func TestQ8ModuleIndexRoundTrip(t *testing.T) {
+	s := newScheme(t, 3, 3)
+	for j := uint64(0); j < s.NumModules; j += 7 {
+		if got := s.ModuleIndex(s.ModuleMat(j)); got != j {
+			t.Fatalf("ModuleIndex(ModuleMat(%d)) = %d", j, got)
+		}
+	}
+}
+
+func TestQ8EdgeRoundTrips(t *testing.T) {
+	s := newScheme(t, 3, 3)
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 3000; trial++ {
+		j := uint64(rng.Int63n(int64(s.NumModules)))
+		k := uint32(rng.Intn(int(s.ModuleSize)))
+		v := s.ModuleVarMat(j, k)
+		// Offset inversion.
+		got, err := s.Offset(v, j)
+		if err != nil || got != k {
+			t.Fatalf("Offset roundtrip (%d,%d) -> %d, %v", j, k, got, err)
+		}
+		// Lemma 1 degree and copy-location consistency.
+		mods := s.VarModules(nil, v)
+		set := make(map[uint64]bool)
+		found := false
+		for c, m := range mods {
+			set[m] = true
+			if m == j {
+				found = true
+			}
+			cm, co := s.CopyLocation(v, c)
+			if cm != m {
+				t.Fatalf("CopyLocation module mismatch at copy %d", c)
+			}
+			if s.VarKey(s.ModuleVarMat(cm, co)) != s.VarKey(v) {
+				t.Fatalf("copy %d address points elsewhere", c)
+			}
+		}
+		if len(set) != 9 {
+			t.Fatalf("variable has %d distinct modules, want q+1=9", len(set))
+		}
+		if !found {
+			t.Fatal("Lemma 2 / Lemma 1 duality broken: source module missing")
+		}
+	}
+}
+
+// TestQ8Theorem2Sampled: pairwise intersections ≤ 1 on sampled variable
+// pairs drawn through module enumeration.
+func TestQ8Theorem2Sampled(t *testing.T) {
+	s := newScheme(t, 3, 3)
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 1500; trial++ {
+		v1 := s.ModuleVarMat(uint64(rng.Int63n(int64(s.NumModules))), uint32(rng.Intn(int(s.ModuleSize))))
+		v2 := s.ModuleVarMat(uint64(rng.Int63n(int64(s.NumModules))), uint32(rng.Intn(int(s.ModuleSize))))
+		if s.VarKey(v1) == s.VarKey(v2) {
+			continue
+		}
+		m1 := s.VarModules(nil, v1)
+		m2 := s.VarModules(nil, v2)
+		inter := 0
+		for _, x := range m1 {
+			for _, y := range m2 {
+				if x == y {
+					inter++
+				}
+			}
+		}
+		if inter > 1 {
+			t.Fatalf("Theorem 2 violated at q=8: intersection %d", inter)
+		}
+	}
+}

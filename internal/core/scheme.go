@@ -1,0 +1,165 @@
+// Package core implements the Pietracaprina–Preparata deterministic
+// memory-organization scheme (SPAA'93): the bipartite graph G(V, U; E) whose
+// left vertices are the M = |PGL₂(qⁿ)/H₀| variables, whose right vertices are
+// the N = |PGL₂(qⁿ)/H_{n-1}| memory modules, and whose edges are the
+// non-empty coset intersections. Each variable has exactly q+1 copies
+// (Lemma 1), each module stores exactly q^{n-1} copies (Lemma 2), any two
+// variables share at most one module (Theorem 2), and any set S of variables
+// expands to at least |S|^{2/3}·q/2^{1/3} modules (Theorem 4).
+//
+// The package also implements the Section 4 addressing machinery: the
+// module-index bijection f(s,t), the in-module offset of a copy (Lemma 4),
+// and the explicit variable-index bijection S₁–S₄ (Theorem 8, q = 2 and n
+// odd), so that a processor maps a variable index to the physical addresses
+// of its q+1 copies in O(log N) field operations with O(1) state.
+package core
+
+import (
+	"fmt"
+
+	"detshmem/internal/gf"
+	"detshmem/internal/pgl"
+)
+
+// Scheme describes one instance of the memory organization, fixed by the
+// base-field size q = 2^m and the extension degree n >= 3.
+type Scheme struct {
+	F *gf.Ext    // F_{q^n}
+	G *pgl.Group // PGL₂(q^n)
+
+	Q        uint32 // base-field order q (a power of 2)
+	Deg      int    // extension degree n
+	Copies   int    // copies per variable: q+1
+	Majority int    // copies a read/write must touch: q/2+1
+
+	NumModules   uint64 // N  = (q^n+1)(q^n−1)/(q−1)
+	NumVariables uint64 // M  = (q^n+1)q^n(q^n−1)/((q+1)q(q−1))
+	ModuleSize   uint32 // q^{n-1} copies per module
+}
+
+// New constructs the scheme for q = 2^m, extension degree n. It builds the
+// field tables and the PGL₂ machinery; cost is O(q^n) time and space.
+func New(m, n int) (*Scheme, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("core: extension degree n=%d must be >= 3", n)
+	}
+	f, err := gf.NewExt(m, n)
+	if err != nil {
+		return nil, err
+	}
+	k := uint64(f.Order) // q^n
+	q := uint64(f.Q)
+	s := &Scheme{
+		F:        f,
+		G:        pgl.New(f),
+		Q:        f.Q,
+		Deg:      n,
+		Copies:   int(f.Q) + 1,
+		Majority: int(f.Q)/2 + 1,
+
+		NumModules:   (k + 1) * (k - 1) / (q - 1),
+		NumVariables: (k + 1) * k * (k - 1) / ((q + 1) * q * (q - 1)),
+		ModuleSize:   f.Order / f.Q,
+	}
+	return s, nil
+}
+
+// CopyModuleMat returns a matrix representing the H_{n-1} coset (module)
+// holding copy c of the variable with representative A. Per Lemma 1 the
+// copies of A·H₀ live in
+//
+//	{ A·H_{n-1} } ∪ { A·(a 1; 1 0)·H_{n-1} : a ∈ F_q },
+//
+// ordered here as copy 0 = A·H_{n-1} and copy 1+a = A·(a 1; 1 0)·H_{n-1}.
+func (s *Scheme) CopyModuleMat(a pgl.Mat, c int) pgl.Mat {
+	if c == 0 {
+		return a
+	}
+	return s.G.Mul(a, s.G.Involution(uint32(c-1)))
+}
+
+// ModuleIndex returns the Section 4 index f(s,t) = s·(q^n+1) + t + 1 of the
+// module whose coset contains m.
+func (s *Scheme) ModuleIndex(m pgl.Mat) uint64 {
+	cs, ct := s.G.CosetKeyHn1(m)
+	return uint64(cs)*(uint64(s.F.Order)+1) + uint64(ct) + 1
+}
+
+// ModuleMat returns the canonical representative B_j of module j
+// (the inverse of ModuleIndex on representatives): B_{f(s,t)} is
+// (γ^s 0; 0 1) when t = −1 and (α_t γ^s; 1 0) otherwise.
+func (s *Scheme) ModuleMat(j uint64) pgl.Mat {
+	k := uint64(s.F.Order)
+	cs := uint32(j / (k + 1))
+	t := int64(j%(k+1)) - 1
+	gs := s.F.Exp(int(cs))
+	if t == -1 {
+		return s.G.MustMake(gs, 0, 0, 1)
+	}
+	return s.G.MustMake(uint32(t), gs, 1, 0)
+}
+
+// VarModules appends to dst the q+1 module indices holding the copies of the
+// variable with representative a, in copy order, and returns the slice.
+func (s *Scheme) VarModules(dst []uint64, a pgl.Mat) []uint64 {
+	for c := 0; c < s.Copies; c++ {
+		dst = append(dst, s.ModuleIndex(s.CopyModuleMat(a, c)))
+	}
+	return dst
+}
+
+// ModuleVarMat returns a representative of the variable whose copy sits at
+// offset k of module j: C_k^j = B_j·(1 p_k; 0 1) (Section 4, bijection 3).
+func (s *Scheme) ModuleVarMat(j uint64, k uint32) pgl.Mat {
+	return s.G.Mul(s.ModuleMat(j), s.G.Translate(s.F.PElem(k)))
+}
+
+// Offset computes the in-module offset of the copy of variable a stored in
+// module j, inverting bijection 3: it finds the unique p ∈ P_γ with
+// B_j^{-1}·a ∈ (1 p; 0 1)·H₀ and returns its index. The offset is defined
+// with respect to the canonical module representative B_j (any representative
+// of a's coset gives the same answer, tests verify both facts). It returns an
+// error if a's coset has no copy in module j (not an edge of G).
+func (s *Scheme) Offset(a pgl.Mat, j uint64) (uint32, error) {
+	f := s.F
+	y := s.G.Mul(s.G.Inv(s.ModuleMat(j)), a)
+	// (1 p; 0 1)^{-1}·y = (y.A + p·y.C, y.B + p·y.D; y.C, y.D) must lie in
+	// H₀, i.e. have all canonical entries in F_q. y is canonical, so either
+	// y.D == 1 (then p must cancel the non-constant part of y.B) or
+	// y.D == 0, y.C == 1 (then p cancels the non-constant part of y.A).
+	var p uint32
+	if y.D == 1 {
+		p = f.ClearConst(y.B)
+	} else {
+		p = f.ClearConst(y.A)
+	}
+	m := s.G.Mul(s.G.Translate(p), y) // (1 p; 0 1)^{-1} = (1 p; 0 1) in char 2
+	if !s.G.InH0(m) {
+		return 0, fmt.Errorf("core: variable %v has no copy in module %d", a, j)
+	}
+	return f.PIndex(p), nil
+}
+
+// CopyLocation resolves copy c of the variable with representative a to its
+// physical address (module index, in-module offset). This is the processor-
+// side address computation of Theorem 1: O(log N)-time, O(1)-space.
+func (s *Scheme) CopyLocation(a pgl.Mat, c int) (module uint64, offset uint32) {
+	j := s.ModuleIndex(s.CopyModuleMat(a, c))
+	off, err := s.Offset(a, j)
+	if err != nil {
+		// Lemma 1 guarantees adjacency for every copy index; reaching this
+		// branch means memory corruption or an internal bug.
+		panic(err)
+	}
+	return j, off
+}
+
+// VarKey returns the canonical coset key identifying the variable a·H₀.
+// Two representatives denote the same variable iff their keys are equal.
+func (s *Scheme) VarKey(a pgl.Mat) pgl.Mat { return s.G.CosetKeyH0(a) }
+
+// Params returns a human-readable summary of the instance.
+func (s *Scheme) Params() string {
+	return fmt.Sprintf("q=%d n=%d N=%d M=%d copies=%d majority=%d moduleSize=%d",
+		s.Q, s.Deg, s.NumModules, s.NumVariables, s.Copies, s.Majority, s.ModuleSize)
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/pgl"
+)
+
+func newScheme(t testing.TB, m, n int) *Scheme {
+	t.Helper()
+	s, err := New(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFact1Parameters checks the counting formulas of Fact 1.
+func TestFact1Parameters(t *testing.T) {
+	cases := []struct {
+		m, n int
+		N, M uint64
+	}{
+		{1, 3, 63, 84},
+		{1, 5, 1023, 5456},
+		{1, 7, 16383, 349504},
+		{1, 9, 262143, 22369536},
+		{2, 3, 1365, 4368},
+	}
+	for _, c := range cases {
+		s := newScheme(t, c.m, c.n)
+		if s.NumModules != c.N {
+			t.Errorf("q=%d n=%d: N = %d, want %d", s.Q, c.n, s.NumModules, c.N)
+		}
+		if s.NumVariables != c.M {
+			t.Errorf("q=%d n=%d: M = %d, want %d", s.Q, c.n, s.NumVariables, c.M)
+		}
+		if s.Copies != int(s.Q)+1 || s.Majority != int(s.Q)/2+1 {
+			t.Errorf("q=%d: copies=%d majority=%d", s.Q, s.Copies, s.Majority)
+		}
+		// Edge-count consistency: M(q+1) = N·q^{n-1}.
+		if s.NumVariables*uint64(s.Q+1) != s.NumModules*uint64(s.ModuleSize) {
+			t.Errorf("q=%d n=%d: edge counts disagree", s.Q, c.n)
+		}
+	}
+}
+
+// TestModuleIndexRoundTrip verifies bijection 2 (module ↔ f(s,t)).
+func TestModuleIndexRoundTrip(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {1, 5}, {2, 3}} {
+		s := newScheme(t, c.m, c.n)
+		for j := uint64(0); j < s.NumModules; j++ {
+			if got := s.ModuleIndex(s.ModuleMat(j)); got != j {
+				t.Fatalf("q=%d n=%d: ModuleIndex(ModuleMat(%d)) = %d", s.Q, c.n, j, got)
+			}
+		}
+		// Representative independence: multiplying by H_{n-1} elements on the
+		// right leaves the index unchanged.
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 500; i++ {
+			j := uint64(rng.Intn(int(s.NumModules)))
+			b := s.ModuleMat(j)
+			a := uint32(1 + rng.Intn(int(s.Q-1))) // a ∈ F_q^*
+			al := uint32(rng.Intn(int(s.F.Order)))
+			h := s.G.MustMake(a, al, 0, 1)
+			if got := s.ModuleIndex(s.G.Mul(b, h)); got != j {
+				t.Fatalf("module index not representative-independent at j=%d", j)
+			}
+		}
+	}
+}
+
+// TestLemma1Degrees: every variable has exactly q+1 copies in q+1 distinct
+// modules, and the copy set is independent of the coset representative.
+func TestLemma1Degrees(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {1, 5}, {2, 3}} {
+		s := newScheme(t, c.m, c.n)
+		idx := NewEnumeratedIndexer(s)
+		rng := rand.New(rand.NewSource(17))
+		h0 := s.G.H0Elements()
+		step := idx.M()/200 + 1 // sample for the bigger instances
+		for i := uint64(0); i < idx.M(); i += step {
+			a := idx.Mat(i)
+			mods := s.VarModules(nil, a)
+			if len(mods) != s.Copies {
+				t.Fatalf("variable %d has %d copies", i, len(mods))
+			}
+			set := make(map[uint64]bool, len(mods))
+			for _, j := range mods {
+				set[j] = true
+			}
+			if len(set) != s.Copies {
+				t.Fatalf("variable %d: copies land in %d < q+1 distinct modules", i, len(set))
+			}
+			// Representative independence of the module *set*.
+			ar := s.G.Mul(a, h0[rng.Intn(len(h0))])
+			for _, j := range s.VarModules(nil, ar) {
+				if !set[j] {
+					t.Fatalf("variable %d: module set changed under representative change", i)
+				}
+			}
+		}
+	}
+}
+
+// TestBijection3RoundTrip: offset k of module j holds the variable
+// C_k^j = B_j·(1 p_k; 0 1), and Offset() inverts this for every edge.
+func TestBijection3RoundTrip(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {2, 3}} {
+		s := newScheme(t, c.m, c.n)
+		h0 := s.G.H0Elements()
+		rng := rand.New(rand.NewSource(23))
+		for j := uint64(0); j < s.NumModules; j++ {
+			seen := make(map[pgl.Mat]bool)
+			for k := uint32(0); k < s.ModuleSize; k++ {
+				v := s.ModuleVarMat(j, k)
+				key := s.VarKey(v)
+				if seen[key] {
+					t.Fatalf("module %d stores a variable twice", j)
+				}
+				seen[key] = true
+				got, err := s.Offset(v, j)
+				if err != nil {
+					t.Fatalf("Offset(ModuleVarMat(%d,%d)): %v", j, k, err)
+				}
+				if got != k {
+					t.Fatalf("Offset roundtrip: module %d offset %d -> %d", j, k, got)
+				}
+				// Variable-representative independence of the offset.
+				vr := s.G.Mul(v, h0[rng.Intn(len(h0))])
+				if got2, err := s.Offset(vr, j); err != nil || got2 != k {
+					t.Fatalf("Offset not representative-independent at (%d,%d)", j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestOffsetRejectsNonEdge: Offset errors for (variable, module) pairs that
+// are not edges of G.
+func TestOffsetRejectsNonEdge(t *testing.T) {
+	s := newScheme(t, 1, 3)
+	idx := NewEnumeratedIndexer(s)
+	for i := uint64(0); i < idx.M(); i++ {
+		a := idx.Mat(i)
+		adj := make(map[uint64]bool)
+		for _, j := range s.VarModules(nil, a) {
+			adj[j] = true
+		}
+		for j := uint64(0); j < s.NumModules; j++ {
+			_, err := s.Offset(a, j)
+			if adj[j] && err != nil {
+				t.Fatalf("Offset failed on edge (%d,%d): %v", i, j, err)
+			}
+			if !adj[j] && err == nil {
+				t.Fatalf("Offset accepted non-edge (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestCopyLocationConsistency: CopyLocation and ModuleVarMat agree on every
+// copy of every variable.
+func TestCopyLocationConsistency(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {1, 5}, {2, 3}} {
+		s := newScheme(t, c.m, c.n)
+		idx := NewEnumeratedIndexer(s)
+		step := idx.M()/500 + 1
+		for i := uint64(0); i < idx.M(); i += step {
+			a := idx.Mat(i)
+			for cc := 0; cc < s.Copies; cc++ {
+				j, k := s.CopyLocation(a, cc)
+				if j >= s.NumModules || k >= s.ModuleSize {
+					t.Fatalf("CopyLocation out of range: (%d,%d)", j, k)
+				}
+				back := s.VarKey(s.ModuleVarMat(j, k))
+				if back != s.VarKey(a) {
+					t.Fatalf("variable %d copy %d: address (%d,%d) holds someone else", i, cc, j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem2 verifies |Γ(v₁) ∩ Γ(v₂)| ≤ 1 for all pairs of distinct
+// variables (exhaustively on small instances).
+func TestTheorem2(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {2, 3}} {
+		s := newScheme(t, c.m, c.n)
+		idx := NewEnumeratedIndexer(s)
+		mods := make([][]uint64, idx.M())
+		for i := uint64(0); i < idx.M(); i++ {
+			mods[i] = s.VarModules(nil, idx.Mat(i))
+		}
+		for i := range mods {
+			si := make(map[uint64]bool, len(mods[i]))
+			for _, j := range mods[i] {
+				si[j] = true
+			}
+			for l := i + 1; l < len(mods); l++ {
+				inter := 0
+				for _, j := range mods[l] {
+					if si[j] {
+						inter++
+					}
+				}
+				if inter > 1 {
+					t.Fatalf("q=%d n=%d: variables %d,%d share %d modules", s.Q, c.n, i, l, inter)
+				}
+			}
+		}
+	}
+}
+
+// gamma2 computes Γ²(u) = Γ(Γ(u)) − u as a module-index set.
+func gamma2(s *Scheme, j uint64) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for k := uint32(0); k < s.ModuleSize; k++ {
+		v := s.ModuleVarMat(j, k)
+		for _, j2 := range s.VarModules(nil, v) {
+			if j2 != j {
+				out[j2] = true
+			}
+		}
+	}
+	return out
+}
+
+// TestLemma3Gamma2Size: |Γ²(u)| = q^n (Lemma 3: the maps (δ 1; 1 0) for
+// δ ∈ F_{q^n} give distinct modules).
+func TestLemma3Gamma2Size(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {2, 3}} {
+		s := newScheme(t, c.m, c.n)
+		for _, j := range []uint64{0, 1, s.NumModules / 2, s.NumModules - 1} {
+			g2 := gamma2(s, j)
+			if uint32(len(g2)) != s.F.Order {
+				t.Fatalf("q=%d n=%d: |Γ²(u_%d)| = %d, want q^n = %d",
+					s.Q, c.n, j, len(g2), s.F.Order)
+			}
+		}
+	}
+}
+
+// TestTheorem3 verifies |Γ²(u₁) ∩ Γ²(u₂)| ≤ q−1 for all module pairs.
+func TestTheorem3(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {2, 3}} {
+		s := newScheme(t, c.m, c.n)
+		g2 := make([]map[uint64]bool, s.NumModules)
+		for j := uint64(0); j < s.NumModules; j++ {
+			g2[j] = gamma2(s, j)
+		}
+		maxInter := 0
+		for a := uint64(0); a < s.NumModules; a++ {
+			for b := a + 1; b < s.NumModules; b++ {
+				inter := 0
+				for j := range g2[b] {
+					if g2[a][j] {
+						inter++
+					}
+				}
+				if inter > int(s.Q)-1 {
+					t.Fatalf("q=%d n=%d: |Γ²(u_%d)∩Γ²(u_%d)| = %d > q−1",
+						s.Q, c.n, a, b, inter)
+				}
+				if inter > maxInter {
+					maxInter = inter
+				}
+			}
+		}
+		// The bound is tight (CASE 2 of the proof achieves q−1).
+		if maxInter != int(s.Q)-1 {
+			t.Errorf("q=%d n=%d: max Γ² intersection %d; expected the bound q−1=%d to be attained",
+				s.Q, c.n, maxInter, s.Q-1)
+		}
+	}
+}
+
+// TestTheorem4Expansion samples variable sets and checks
+// |Γ(S)| ≥ |S|^{2/3}·q / 2^{1/3}.
+func TestTheorem4Expansion(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {1, 5}, {2, 3}} {
+		s := newScheme(t, c.m, c.n)
+		idx := NewEnumeratedIndexer(s)
+		rng := rand.New(rand.NewSource(31))
+		check := func(set map[uint64]bool, label string) {
+			t.Helper()
+			mods := make(map[uint64]bool)
+			for i := range set {
+				for _, j := range s.VarModules(nil, idx.Mat(i)) {
+					mods[j] = true
+				}
+			}
+			lower := pow23(float64(len(set))) * float64(s.Q) / cbrt2
+			if float64(len(mods)) < lower {
+				t.Fatalf("q=%d n=%d %s: |Γ(S)| = %d < bound %.2f (|S|=%d)",
+					s.Q, c.n, label, len(mods), lower, len(set))
+			}
+		}
+		for _, size := range []int{1, 2, 5, 10, 40} {
+			if uint64(size) > idx.M() {
+				continue
+			}
+			set := make(map[uint64]bool)
+			for len(set) < size {
+				set[uint64(rng.Intn(int(idx.M())))] = true
+			}
+			check(set, "random")
+		}
+		// Adversarial: all variables of one module (the worst locality).
+		set := make(map[uint64]bool)
+		for k := uint32(0); k < s.ModuleSize; k++ {
+			i, ok := idx.Index(s.VarKey(s.ModuleVarMat(0, k)))
+			if !ok {
+				t.Fatal("module variable missing from index")
+			}
+			set[i] = true
+		}
+		check(set, "single-module")
+	}
+}
+
+const cbrt2 = 1.2599210498948732
+
+func pow23(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Cbrt(x * x)
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"detshmem/internal/pgl"
+)
+
+// Indexer is bijection 1 of Section 4: an ordering v_0 … v_{M-1} of the
+// variable cosets of PGL₂(qⁿ)/H₀ such that the representative matrix A_i of
+// the i-th variable is efficiently computable from i.
+type Indexer interface {
+	// M returns the number of variables.
+	M() uint64
+	// Mat returns a representative A_i of the coset of variable i.
+	Mat(i uint64) pgl.Mat
+}
+
+// Inverter is the optional inverse direction: mapping any representative of
+// a variable coset back to its variable index. Both indexers support it (the
+// explicit one by algebraically classifying which of S₁–S₄ contains the
+// coset's representative); the access protocol itself does not need it, but
+// graph-structured adversarial workloads do.
+type Inverter interface {
+	// Index returns the variable index of the coset containing m.
+	Index(m pgl.Mat) (uint64, bool)
+}
+
+// NewIndexer returns the best indexer for the scheme: the explicit Theorem 8
+// bijection when it applies (q = 2, n odd), otherwise the enumerated one.
+func (s *Scheme) NewIndexer() (Indexer, error) {
+	if s.Q == 2 && s.Deg%2 == 1 {
+		return NewExplicitIndexer(s)
+	}
+	return NewEnumeratedIndexer(s), nil
+}
+
+// EnumeratedIndexer materializes the variable↔coset bijection by walking all
+// N·q^{n-1} edges of G and deduplicating coset keys. It needs O(M) memory and
+// is the generic fallback for parameters not covered by the paper's explicit
+// construction (q > 2 or n even, which PP93 defer to an extended version).
+type EnumeratedIndexer struct {
+	s    *Scheme
+	mats []pgl.Mat          // canonical coset key of variable i
+	idx  map[pgl.Mat]uint64 // inverse map
+}
+
+// NewEnumeratedIndexer builds the bijection; cost O(M·q·poly(q)).
+func NewEnumeratedIndexer(s *Scheme) *EnumeratedIndexer {
+	seen := make(map[pgl.Mat]uint64, s.NumVariables)
+	for j := uint64(0); j < s.NumModules; j++ {
+		for k := uint32(0); k < s.ModuleSize; k++ {
+			key := s.VarKey(s.ModuleVarMat(j, k))
+			if _, ok := seen[key]; !ok {
+				seen[key] = 0
+			}
+		}
+	}
+	mats := make([]pgl.Mat, 0, len(seen))
+	for k := range seen {
+		mats = append(mats, k)
+	}
+	sort.Slice(mats, func(a, b int) bool { return matLess(mats[a], mats[b]) })
+	for i, m := range mats {
+		seen[m] = uint64(i)
+	}
+	return &EnumeratedIndexer{s: s, mats: mats, idx: seen}
+}
+
+// M returns the number of variables.
+func (e *EnumeratedIndexer) M() uint64 { return uint64(len(e.mats)) }
+
+// Mat returns the canonical representative of variable i.
+func (e *EnumeratedIndexer) Mat(i uint64) pgl.Mat { return e.mats[i] }
+
+// Index returns the variable index of the coset containing m (any
+// representative is accepted).
+func (e *EnumeratedIndexer) Index(m pgl.Mat) (uint64, bool) {
+	i, ok := e.idx[e.s.VarKey(m)]
+	return i, ok
+}
+
+func matLess(x, y pgl.Mat) bool {
+	if x.A != y.A {
+		return x.A < y.A
+	}
+	if x.B != y.B {
+		return x.B < y.B
+	}
+	if x.C != y.C {
+		return x.C < y.C
+	}
+	return x.D < y.D
+}
+
+var _ Indexer = (*EnumeratedIndexer)(nil)
+var _ Inverter = (*EnumeratedIndexer)(nil)
+
+var _ Indexer = (*ExplicitIndexer)(nil)
+
+// errNotApplicable is returned when the Theorem 8 construction's parameter
+// restrictions are violated.
+func errNotApplicable(q uint32, n int) error {
+	return fmt.Errorf("core: explicit indexing needs q=2 and odd n, got q=%d n=%d", q, n)
+}

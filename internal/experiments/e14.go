@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"io"
+
+	"detshmem/internal/audit"
+)
+
+// E14 audits the structural properties of every organization side by side —
+// the certification angle of the paper's introduction: the PP93 scheme's
+// properties (pairwise intersection ≤ 1, perfectly uniform module load) are
+// algebraic facts that an auditor confirms exhaustively, while the random
+// UW graph only exhibits them approximately and without any certificate.
+func E14(w io.Writer, o Options) error {
+	n := 7
+	if o.Quick {
+		n = 5
+	}
+	inst, err := newE7Instance(n)
+	if err != nil {
+		return err
+	}
+	opts := audit.Options{Seed: o.Seed}
+	if o.Quick {
+		opts.PairSamples = 5000
+		opts.SetSamples = 8
+		opts.MaxVars = 20000
+	}
+	fprintf(w, "E14 Structural audit of each organization (q=2, n=%d)\n", n)
+	fprintf(w, "%-18s %9s %7s %8s %8s %10s %12s %10s %12s\n",
+		"scheme", "vars", "copies", "errors", "dupmod", "max|Γ∩Γ|", "load[min,max]", "imbalance", "minΓ(S)/|S|")
+	for _, m := range inst.all {
+		r, err := audit.Run(m, opts)
+		if err != nil {
+			return err
+		}
+		fprintf(w, "%-18s %9d %7d %8d %8d %10d %6d,%-6d %10.2f %12.2f\n",
+			r.Scheme, r.Vars, r.Copies, r.PlacementErrors, r.DuplicateModuleVars,
+			r.MaxPairIntersection, r.MinModuleLoad, r.MaxModuleLoad,
+			r.LoadImbalance, r.MinExpansionRatio)
+		if r.PlacementErrors > 0 {
+			fprintf(w, "  !! placement errors detected\n")
+		}
+	}
+	fprintf(w, "  (pp93: intersection ≤ 1 and uniform load are certified by Theorem 2 /\n")
+	fprintf(w, "   Fact 1; load uniformity is exact when the audit covers all M variables —\n")
+	fprintf(w, "   runs capped below M show the cap, not skew. The uw random graph shows\n")
+	fprintf(w, "   similar averages but with outliers and no certificate — §1 point (1))\n\n")
+	return nil
+}

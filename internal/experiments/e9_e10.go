@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"detshmem/internal/baseline"
+	"detshmem/internal/core"
+	"detshmem/internal/pgl"
+	"detshmem/internal/pram"
+	"detshmem/internal/protocol"
+	"detshmem/internal/workload"
+)
+
+// E9 reproduces Theorem 8 / Section 4: the address computation — variable
+// index → representative matrix → (module, offset) of each copy — runs in
+// O(log N) time with O(1) working registers. The table reports measured
+// nanoseconds per operation across n (time should grow at most
+// logarithmically in N) plus the inverse map's cost.
+func E9(w io.Writer, o Options) error {
+	fprintf(w, "E9  §4 addressing: ns/op for index→matrix (Mat), matrix→(module,offset)\n")
+	fprintf(w, "    (CopyLocation, all q+1 copies) and the inverse Index (q=2)\n")
+	fprintf(w, "%3s %12s %12s %14s %12s\n", "n", "N", "Mat ns", "CopyLoc ns", "Index ns")
+	degrees := []int{3, 5, 7, 9, 11}
+	if o.Quick {
+		degrees = []int{3, 5}
+	}
+	for _, n := range degrees {
+		s, err := core.New(1, n)
+		if err != nil {
+			return err
+		}
+		ex, err := core.NewExplicitIndexer(s)
+		if err != nil {
+			return err
+		}
+		rng := o.Rng()
+		const iters = 20000
+		ids := make([]uint64, iters)
+		for i := range ids {
+			ids[i] = uint64(rng.Int63n(int64(ex.M())))
+		}
+		start := time.Now()
+		for _, i := range ids {
+			_ = ex.Mat(i)
+		}
+		matNS := float64(time.Since(start).Nanoseconds()) / iters
+
+		mats := make([]coreMat, iters)
+		for i, id := range ids {
+			mats[i].m = ex.Mat(id)
+		}
+		start = time.Now()
+		for i := range mats {
+			for c := 0; c < s.Copies; c++ {
+				mod, off := s.CopyLocation(mats[i].m, c)
+				mats[i].sink += mod + uint64(off)
+			}
+		}
+		locNS := float64(time.Since(start).Nanoseconds()) / iters
+
+		start = time.Now()
+		for i := range mats {
+			id, ok := ex.Index(mats[i].m)
+			if !ok || id != ids[i] {
+				fprintf(w, "  !! inverse failed at %d\n", ids[i])
+			}
+		}
+		invNS := float64(time.Since(start).Nanoseconds()) / iters
+
+		fprintf(w, "%3d %12d %12.0f %14.0f %12.0f\n", n, s.NumModules, matNS, locNS, invNS)
+	}
+	fprintf(w, "  (per-processor state is O(1) words — field tables are shared, read-only\n")
+	fprintf(w, "   precomputation of the field arithmetic itself; times grow sublinearly in N,\n")
+	fprintf(w, "   consistent with the O(log N) operation-count bound)\n\n")
+	return nil
+}
+
+type coreMat struct {
+	m    pgl.Mat
+	sink uint64
+}
+
+// E10 runs the motivating application: PRAM algorithms (parallel prefix sum
+// and list ranking) whose shared memory is served by each organization, and
+// reports PRAM steps and total MPC rounds.
+func E10(w io.Writer, o Options) error {
+	n := 5
+	arr := 512
+	if o.Quick {
+		arr = 128
+	}
+	s, err := core.New(1, n)
+	if err != nil {
+		return err
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		return err
+	}
+	N, M := s.NumModules, s.NumVariables
+	si, err := baseline.NewSingleCopy(N, M, baseline.PlaceInterleaved, 0)
+	if err != nil {
+		return err
+	}
+	mv, err := baseline.NewMV(N, M, 2)
+	if err != nil {
+		return err
+	}
+	mappers := []protocol.Mapper{protocol.NewCoreMapper(s, idx), mv, si}
+
+	fprintf(w, "E10 PRAM algorithms over each organization (q=2, n=%d, N=%d, array=%d)\n", n, N, arr)
+	fprintf(w, "%-20s %14s %14s %14s %14s\n",
+		"scheme", "prefix steps", "prefix rounds", "rank steps", "rank rounds")
+	for _, m := range mappers {
+		sys, err := protocol.NewGenericSystem(m, protocol.Config{})
+		if err != nil {
+			return err
+		}
+		p := pram.New(sys)
+		addrs := make([]uint64, arr)
+		vals := make([]uint64, arr)
+		for i := range addrs {
+			addrs[i] = uint64(i)
+			vals[i] = 1
+		}
+		if err := p.Write(addrs, vals); err != nil {
+			return err
+		}
+		p.Steps, p.Rounds = 0, 0
+		if _, err := p.PrefixSum(0, arr); err != nil {
+			return err
+		}
+		psSteps, psRounds := p.Steps, p.Rounds
+
+		// Verify the prefix sums while we are here.
+		got, err := p.Read(addrs)
+		if err != nil {
+			return err
+		}
+		for i, v := range got {
+			if v != uint64(i+1) {
+				fprintf(w, "  !! prefix sum wrong at %d (%d)\n", i, v)
+			}
+		}
+
+		// List ranking over a scrambled list.
+		rng := o.Rng()
+		order := rng.Perm(arr)
+		next := make([]uint64, arr)
+		for k := 0; k < arr-1; k++ {
+			next[order[k]] = uint64(order[k+1])
+		}
+		next[order[arr-1]] = uint64(order[arr-1])
+		base := uint64(2 * arr)
+		laddr := make([]uint64, arr)
+		for i := range laddr {
+			laddr[i] = base + uint64(i)
+		}
+		if err := p.Write(laddr, next); err != nil {
+			return err
+		}
+		p.Steps, p.Rounds = 0, 0
+		if _, err := p.ListRank(base, base+uint64(arr), arr); err != nil {
+			return err
+		}
+		fprintf(w, "%-20s %14d %14d %14d %14d\n", m.Name(), psSteps, psRounds, p.Steps, p.Rounds)
+	}
+	fprintf(w, "  (same algorithm, same steps; the organization determines rounds per step —\n")
+	fprintf(w, "   prefix-sum/list-rank batches are near-permutations, so single-copy looks\n")
+	fprintf(w, "   good here; the E7 adversarial rows are where determinism pays)\n\n")
+	return nil
+}
+
+// Sanity workload import (keeps the package honest about what E-experiments
+// consume; used by benches).
+var _ = workload.Stride

@@ -1,0 +1,63 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchExt(b *testing.B, m, n int) *Ext {
+	b.Helper()
+	e, err := NewExt(m, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkExtMul(b *testing.B) {
+	e := benchExt(b, 1, 9)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]uint32, 1024)
+	for i := range xs {
+		xs[i] = uint32(rng.Intn(int(e.Order)))
+	}
+	b.ResetTimer()
+	var acc uint32 = 1
+	for i := 0; i < b.N; i++ {
+		acc = e.Mul(acc|1, xs[i&1023]|1)
+	}
+	_ = acc
+}
+
+func BenchmarkExtInv(b *testing.B) {
+	e := benchExt(b, 1, 9)
+	for i := 0; i < b.N; i++ {
+		_ = e.Inv(uint32(i)%(e.Order-1) + 1)
+	}
+}
+
+func BenchmarkExtLog(b *testing.B) {
+	e := benchExt(b, 1, 9)
+	for i := 0; i < b.N; i++ {
+		_ = e.Log(uint32(i)%(e.Order-1) + 1)
+	}
+}
+
+func BenchmarkNewExt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewExt(1, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuadPairUnpair(b *testing.B) {
+	q, err := NewQuad(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		x, y := q.Unpair(uint32(i)%(q.Ext2.Order-1) + 1)
+		_ = q.Pair(x, y)
+	}
+}

@@ -1,0 +1,257 @@
+package gf
+
+import "fmt"
+
+// Ext is the extension field F_{q^n} over a base field F_q = GF(2^m),
+// represented as polynomials in a primitive element γ:
+//
+//	F_{q^n} = { a_0 + a_1·γ + … + a_{n-1}·γ^{n-1} : a_i ∈ F_q }
+//
+// exactly as in Section 2.1 of the paper. A packed element stores coefficient
+// a_i in bits [i·m, (i+1)·m). γ itself is the class of the indeterminate, so
+// the coordinates of an element in the basis (1, γ, …, γ^{n-1}) are read off
+// the packed representation directly; this is what makes the paper's set
+//
+//	P_γ = { Σ_{i≥1} a_i γ^i }   (polynomials with zero constant term)
+//
+// trivially recognizable and indexable.
+//
+// Multiplication uses full exp/log tables over the whole extension field
+// (the modulus polynomial is primitive, so γ generates F_{q^n}^*).
+type Ext struct {
+	Base *Field // the base field F_q
+	N    int    // extension degree over the base
+	Q    uint32 // base order q = Base.Order
+
+	Order   uint32   // q^n
+	Modulus []uint32 // monic primitive polynomial over F_q, len n+1, Modulus[n] = 1
+
+	bits uint // m: bits per coefficient
+	mask uint32
+
+	exp []uint32
+	log []int32
+}
+
+// NewExt constructs F_{q^n} with q = 2^m. It searches for a primitive monic
+// degree-n polynomial over F_q (seeded by the GF(2) table when m == 1) and
+// builds discrete-log tables for the full extension field. m·n must not
+// exceed MaxBits.
+func NewExt(m, n int) (*Ext, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gf: extension degree n=%d must be >= 2", n)
+	}
+	if m*n > MaxBits {
+		return nil, fmt.Errorf("gf: field GF(2^%d) exceeds the %d-bit table budget", m*n, MaxBits)
+	}
+	base, err := NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	e := &Ext{
+		Base:  base,
+		N:     n,
+		Q:     base.Order,
+		Order: 1 << uint(m*n),
+		bits:  uint(m),
+		mask:  base.Order - 1,
+	}
+	if m == 1 {
+		// F_2 case: the binary primitive-polynomial table gives the modulus
+		// directly (coefficients are single bits).
+		p := primitivePoly2[n]
+		e.Modulus = make([]uint32, n+1)
+		for i := 0; i <= n; i++ {
+			e.Modulus[i] = (p >> uint(i)) & 1
+		}
+		if err := e.buildTables(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if err := e.searchModulus(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// searchModulus scans monic degree-n polynomials over F_q until one is
+// primitive. Primitivity is established as a byproduct of table building:
+// the polynomial is primitive iff repeated multiplication by γ enumerates
+// all q^n − 1 nonzero elements before returning to 1.
+func (e *Ext) searchModulus() error {
+	n := e.N
+	// Iterate lower coefficients (a_0 … a_{n-1}) as a packed integer. The
+	// constant term must be nonzero for irreducibility, and primitive
+	// polynomials are dense, so this terminates quickly in practice.
+	total := uint64(1) << uint(int(e.bits)*n)
+	for c := uint64(1); c < total; c++ {
+		if uint32(c)&e.mask == 0 {
+			continue // zero constant term: divisible by γ
+		}
+		mod := make([]uint32, n+1)
+		for i := 0; i < n; i++ {
+			mod[i] = uint32(c>>(uint(i)*e.bits)) & e.mask
+		}
+		mod[n] = 1
+		e.Modulus = mod
+		if err := e.buildTables(); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("gf: no primitive degree-%d polynomial found over GF(%d)", n, e.Q)
+}
+
+// mulGamma multiplies a packed element by γ (shift coefficients up one slot,
+// then reduce by the modulus using base-field arithmetic).
+func (e *Ext) mulGamma(a uint32) uint32 {
+	carry := a >> (uint(e.N-1) * e.bits) & e.mask // coefficient of γ^{n-1}
+	shifted := (a << e.bits) & (e.Order - 1)
+	if carry == 0 {
+		return shifted
+	}
+	// Subtract carry · (modulus − γ^n); in characteristic 2 subtraction is XOR.
+	for i := 0; i < e.N; i++ {
+		if e.Modulus[i] != 0 {
+			shifted ^= e.Base.Mul(carry, e.Modulus[i]) << (uint(i) * e.bits)
+		}
+	}
+	return shifted
+}
+
+func (e *Ext) buildTables() error {
+	n := int(e.Order) - 1
+	if e.exp == nil {
+		e.exp = make([]uint32, 2*n)
+		e.log = make([]int32, e.Order)
+	}
+	for i := range e.log {
+		e.log[i] = -1
+	}
+	a := uint32(1)
+	for i := 0; i < n; i++ {
+		if e.log[a] != -1 {
+			return fmt.Errorf("gf: modulus not primitive (γ has order %d < %d)", i, n)
+		}
+		e.exp[i] = a
+		e.exp[i+n] = a
+		e.log[a] = int32(i)
+		a = e.mulGamma(a)
+	}
+	if a != 1 {
+		return fmt.Errorf("gf: modulus not primitive (γ^%d = %#x)", n, a)
+	}
+	return nil
+}
+
+// Add returns a+b.
+func (e *Ext) Add(a, b uint32) uint32 { return a ^ b }
+
+// Mul returns a·b.
+func (e *Ext) Mul(a, b uint32) uint32 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return e.exp[e.log[a]+e.log[b]]
+}
+
+// Inv returns a^{-1}, panicking on zero (always a caller bug here).
+func (e *Ext) Inv(a uint32) uint32 {
+	if a == 0 {
+		panic("gf: inverse of zero in extension field")
+	}
+	n := int32(e.Order) - 1
+	return e.exp[(n-e.log[a])%n]
+}
+
+// Div returns a/b.
+func (e *Ext) Div(a, b uint32) uint32 {
+	if b == 0 {
+		panic("gf: division by zero in extension field")
+	}
+	if a == 0 {
+		return 0
+	}
+	n := int32(e.Order) - 1
+	return e.exp[(e.log[a]-e.log[b]+n)%n]
+}
+
+// Pow returns a^k for k >= 0 (with 0^0 = 1).
+func (e *Ext) Pow(a uint32, k int) uint32 {
+	if k == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	n := int64(e.Order) - 1
+	return e.exp[int64(e.log[a])*int64(k)%n]
+}
+
+// Exp returns γ^i for any i >= 0.
+func (e *Ext) Exp(i int) uint32 { return e.exp[i%(int(e.Order)-1)] }
+
+// Log returns the discrete logarithm of a to base γ, or -1 for a == 0.
+// This is the primitive the Section 4 address computation relies on
+// ("let x = γ^r …"); with full tables it is O(1).
+func (e *Ext) Log(a uint32) int { return int(e.log[a]) }
+
+// Gamma returns the primitive element γ (the class of the indeterminate).
+func (e *Ext) Gamma() uint32 { return 1 << e.bits }
+
+// Coeff returns the coefficient of γ^i in a, as a base-field element.
+func (e *Ext) Coeff(a uint32, i int) uint32 {
+	return (a >> (uint(i) * e.bits)) & e.mask
+}
+
+// FromCoeffs packs base-field coefficients (low degree first) into an element.
+func (e *Ext) FromCoeffs(cs []uint32) uint32 {
+	var a uint32
+	for i, c := range cs {
+		a |= (c & e.mask) << (uint(i) * e.bits)
+	}
+	return a
+}
+
+// InBase reports whether a lies in the base field F_q embedded as the
+// constant polynomials. Because coordinates are explicit in the packing,
+// this is a single comparison.
+func (e *Ext) InBase(a uint32) bool { return a < e.Q }
+
+// ConstTerm returns the constant coefficient a_0 of a.
+func (e *Ext) ConstTerm(a uint32) uint32 { return a & e.mask }
+
+// InP reports whether a belongs to P_γ (zero constant term).
+func (e *Ext) InP(a uint32) bool { return a&e.mask == 0 }
+
+// ClearConst strips the constant coefficient, projecting a onto P_γ.
+func (e *Ext) ClearConst(a uint32) uint32 { return a &^ e.mask }
+
+// PElem returns p_k, the k-th element of P_γ in the canonical enumeration
+// (coefficients of γ…γ^{n-1} read as an integer base q). 0 <= k < q^{n-1}.
+func (e *Ext) PElem(k uint32) uint32 { return k << e.bits }
+
+// PIndex is the inverse of PElem. The argument must be in P_γ.
+func (e *Ext) PIndex(p uint32) uint32 { return p >> e.bits }
+
+// PSize returns |P_γ| = q^{n-1}.
+func (e *Ext) PSize() uint32 { return e.Order >> e.bits }
+
+// UnitGroupIndex returns (q^n−1)/(q−1), the index of F_q^* in F_{q^n}^*.
+// The module cosets of the scheme are parameterized by residues mod this
+// quantity.
+func (e *Ext) UnitGroupIndex() uint32 {
+	return (e.Order - 1) / (e.Q - 1)
+}
+
+// BaseUnitLog reports, for nonzero a, the residue log_γ(a) mod
+// (q^n−1)/(q−1). Two nonzero elements generate the same coset of F_q^*
+// exactly when these residues agree (F_q^* is the subgroup of index
+// UnitGroupIndex in the cyclic group F_{q^n}^*).
+func (e *Ext) BaseUnitLog(a uint32) uint32 {
+	return uint32(e.Log(a)) % e.UnitGroupIndex()
+}
+
+// Elements returns the number of packed values, q^n (elements are exactly
+// the values in [0, Elements())).
+func (e *Ext) Elements() uint32 { return e.Order }

@@ -1,0 +1,208 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// extCases are the (m, n) parameter pairs the memory scheme actually uses:
+// q = 2 with n up to 12 and q ∈ {4, 8} with small n.
+var extCases = []struct{ m, n int }{
+	{1, 3}, {1, 5}, {1, 7}, {1, 9}, {1, 11}, {1, 4}, {1, 6},
+	{2, 3}, {2, 4}, {2, 5},
+	{3, 3}, {3, 4},
+	{4, 3},
+}
+
+func TestNewExtParameters(t *testing.T) {
+	for _, c := range extCases {
+		e, err := NewExt(c.m, c.n)
+		if err != nil {
+			t.Fatalf("NewExt(%d,%d): %v", c.m, c.n, err)
+		}
+		wantOrder := uint32(1) << uint(c.m*c.n)
+		if e.Order != wantOrder {
+			t.Errorf("NewExt(%d,%d): order %d, want %d", c.m, c.n, e.Order, wantOrder)
+		}
+		if e.Q != 1<<uint(c.m) {
+			t.Errorf("NewExt(%d,%d): base order %d", c.m, c.n, e.Q)
+		}
+		if len(e.Modulus) != c.n+1 || e.Modulus[c.n] != 1 {
+			t.Errorf("NewExt(%d,%d): modulus not monic of degree n: %v", c.m, c.n, e.Modulus)
+		}
+	}
+}
+
+func TestNewExtRejectsOversize(t *testing.T) {
+	if _, err := NewExt(4, 8); err == nil { // 32 bits > MaxBits
+		t.Error("expected table-budget error")
+	}
+	if _, err := NewExt(2, 1); err == nil {
+		t.Error("expected degree error")
+	}
+}
+
+func TestExtAxiomsQuick(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 5}, {2, 3}, {3, 3}} {
+		e, err := NewExt(c.m, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := e.Order - 1
+		cfg := &quick.Config{MaxCount: 300}
+		props := map[string]interface{}{
+			"assoc": func(a, b, cc uint32) bool {
+				a, b, cc = a&mask, b&mask, cc&mask
+				return e.Mul(e.Mul(a, b), cc) == e.Mul(a, e.Mul(b, cc))
+			},
+			"distrib": func(a, b, cc uint32) bool {
+				a, b, cc = a&mask, b&mask, cc&mask
+				return e.Mul(a, e.Add(b, cc)) == e.Add(e.Mul(a, b), e.Mul(a, cc))
+			},
+			"inverse": func(a uint32) bool {
+				a &= mask
+				return a == 0 || e.Mul(a, e.Inv(a)) == 1
+			},
+		}
+		for name, p := range props {
+			if err := quick.Check(p, cfg); err != nil {
+				t.Errorf("F_{%d^%d} %s: %v", e.Q, c.n, name, err)
+			}
+		}
+	}
+}
+
+// TestExtFrobeniusSubfield checks that the packed "constant polynomial"
+// subfield coincides with the Frobenius-fixed subfield {a : a^q = a},
+// validating InBase.
+func TestExtFrobeniusSubfield(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 4}, {2, 3}, {3, 3}} {
+		e, err := NewExt(c.m, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := uint32(0); a < e.Order; a++ {
+			fixed := e.Pow(a, int(e.Q)) == a
+			if fixed != e.InBase(a) {
+				t.Fatalf("F_{%d^%d}: element %#x: Frobenius-fixed=%v InBase=%v",
+					e.Q, c.n, a, fixed, e.InBase(a))
+			}
+		}
+	}
+}
+
+// TestExtBaseAgreement checks that multiplying two base-field elements inside
+// the extension matches base-field multiplication on the packed values.
+func TestExtBaseAgreement(t *testing.T) {
+	e, err := NewExt(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint32(0); a < e.Q; a++ {
+		for b := uint32(0); b < e.Q; b++ {
+			if e.Mul(a, b) != e.Base.Mul(a, b) {
+				t.Fatalf("base/ext multiplication disagree at %d*%d", a, b)
+			}
+		}
+	}
+}
+
+func TestExtPGammaOps(t *testing.T) {
+	e, err := NewExt(2, 3) // q=4, n=3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PSize() != 16 {
+		t.Fatalf("PSize = %d, want q^{n-1} = 16", e.PSize())
+	}
+	seen := make(map[uint32]bool)
+	for k := uint32(0); k < e.PSize(); k++ {
+		p := e.PElem(k)
+		if !e.InP(p) {
+			t.Fatalf("PElem(%d) = %#x not in P_γ", k, p)
+		}
+		if e.PIndex(p) != k {
+			t.Fatalf("PIndex(PElem(%d)) = %d", k, e.PIndex(p))
+		}
+		if seen[p] {
+			t.Fatalf("PElem not injective at %d", k)
+		}
+		seen[p] = true
+	}
+	// Every element splits uniquely as p + a with p ∈ P_γ, a ∈ F_q
+	// (the fact underlying Lemma 3's {p+a} = F_{q^n}).
+	for v := uint32(0); v < e.Order; v++ {
+		p, a := e.ClearConst(v), e.ConstTerm(v)
+		if !e.InP(p) || !e.InBase(a) || e.Add(p, a) != v {
+			t.Fatalf("decomposition failed for %#x", v)
+		}
+	}
+}
+
+func TestExtUnitGroupIndex(t *testing.T) {
+	e, err := NewExt(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.UnitGroupIndex() != 31 {
+		t.Fatalf("UnitGroupIndex = %d, want 31", e.UnitGroupIndex())
+	}
+	e4, err := NewExt(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4.UnitGroupIndex() != (64-1)/3 {
+		t.Fatalf("UnitGroupIndex = %d, want 21", e4.UnitGroupIndex())
+	}
+	// BaseUnitLog classifies cosets of F_q^*: a and b·a agree for b in the
+	// base, disagree otherwise (checked exhaustively on the small field).
+	for a := uint32(1); a < e4.Order; a++ {
+		for b := uint32(1); b < e4.Order; b++ {
+			same := e4.BaseUnitLog(a) == e4.BaseUnitLog(e4.Mul(a, b))
+			if same != e4.InBase(b) {
+				t.Fatalf("BaseUnitLog coset classification wrong at a=%#x b=%#x", a, b)
+			}
+		}
+	}
+}
+
+func TestExtCoeffRoundtrip(t *testing.T) {
+	e, err := NewExt(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		v := uint32(rng.Intn(int(e.Order)))
+		cs := make([]uint32, e.N)
+		for j := range cs {
+			cs[j] = e.Coeff(v, j)
+		}
+		if e.FromCoeffs(cs) != v {
+			t.Fatalf("coeff roundtrip failed for %#x", v)
+		}
+	}
+}
+
+func TestExtGammaIsGenerator(t *testing.T) {
+	e, err := NewExt(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Exp(1) != e.Gamma() {
+		t.Fatalf("Exp(1) = %#x, Gamma = %#x", e.Exp(1), e.Gamma())
+	}
+	if e.Log(e.Gamma()) != 1 {
+		t.Fatalf("Log(γ) = %d", e.Log(e.Gamma()))
+	}
+}
+
+func TestExtZeroPanics(t *testing.T) {
+	e, err := NewExt(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPanics(t, "ext Inv(0)", func() { e.Inv(0) })
+	assertPanics(t, "ext Div(1,0)", func() { e.Div(1, 0) })
+}

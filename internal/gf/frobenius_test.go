@@ -1,0 +1,111 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFrobeniusAutomorphism: x ↦ x^q is a field automorphism of F_{q^n}
+// fixing exactly the base field (the structure the subfield tests and the
+// quadratic-extension decomposition rely on).
+func TestFrobeniusAutomorphism(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 6}, {2, 4}} {
+		e, err := NewExt(c.m, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := e.Order - 1
+		frob := func(a uint32) uint32 { return e.Pow(a, int(e.Q)) }
+		additive := func(a, b uint32) bool {
+			a, b = a&mask, b&mask
+			return frob(e.Add(a, b)) == e.Add(frob(a), frob(b))
+		}
+		multiplicative := func(a, b uint32) bool {
+			a, b = a&mask, b&mask
+			return frob(e.Mul(a, b)) == e.Mul(frob(a), frob(b))
+		}
+		cfg := &quick.Config{MaxCount: 400}
+		if err := quick.Check(additive, cfg); err != nil {
+			t.Errorf("F_{%d^%d} Frobenius not additive: %v", e.Q, c.n, err)
+		}
+		if err := quick.Check(multiplicative, cfg); err != nil {
+			t.Errorf("F_{%d^%d} Frobenius not multiplicative: %v", e.Q, c.n, err)
+		}
+		// Frobenius orbit size divides n; applying it n times is identity.
+		for a := uint32(0); a < e.Order; a += 7 {
+			x := a
+			for i := 0; i < c.n; i++ {
+				x = frob(x)
+			}
+			if x != a {
+				t.Fatalf("Frobenius^n != id at %#x", a)
+			}
+		}
+	}
+}
+
+// TestModulusRootConjugates: γ and its Frobenius conjugates are exactly the
+// n roots of the modulus polynomial in F_{q^n}.
+func TestModulusRootConjugates(t *testing.T) {
+	e, err := NewExt(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalMod := func(x uint32) uint32 {
+		acc := uint32(0)
+		for i := len(e.Modulus) - 1; i >= 0; i-- {
+			acc = e.Add(e.Mul(acc, x), e.Modulus[i])
+		}
+		return acc
+	}
+	roots := make(map[uint32]bool)
+	x := e.Gamma()
+	for i := 0; i < e.N; i++ {
+		if evalMod(x) != 0 {
+			t.Fatalf("conjugate %d of γ is not a root of the modulus", i)
+		}
+		roots[x] = true
+		x = e.Pow(x, int(e.Q))
+	}
+	if len(roots) != e.N {
+		t.Fatalf("γ has %d distinct conjugates, want n=%d", len(roots), e.N)
+	}
+}
+
+// TestQuadPairLinearity: the row encoding (x, y) ↦ x·w + y is F_{2^n}-linear
+// in both coordinates — the property that makes projective scaling act
+// diagonally on ⟨α, β⟩ pairs (used by the explicit inverse indexer).
+func TestQuadPairLinearity(t *testing.T) {
+	q, err := NewQuad(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := q.Base()
+	mask := b.Order - 1
+	prop := func(x1, y1, x2, y2, s uint32) bool {
+		x1, y1, x2, y2, s = x1&mask, y1&mask, x2&mask, y2&mask, s&mask
+		sum := q.Ext2.Add(q.Pair(x1, y1), q.Pair(x2, y2))
+		if sum != q.Pair(b.Add(x1, x2), b.Add(y1, y2)) {
+			return false
+		}
+		// Scaling by a subfield element multiplies the packed pair.
+		return q.Ext2.Mul(uint32(s), q.Pair(x1, y1)) == q.Pair(b.Mul(s, x1), b.Mul(s, y1))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtExhaustiveInverseSmall: a^{-1} is correct for every nonzero element
+// of a small field (complements the sampled inverse property test).
+func TestExtExhaustiveInverseSmall(t *testing.T) {
+	e, err := NewExt(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint32(1); a < e.Order; a++ {
+		if e.Mul(a, e.Inv(a)) != 1 {
+			t.Fatalf("inverse wrong at %#x", a)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package mpc
+
+import "fmt"
+
+// Cost returns the machine's cumulative interconnect cost: one unit per
+// round (the MPC's unit-time module service).
+func (m *Machine) Cost() uint64 { return m.round }
+
+// Failing wraps a machine so that a set of failed modules never serves any
+// request: bids addressed to them are silently dropped before arbitration.
+// It models crash-faulty memory banks; the majority-quorum protocol running
+// above tolerates any failure pattern that leaves every accessed variable a
+// full quorum of live copies (for the PP scheme, Theorem 2 implies any two
+// failed modules can disable at most one variable).
+type Failing struct {
+	inner   *Machine
+	failed  map[int64]bool
+	scratch []int64
+}
+
+// NewFailing builds a failing wrapper over a fresh machine.
+func NewFailing(cfg Config, failed []uint64) (*Failing, error) {
+	inner, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fm := make(map[int64]bool, len(failed))
+	for _, j := range failed {
+		if j >= uint64(cfg.Modules) {
+			return nil, fmt.Errorf("mpc: failed module %d out of range [0,%d)", j, cfg.Modules)
+		}
+		fm[int64(j)] = true
+	}
+	return &Failing{
+		inner:   inner,
+		failed:  fm,
+		scratch: make([]int64, cfg.Procs),
+	}, nil
+}
+
+// Round filters out requests to failed modules and runs the inner round.
+func (f *Failing) Round(reqs []int64, grant []bool) int {
+	for p, mod := range reqs {
+		if f.failed[mod] {
+			f.scratch[p] = Idle
+		} else {
+			f.scratch[p] = mod
+		}
+	}
+	return f.inner.Round(f.scratch, grant)
+}
+
+// Cost delegates to the inner machine.
+func (f *Failing) Cost() uint64 { return f.inner.Cost() }

@@ -1,0 +1,260 @@
+// Package mpc simulates the Module Parallel Computer of Mehlhorn–Vishkin:
+// N processors and N memory modules connected by a complete bipartite graph,
+// proceeding in synchronous rounds. In one round every processor may direct
+// one access request at one module, and every module serves exactly one of
+// the requests it receives. Access time for a batch is therefore the number
+// of rounds, which is governed by the maximum per-module congestion — the
+// quantity the Pietracaprina–Preparata memory organization minimizes.
+//
+// Two engines implement identical round semantics: a sequential one and a
+// goroutine-parallel one (workers racing atomic min-priority claims per
+// module, with barrier synchronization between the claim and grant sweeps).
+// Tests assert they produce identical grant vectors for every arbiter.
+package mpc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Idle marks a processor that makes no request this round.
+const Idle int64 = -1
+
+// Arbiter selects which of a module's competing requests is served.
+type Arbiter int
+
+const (
+	// ArbLowest serves the requesting processor with the lowest id.
+	ArbLowest Arbiter = iota
+	// ArbRoundRobin rotates priority among processors by round number.
+	ArbRoundRobin
+	// ArbRandom uses a seeded per-round pseudorandom priority.
+	ArbRandom
+)
+
+func (a Arbiter) String() string {
+	switch a {
+	case ArbLowest:
+		return "lowest"
+	case ArbRoundRobin:
+		return "round-robin"
+	case ArbRandom:
+		return "random"
+	}
+	return fmt.Sprintf("arbiter(%d)", int(a))
+}
+
+// Config selects machine parameters.
+type Config struct {
+	Procs    int     // number of processors (P)
+	Modules  int     // number of memory modules (N)
+	Arb      Arbiter // arbitration policy
+	Seed     uint64  // seed for ArbRandom
+	Parallel bool    // use the goroutine engine
+	Workers  int     // goroutine count (defaults to GOMAXPROCS)
+}
+
+// Machine is a synchronous MPC. Methods are not safe for concurrent use by
+// multiple callers; the parallel engine is internal.
+type Machine struct {
+	cfg    Config
+	round  uint64 // rounds executed so far
+	winner []uint64
+
+	wg sync.WaitGroup
+}
+
+// New builds a machine. Procs and Modules must be positive.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Procs <= 0 || cfg.Modules <= 0 {
+		return nil, fmt.Errorf("mpc: need positive Procs and Modules, got %d/%d", cfg.Procs, cfg.Modules)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Machine{
+		cfg:    cfg,
+		winner: make([]uint64, cfg.Modules),
+	}, nil
+}
+
+// Procs returns the processor count.
+func (m *Machine) Procs() int { return m.cfg.Procs }
+
+// Modules returns the module count.
+func (m *Machine) Modules() int { return m.cfg.Modules }
+
+// Rounds returns the number of rounds executed so far.
+func (m *Machine) Rounds() uint64 { return m.round }
+
+// ResetRounds zeroes the round counter (metrics convenience).
+func (m *Machine) ResetRounds() { m.round = 0 }
+
+// priority computes the arbitration rank of processor p this round; lower
+// wins. It is engine-independent so both engines arbitrate identically.
+// Ranks are bounded to 40 bits so a packed claim fits one word.
+func (m *Machine) priority(p int) uint64 {
+	switch m.cfg.Arb {
+	case ArbRoundRobin:
+		return uint64((p + int(m.round)*7919) % m.cfg.Procs)
+	case ArbRandom:
+		return splitmix(m.cfg.Seed^m.round*0x9e3779b97f4a7c15^uint64(p)) & (1<<40 - 1)
+	default:
+		return uint64(p)
+	}
+}
+
+// pack encodes (priority, proc+1) into one nonzero claim word so atomic-min
+// arbitration resolves priority first and processor id as tiebreak; zero is
+// reserved as the "no claim yet" sentinel.
+func pack(pri uint64, p int) uint64 { return pri<<24 | uint64(p+1) }
+
+func unpackProc(w uint64) int { return int(w&(1<<24-1)) - 1 }
+
+// Round executes one synchronous round. reqs[p] is the module processor p
+// addresses this round, or Idle. grant[p] is set to true iff p's request was
+// the one its module served. It returns the number of requests served.
+// len(reqs) and len(grant) must equal Procs().
+func (m *Machine) Round(reqs []int64, grant []bool) int {
+	if len(reqs) != m.cfg.Procs || len(grant) != m.cfg.Procs {
+		panic(fmt.Sprintf("mpc: round slices sized %d/%d, want %d", len(reqs), len(grant), m.cfg.Procs))
+	}
+	if m.cfg.Procs >= 1<<24-1 {
+		panic("mpc: 2^24-1 or more processors unsupported by claim packing")
+	}
+	var served int
+	if m.cfg.Parallel {
+		served = m.roundParallel(reqs, grant)
+	} else {
+		served = m.roundSequential(reqs, grant)
+	}
+	m.round++
+	return served
+}
+
+func (m *Machine) roundSequential(reqs []int64, grant []bool) int {
+	touched := make([]int64, 0, 64)
+	for p, mod := range reqs {
+		grant[p] = false
+		if mod == Idle {
+			continue
+		}
+		if mod < 0 || mod >= int64(m.cfg.Modules) {
+			panic(fmt.Sprintf("mpc: processor %d addresses invalid module %d", p, mod))
+		}
+		claim := pack(m.priority(p), p)
+		switch cur := m.winner[mod]; {
+		case cur == 0:
+			touched = append(touched, mod)
+			m.winner[mod] = claim
+		case claim < cur:
+			m.winner[mod] = claim
+		}
+	}
+	served := 0
+	for p, mod := range reqs {
+		if mod == Idle {
+			continue
+		}
+		if unpackProc(m.winner[mod]) == p {
+			grant[p] = true
+			served++
+		}
+	}
+	for _, mod := range touched {
+		m.winner[mod] = 0
+	}
+	return served
+}
+
+func (m *Machine) roundParallel(reqs []int64, grant []bool) int {
+	w := m.cfg.Workers
+	chunk := (m.cfg.Procs + w - 1) / w
+	// Claim sweep: workers race atomic-min on per-module claim words.
+	m.wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(lo int) {
+			defer m.wg.Done()
+			hi := lo + chunk
+			if hi > m.cfg.Procs {
+				hi = m.cfg.Procs
+			}
+			for p := lo; p < hi; p++ {
+				grant[p] = false
+				mod := reqs[p]
+				if mod == Idle {
+					continue
+				}
+				claim := pack(m.priority(p), p)
+				addr := &m.winner[mod]
+				for {
+					cur := atomic.LoadUint64(addr)
+					if cur != 0 && cur <= claim {
+						break
+					}
+					if atomic.CompareAndSwapUint64(addr, cur, claim) {
+						break
+					}
+				}
+			}
+		}(g * chunk)
+	}
+	m.wg.Wait()
+	// Grant sweep (barrier above guarantees claims are final).
+	counts := make([]int64, w)
+	m.wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(id, lo int) {
+			defer m.wg.Done()
+			hi := lo + chunk
+			if hi > m.cfg.Procs {
+				hi = m.cfg.Procs
+			}
+			var local int64
+			for p := lo; p < hi; p++ {
+				mod := reqs[p]
+				if mod == Idle {
+					continue
+				}
+				if unpackProc(atomic.LoadUint64(&m.winner[mod])) == p {
+					grant[p] = true
+					local++
+				}
+			}
+			counts[id] = local
+		}(g, g*chunk)
+	}
+	m.wg.Wait()
+	// Reset sweep.
+	m.wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(lo int) {
+			defer m.wg.Done()
+			hi := lo + chunk
+			if hi > m.cfg.Procs {
+				hi = m.cfg.Procs
+			}
+			for p := lo; p < hi; p++ {
+				if mod := reqs[p]; mod != Idle {
+					atomic.StoreUint64(&m.winner[mod], 0)
+				}
+			}
+		}(g * chunk)
+	}
+	m.wg.Wait()
+	var served int
+	for _, c := range counts {
+		served += int(c)
+	}
+	return served
+}
+
+// splitmix is SplitMix64, a fast deterministic 64-bit mixer.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}

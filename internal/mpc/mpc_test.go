@@ -1,0 +1,230 @@
+package mpc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newMachine(t testing.TB, cfg Config) *Machine {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Procs: 0, Modules: 4}); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := New(Config{Procs: 4, Modules: -1}); err == nil {
+		t.Error("negative modules accepted")
+	}
+}
+
+// TestOneGrantPerModule: the defining MPC constraint — at most one request
+// per module is served, and it is served to an actual requester.
+func TestOneGrantPerModule(t *testing.T) {
+	for _, par := range []bool{false, true} {
+		m := newMachine(t, Config{Procs: 100, Modules: 10, Parallel: par})
+		rng := rand.New(rand.NewSource(1))
+		reqs := make([]int64, 100)
+		grant := make([]bool, 100)
+		for round := 0; round < 50; round++ {
+			for p := range reqs {
+				if rng.Intn(4) == 0 {
+					reqs[p] = Idle
+				} else {
+					reqs[p] = int64(rng.Intn(10))
+				}
+			}
+			served := m.Round(reqs, grant)
+			perModule := make(map[int64]int)
+			total := 0
+			for p, g := range grant {
+				if g {
+					if reqs[p] == Idle {
+						t.Fatalf("granted an idle processor %d", p)
+					}
+					perModule[reqs[p]]++
+					total++
+				}
+			}
+			if total != served {
+				t.Fatalf("served=%d but %d grants", served, total)
+			}
+			for mod, c := range perModule {
+				if c != 1 {
+					t.Fatalf("module %d served %d requests in one round", mod, c)
+				}
+			}
+			// Every requested module serves someone (work conservation).
+			requested := make(map[int64]bool)
+			for _, r := range reqs {
+				if r != Idle {
+					requested[r] = true
+				}
+			}
+			if len(requested) != total {
+				t.Fatalf("%d modules requested but %d grants", len(requested), total)
+			}
+		}
+	}
+}
+
+// TestLowestArbiterDeterminism: with ArbLowest the winner is the smallest
+// requesting processor id.
+func TestLowestArbiterDeterminism(t *testing.T) {
+	for _, par := range []bool{false, true} {
+		m := newMachine(t, Config{Procs: 8, Modules: 2, Parallel: par})
+		reqs := []int64{1, 1, 0, 1, Idle, 0, 1, Idle}
+		grant := make([]bool, 8)
+		if served := m.Round(reqs, grant); served != 2 {
+			t.Fatalf("served = %d, want 2", served)
+		}
+		want := []bool{true, false, true, false, false, false, false, false}
+		for p := range want {
+			if grant[p] != want[p] {
+				t.Fatalf("parallel=%v grant[%d] = %v, want %v", par, p, grant[p], want[p])
+			}
+		}
+	}
+}
+
+// TestEnginesAgree: sequential and parallel engines must produce identical
+// grant vectors for every arbiter, including the randomized one (it is
+// seeded and round-indexed, hence deterministic).
+func TestEnginesAgree(t *testing.T) {
+	for _, arb := range []Arbiter{ArbLowest, ArbRoundRobin, ArbRandom} {
+		seq := newMachine(t, Config{Procs: 500, Modules: 37, Arb: arb, Seed: 99})
+		par := newMachine(t, Config{Procs: 500, Modules: 37, Arb: arb, Seed: 99, Parallel: true, Workers: 7})
+		rng := rand.New(rand.NewSource(2))
+		reqs := make([]int64, 500)
+		g1 := make([]bool, 500)
+		g2 := make([]bool, 500)
+		for round := 0; round < 60; round++ {
+			for p := range reqs {
+				if rng.Intn(5) == 0 {
+					reqs[p] = Idle
+				} else {
+					reqs[p] = int64(rng.Intn(37))
+				}
+			}
+			s1 := seq.Round(reqs, g1)
+			s2 := par.Round(reqs, g2)
+			if s1 != s2 {
+				t.Fatalf("arb=%v round=%d served %d vs %d", arb, round, s1, s2)
+			}
+			for p := range g1 {
+				if g1[p] != g2[p] {
+					t.Fatalf("arb=%v round=%d grant[%d] differs", arb, round, p)
+				}
+			}
+		}
+	}
+}
+
+// TestRoundRobinRotates: under ArbRoundRobin a fixed conflicting request set
+// eventually grants different processors across rounds.
+func TestRoundRobinRotates(t *testing.T) {
+	m := newMachine(t, Config{Procs: 4, Modules: 1, Arb: ArbRoundRobin})
+	reqs := []int64{0, 0, 0, 0}
+	grant := make([]bool, 4)
+	winners := make(map[int]bool)
+	for round := 0; round < 16; round++ {
+		m.Round(reqs, grant)
+		for p, g := range grant {
+			if g {
+				winners[p] = true
+			}
+		}
+	}
+	if len(winners) < 2 {
+		t.Fatalf("round-robin never rotated winners: %v", winners)
+	}
+}
+
+// TestRandomArbiterSeedStability: same seed → same grants; different seed →
+// (almost surely) different grant sequence.
+func TestRandomArbiterSeedStability(t *testing.T) {
+	run := func(seed uint64) []bool {
+		m := newMachine(t, Config{Procs: 64, Modules: 4, Arb: ArbRandom, Seed: seed})
+		reqs := make([]int64, 64)
+		for p := range reqs {
+			reqs[p] = int64(p % 4)
+		}
+		grant := make([]bool, 64)
+		var hist []bool
+		for round := 0; round < 20; round++ {
+			m.Round(reqs, grant)
+			hist = append(hist, append([]bool(nil), grant...)...)
+		}
+		return hist
+	}
+	a, b, c := run(7), run(7), run(8)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed produced different histories")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical histories (suspicious)")
+	}
+}
+
+// TestServedCountProperty: in any round, served == number of distinct
+// requested modules (each requested module serves exactly one).
+func TestServedCountProperty(t *testing.T) {
+	m := newMachine(t, Config{Procs: 32, Modules: 8})
+	grant := make([]bool, 32)
+	prop := func(raw [32]uint8) bool {
+		reqs := make([]int64, 32)
+		distinct := make(map[int64]bool)
+		for p, r := range raw {
+			if r%5 == 0 {
+				reqs[p] = Idle
+			} else {
+				reqs[p] = int64(r) % 8
+				distinct[reqs[p]] = true
+			}
+		}
+		return m.Round(reqs, grant) == len(distinct)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundsCounter(t *testing.T) {
+	m := newMachine(t, Config{Procs: 2, Modules: 2})
+	reqs := []int64{0, 1}
+	grant := make([]bool, 2)
+	for i := 0; i < 5; i++ {
+		m.Round(reqs, grant)
+	}
+	if m.Rounds() != 5 {
+		t.Fatalf("Rounds() = %d", m.Rounds())
+	}
+	m.ResetRounds()
+	if m.Rounds() != 0 {
+		t.Fatal("ResetRounds failed")
+	}
+}
+
+func TestRoundPanicsOnBadSizes(t *testing.T) {
+	m := newMachine(t, Config{Procs: 4, Modules: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong slice length")
+		}
+	}()
+	m.Round(make([]int64, 3), make([]bool, 4))
+}

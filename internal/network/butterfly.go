@@ -1,0 +1,139 @@
+// Package network simulates a bounded-degree interconnect under the MPC's
+// synchronous round semantics. The paper deliberately separates the request
+// routing problem from the memory-organization problem (§1): the MPC's
+// complete processor–module graph is the model of record, and "the request
+// routing problem [is] to be dealt with when the bipartite graph is
+// simulated by a bounded-degree network". This package provides that
+// simulation: a d-dimensional butterfly with destination-bit routing and
+// FIFO link queues, plus a protocol.Machine that charges every protocol
+// iteration its actual routed cost (request sweep + reply sweep), so the
+// O(q(Φ log q + log N)) shape of the paper's network-time claim can be
+// measured.
+package network
+
+import "fmt"
+
+// Butterfly is a d-dimensional butterfly network: 2^d rows × (d+1) levels.
+// A packet entering at (level 0, row s) with destination row t crosses one
+// level per hop; at level l it fixes bit l of its current row to bit l of t.
+// Every directed edge forwards at most one packet per synchronous step;
+// packets queue FIFO per (node, out-edge).
+type Butterfly struct {
+	D    int // dimension
+	Rows int // 2^D
+
+	// Per-(level,row,edge) FIFO queues, flattened; head indices avoid O(n)
+	// pops. A queue key is listed in exactly one activeLvl list iff listed
+	// is set, preserving one-forwarding-per-edge-per-step semantics.
+	qbuf  [][]int32
+	qhead []int
+
+	activeLvl [][]int32 // per level: keys with pending packets
+	listed    []bool
+}
+
+// NewButterfly builds the smallest butterfly with at least minRows rows.
+func NewButterfly(minRows int) (*Butterfly, error) {
+	if minRows < 1 {
+		return nil, fmt.Errorf("network: need at least one row")
+	}
+	d := 1
+	for 1<<uint(d) < minRows {
+		d++
+	}
+	rows := 1 << uint(d)
+	nq := d * rows * 2
+	return &Butterfly{
+		D:         d,
+		Rows:      rows,
+		qbuf:      make([][]int32, nq),
+		qhead:     make([]int, nq),
+		activeLvl: make([][]int32, d),
+		listed:    make([]bool, nq),
+	}, nil
+}
+
+// key packs (level, row, edge) into a queue index. The edge bit is the
+// packet's routing decision at this level (0 = keep bit l, 1 = flip), kept
+// separate so the two out-links of a node are independent unit-capacity
+// channels.
+func (b *Butterfly) key(level, row, edge int) int32 {
+	return int32((level*b.Rows+row)<<1 | edge)
+}
+
+func (b *Butterfly) push(level, row int, dst int32) {
+	k := b.key(level, row, b.edgeAt(level, row, dst))
+	if b.qhead[k] == len(b.qbuf[k]) {
+		// Fully drained queue: rewind to reuse capacity.
+		b.qbuf[k] = b.qbuf[k][:0]
+		b.qhead[k] = 0
+	}
+	b.qbuf[k] = append(b.qbuf[k], dst)
+	if !b.listed[k] {
+		b.listed[k] = true
+		b.activeLvl[level] = append(b.activeLvl[level], k)
+	}
+}
+
+// RouteMakespan injects one packet per (src[i] → dst[i]) pair at level 0 and
+// simulates synchronous steps until all packets reach level D. It returns
+// the number of steps (the makespan). Endpoints must lie in [0, Rows).
+func (b *Butterfly) RouteMakespan(src, dst []int64) int {
+	if len(src) != len(dst) {
+		panic("network: src/dst length mismatch")
+	}
+	if len(src) == 0 {
+		return 0
+	}
+	for i := range src {
+		s, t := int(src[i]), int(dst[i])
+		if s < 0 || s >= b.Rows || t < 0 || t >= b.Rows {
+			panic(fmt.Sprintf("network: endpoint (%d,%d) out of range [0,%d)", s, t, b.Rows))
+		}
+		b.push(0, s, int32(t))
+	}
+	remaining := len(src)
+	steps := 0
+	for remaining > 0 {
+		steps++
+		// Process levels top-down: pushes from level l land at level l+1,
+		// which has already been swept this step, so every packet advances
+		// at most one level per step (synchronous link semantics).
+		for level := b.D - 1; level >= 0; level-- {
+			cur := b.activeLvl[level]
+			b.activeLvl[level] = cur[:0]
+			for _, k := range cur {
+				b.listed[k] = false
+				head := b.qhead[k]
+				t := b.qbuf[k][head]
+				b.qhead[k] = head + 1
+				row := int(k>>1) % b.Rows
+				if int(k)&1 == 1 {
+					row ^= 1 << uint(level)
+				}
+				if level+1 == b.D {
+					remaining--
+					if row != int(t) {
+						panic("network: packet delivered to wrong row")
+					}
+				} else {
+					b.push(level+1, row, t)
+				}
+				if b.qhead[k] < len(b.qbuf[k]) && !b.listed[k] {
+					b.listed[k] = true
+					b.activeLvl[level] = append(b.activeLvl[level], k)
+				}
+			}
+		}
+	}
+	return steps
+}
+
+// edgeAt returns the out-edge (0 straight, 1 cross) a packet at (level, row)
+// heading for dst must take: fix bit `level` of row to match dst.
+func (b *Butterfly) edgeAt(level, row int, dst int32) int {
+	if (row>>uint(level))&1 == int(dst>>uint(level))&1 {
+		return 0
+	}
+	return 1
+}

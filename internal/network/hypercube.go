@@ -1,0 +1,118 @@
+package network
+
+import "fmt"
+
+// Hypercube is a d-dimensional hypercube with e-cube (dimension-ordered)
+// routing: a packet from s to t corrects differing address bits in
+// increasing dimension order. Each directed link (node, dim) forwards one
+// packet per synchronous step with FIFO queueing — the classic store-and-
+// forward model. It provides the same RouteMakespan contract as Butterfly,
+// so Machine can run over either topology.
+type Hypercube struct {
+	D     int // dimension
+	Nodes int // 2^D
+
+	qbuf  [][]int32 // per-(node, dim) FIFO queues
+	qhead []int
+
+	activeDim [][]int32 // per dimension: keys with pending packets
+	listed    []bool
+
+	arrived int
+}
+
+// NewHypercube builds the smallest hypercube with at least minNodes nodes.
+func NewHypercube(minNodes int) (*Hypercube, error) {
+	if minNodes < 1 {
+		return nil, fmt.Errorf("network: need at least one node")
+	}
+	d := 1
+	for 1<<uint(d) < minNodes {
+		d++
+	}
+	nodes := 1 << uint(d)
+	nq := nodes * d
+	return &Hypercube{
+		D:         d,
+		Nodes:     nodes,
+		qbuf:      make([][]int32, nq),
+		qhead:     make([]int, nq),
+		activeDim: make([][]int32, d),
+		listed:    make([]bool, nq),
+	}, nil
+}
+
+// nextDim returns the lowest dimension >= from in which node differs from
+// dst, or D if none (arrived).
+func (h *Hypercube) nextDim(node int, dst int32, from int) int {
+	diff := node ^ int(dst)
+	diff &^= (1 << uint(from)) - 1
+	for d := from; d < h.D; d++ {
+		if diff&(1<<uint(d)) != 0 {
+			return d
+		}
+	}
+	return h.D
+}
+
+func (h *Hypercube) push(node int, dst int32, fromDim int) {
+	d := h.nextDim(node, dst, fromDim)
+	if d == h.D {
+		h.arrived++
+		return
+	}
+	k := int32(node*h.D + d)
+	if h.qhead[k] == len(h.qbuf[k]) {
+		h.qbuf[k] = h.qbuf[k][:0]
+		h.qhead[k] = 0
+	}
+	h.qbuf[k] = append(h.qbuf[k], dst)
+	if !h.listed[k] {
+		h.listed[k] = true
+		h.activeDim[d] = append(h.activeDim[d], k)
+	}
+}
+
+// RouteMakespan routes one packet per (src[i] → dst[i]) pair and returns the
+// number of synchronous steps until all are delivered.
+func (h *Hypercube) RouteMakespan(src, dst []int64) int {
+	if len(src) != len(dst) {
+		panic("network: src/dst length mismatch")
+	}
+	if len(src) == 0 {
+		return 0
+	}
+	h.arrived = 0
+	total := len(src)
+	for i := range src {
+		s, t := int(src[i]), int(dst[i])
+		if s < 0 || s >= h.Nodes || t < 0 || t >= h.Nodes {
+			panic(fmt.Sprintf("network: endpoint (%d,%d) out of range [0,%d)", s, t, h.Nodes))
+		}
+		h.push(s, int32(t), 0)
+	}
+	steps := 0
+	for h.arrived < total {
+		steps++
+		// Sweep dimensions top-down: a hop along dim d enqueues at a dim
+		// strictly greater than d (e-cube order), which was already swept
+		// this step — one hop per packet per step.
+		for d := h.D - 1; d >= 0; d-- {
+			cur := h.activeDim[d]
+			h.activeDim[d] = cur[:0]
+			for _, k := range cur {
+				h.listed[k] = false
+				head := h.qhead[k]
+				t := h.qbuf[k][head]
+				h.qhead[k] = head + 1
+				node := int(k) / h.D
+				h.push(node^(1<<uint(d)), t, d+1)
+				if h.qhead[k] < len(h.qbuf[k]) && !h.listed[k] {
+					h.listed[k] = true
+					h.activeDim[d] = append(h.activeDim[d], k)
+				}
+			}
+		}
+	}
+	return steps
+}

@@ -1,0 +1,66 @@
+package pgl
+
+import (
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/gf"
+)
+
+func benchGroup(b *testing.B) (*Group, []Mat) {
+	b.Helper()
+	f, err := gf.NewExt(1, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := New(f)
+	rng := rand.New(rand.NewSource(2))
+	mats := make([]Mat, 256)
+	for i := range mats {
+		mats[i] = randMatB(g, rng)
+	}
+	return g, mats
+}
+
+func randMatB(g *Group, rng *rand.Rand) Mat {
+	for {
+		m, err := g.Make(
+			uint32(rng.Intn(int(g.F.Order))), uint32(rng.Intn(int(g.F.Order))),
+			uint32(rng.Intn(int(g.F.Order))), uint32(rng.Intn(int(g.F.Order))))
+		if err == nil {
+			return m
+		}
+	}
+}
+
+func BenchmarkGroupMul(b *testing.B) {
+	g, mats := benchGroup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Mul(mats[i&255], mats[(i+1)&255])
+	}
+}
+
+func BenchmarkGroupInv(b *testing.B) {
+	g, mats := benchGroup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Inv(mats[i&255])
+	}
+}
+
+func BenchmarkCosetKeyH0(b *testing.B) {
+	g, mats := benchGroup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.CosetKeyH0(mats[i&255])
+	}
+}
+
+func BenchmarkCosetKeyHn1(b *testing.B) {
+	g, mats := benchGroup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.CosetKeyHn1(mats[i&255])
+	}
+}

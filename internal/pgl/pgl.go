@@ -1,0 +1,244 @@
+// Package pgl implements the projective linear group PGL₂(q^n) — the group
+// of nonsingular 2×2 matrices over F_{q^n} modulo scalar matrices — together
+// with the two subgroups the Pietracaprina–Preparata scheme quotients by:
+//
+//	H_{n-1} = { (a α; 0 1) : a ∈ F_q^*, α ∈ F_{q^n} }
+//	H_0     = PGL₂(q)   (matrices with entries in the base field, mod scalars)
+//
+// Matrices are kept in the paper's canonical projective form: either
+// (α β; γ 1) (bottom-right normalized to 1) or (α β; 1 0) (bottom row (1,0)).
+// Every projective class has exactly one such representative, so Mat values
+// are directly comparable and usable as map keys.
+package pgl
+
+import (
+	"fmt"
+
+	"detshmem/internal/gf"
+)
+
+// Mat is a 2×2 matrix over F_{q^n} in canonical projective form. The zero
+// value is NOT a valid group element; construct via Group methods.
+type Mat struct {
+	A, B, C, D uint32
+}
+
+// String renders the matrix in the paper's row notation.
+func (m Mat) String() string {
+	return fmt.Sprintf("(%#x %#x; %#x %#x)", m.A, m.B, m.C, m.D)
+}
+
+// Group provides PGL₂ arithmetic over a particular extension field.
+type Group struct {
+	F *gf.Ext // the field F_{q^n}
+
+	h0 []Mat // all elements of H_0 = PGL₂(q), canonical form
+}
+
+// New constructs the group over the given extension field and enumerates
+// H_0 = PGL₂(q) (q³−q canonical matrices) for coset computations.
+func New(f *gf.Ext) *Group {
+	g := &Group{F: f}
+	g.h0 = g.enumerateH0()
+	return g
+}
+
+// Identity returns the identity element.
+func (g *Group) Identity() Mat { return Mat{A: 1, B: 0, C: 0, D: 1} }
+
+// Make builds the canonical representative of the projective class of
+// (a b; c d). It returns an error if the matrix is singular.
+func (g *Group) Make(a, b, c, d uint32) (Mat, error) {
+	f := g.F
+	if f.Add(f.Mul(a, d), f.Mul(b, c)) == 0 { // det = ad − bc = ad + bc (char 2)
+		return Mat{}, fmt.Errorf("pgl: singular matrix (%#x %#x; %#x %#x)", a, b, c, d)
+	}
+	return g.canon(a, b, c, d), nil
+}
+
+// MustMake is Make for inputs known to be nonsingular; it panics otherwise.
+func (g *Group) MustMake(a, b, c, d uint32) Mat {
+	m, err := g.Make(a, b, c, d)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// canon normalizes a nonsingular matrix to canonical projective form.
+func (g *Group) canon(a, b, c, d uint32) Mat {
+	f := g.F
+	if d != 0 {
+		if d != 1 {
+			inv := f.Inv(d)
+			a, b, c, d = f.Mul(a, inv), f.Mul(b, inv), f.Mul(c, inv), 1
+		}
+		return Mat{a, b, c, d}
+	}
+	// d == 0 forces c ≠ 0 for nonsingular matrices.
+	if c != 1 {
+		inv := f.Inv(c)
+		a, b, c = f.Mul(a, inv), f.Mul(b, inv), 1
+	}
+	return Mat{a, b, c, 0}
+}
+
+// Det returns the determinant of the canonical representative. It is nonzero
+// for every valid Mat; its value is only meaningful up to squares of scalars,
+// which is all the scheme's coset computations need (they use det modulo
+// the subgroup F_q^*·squares pattern explicitly).
+func (g *Group) Det(m Mat) uint32 {
+	f := g.F
+	return f.Add(f.Mul(m.A, m.D), f.Mul(m.B, m.C))
+}
+
+// Mul returns the canonical form of x·y.
+func (g *Group) Mul(x, y Mat) Mat {
+	f := g.F
+	a := f.Add(f.Mul(x.A, y.A), f.Mul(x.B, y.C))
+	b := f.Add(f.Mul(x.A, y.B), f.Mul(x.B, y.D))
+	c := f.Add(f.Mul(x.C, y.A), f.Mul(x.D, y.C))
+	d := f.Add(f.Mul(x.C, y.B), f.Mul(x.D, y.D))
+	return g.canon(a, b, c, d)
+}
+
+// Inv returns the canonical form of x^{-1}. In characteristic 2 the adjugate
+// of (a b; c d) is (d b; c a), and the determinant scalar cancels
+// projectively.
+func (g *Group) Inv(x Mat) Mat {
+	return g.canon(x.D, x.B, x.C, x.A)
+}
+
+// InHn1 reports membership in H_{n-1} = {(a α; 0 1): a ∈ F_q^*}.
+func (g *Group) InHn1(m Mat) bool {
+	return m.C == 0 && m.D == 1 && m.A != 0 && g.F.InBase(m.A)
+}
+
+// InH0 reports membership in H_0 = PGL₂(q): the projective class contains a
+// matrix over F_q iff the canonical representative has all entries in F_q.
+func (g *Group) InH0(m Mat) bool {
+	f := g.F
+	return f.InBase(m.A) && f.InBase(m.B) && f.InBase(m.C) && f.InBase(m.D)
+}
+
+// SameCosetHn1 reports x·H_{n-1} == y·H_{n-1}.
+func (g *Group) SameCosetHn1(x, y Mat) bool {
+	return g.InHn1(g.Mul(g.Inv(y), x))
+}
+
+// SameCosetH0 reports x·H_0 == y·H_0.
+func (g *Group) SameCosetH0(x, y Mat) bool {
+	return g.InH0(g.Mul(g.Inv(y), x))
+}
+
+// H0Elements returns the canonical representatives of all elements of
+// H_0 = PGL₂(q). The returned slice is shared; callers must not mutate it.
+func (g *Group) H0Elements() []Mat { return g.h0 }
+
+// enumerateH0 lists PGL₂(q) in canonical form: matrices (a b; c 1) with
+// a,b,c ∈ F_q and det = a + bc ≠ 0, plus (a b; 1 0) with a,b ∈ F_q, b ≠ 0.
+func (g *Group) enumerateH0() []Mat {
+	f := g.F
+	q := f.Q
+	out := make([]Mat, 0, int(q*q*q-q))
+	for a := uint32(0); a < q; a++ {
+		for b := uint32(0); b < q; b++ {
+			for c := uint32(0); c < q; c++ {
+				if f.Add(a, f.Mul(b, c)) != 0 {
+					out = append(out, Mat{a, b, c, 1})
+				}
+			}
+			if b != 0 {
+				out = append(out, Mat{a, b, 1, 0})
+			}
+		}
+	}
+	return out
+}
+
+// CosetKeyH0 returns a canonical key for the coset m·H_0: the
+// lexicographically least canonical representative among {m·h : h ∈ H_0}.
+// Cost is O(|H_0|) = O(q³) group multiplications.
+func (g *Group) CosetKeyH0(m Mat) Mat {
+	best := m
+	for _, h := range g.h0 {
+		if p := g.Mul(m, h); matLess(p, best) {
+			best = p
+		}
+	}
+	return best
+}
+
+// CosetKeyHn1 returns a canonical key for the coset m·H_{n-1} as the pair
+// (s, t) of Section 4's module parameterization:
+//
+//	t = -1, s = log_γ(a) mod (q^n−1)/(q−1)       if m ~ (a b; 0 1)
+//	t = packed(a/c), s = log_γ(det/c²) mod …      otherwise
+//
+// Distinct cosets yield distinct keys (see core's module indexing, which is
+// f(s,t) on exactly these values).
+func (g *Group) CosetKeyHn1(m Mat) (s uint32, t int32) {
+	f := g.F
+	if m.C == 0 {
+		// Canonical form (a b; 0 1); the coset is {(a·e, a·f+b; 0 1)} so it is
+		// determined by a·F_q^*.
+		return f.BaseUnitLog(m.A), -1
+	}
+	// Right-multiplying by (e f; 0 1) with f = d/c zeroes the bottom-right
+	// entry; after rescaling the coset representative is
+	// (a/c, det/(c²e); 1 0) with e ranging over F_q^*.
+	beta := f.Div(m.A, m.C)
+	delta := f.Div(g.Det(m), f.Mul(m.C, m.C))
+	return f.BaseUnitLog(delta), int32(beta)
+}
+
+// matLess orders canonical matrices lexicographically by (A, B, C, D).
+func matLess(x, y Mat) bool {
+	if x.A != y.A {
+		return x.A < y.A
+	}
+	if x.B != y.B {
+		return x.B < y.B
+	}
+	if x.C != y.C {
+		return x.C < y.C
+	}
+	return x.D < y.D
+}
+
+// Enumerate calls fn for every element of PGL₂(q^n) in canonical form,
+// stopping early if fn returns false. Intended for exhaustive tests on small
+// fields (|PGL₂(k)| = k³−k).
+func (g *Group) Enumerate(fn func(Mat) bool) {
+	k := g.F.Order
+	for a := uint32(0); a < k; a++ {
+		for b := uint32(0); b < k; b++ {
+			for c := uint32(0); c < k; c++ {
+				if g.F.Add(a, g.F.Mul(b, c)) != 0 {
+					if !fn(Mat{a, b, c, 1}) {
+						return
+					}
+				}
+			}
+			if b != 0 {
+				if !fn(Mat{a, b, 1, 0}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Order returns |PGL₂(q^n)| = k³−k with k = q^n.
+func (g *Group) Order() uint64 {
+	k := uint64(g.F.Order)
+	return k*k*k - k
+}
+
+// Translate returns the matrix (1 p; 0 1) (a "translation" by p); these are
+// the H_{n-1} elements that parameterize Γ(module) in Lemma 2.
+func (g *Group) Translate(p uint32) Mat { return Mat{1, p, 0, 1} }
+
+// Involution returns the matrix (a 1; 1 0); these parameterize the non-unit
+// part of Γ(variable) in Lemma 1.
+func (g *Group) Involution(a uint32) Mat { return Mat{a, 1, 1, 0} }

@@ -1,0 +1,268 @@
+package pgl
+
+import (
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/gf"
+)
+
+func newGroup(t *testing.T, m, n int) *Group {
+	t.Helper()
+	f, err := gf.NewExt(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(f)
+}
+
+// randMat draws a uniformly random canonical element by rejection sampling
+// matrix entries.
+func randMat(g *Group, rng *rand.Rand) Mat {
+	for {
+		a := uint32(rng.Intn(int(g.F.Order)))
+		b := uint32(rng.Intn(int(g.F.Order)))
+		c := uint32(rng.Intn(int(g.F.Order)))
+		d := uint32(rng.Intn(int(g.F.Order)))
+		if m, err := g.Make(a, b, c, d); err == nil {
+			return m
+		}
+	}
+}
+
+func TestGroupOrderAndEnumerate(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {1, 4}, {2, 3}} {
+		g := newGroup(t, c.m, c.n)
+		k := uint64(g.F.Order)
+		want := k*k*k - k
+		if g.Order() != want {
+			t.Fatalf("Order() = %d, want %d", g.Order(), want)
+		}
+		seen := make(map[Mat]bool)
+		g.Enumerate(func(m Mat) bool {
+			if g.Det(m) == 0 {
+				t.Fatalf("enumerated singular matrix %v", m)
+			}
+			if seen[m] {
+				t.Fatalf("enumerated %v twice", m)
+			}
+			seen[m] = true
+			return true
+		})
+		if uint64(len(seen)) != want {
+			t.Fatalf("enumerated %d elements, want %d", len(seen), want)
+		}
+	}
+}
+
+func TestCanonicalFormScalarInvariance(t *testing.T) {
+	g := newGroup(t, 1, 5)
+	rng := rand.New(rand.NewSource(42))
+	f := g.F
+	for i := 0; i < 2000; i++ {
+		m := randMat(g, rng)
+		s := uint32(1 + rng.Intn(int(f.Order)-1))
+		scaled, err := g.Make(f.Mul(s, m.A), f.Mul(s, m.B), f.Mul(s, m.C), f.Mul(s, m.D))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scaled != m {
+			t.Fatalf("canonical form not scalar-invariant: %v vs %v (s=%#x)", m, scaled, s)
+		}
+	}
+}
+
+func TestGroupAxioms(t *testing.T) {
+	g := newGroup(t, 1, 4)
+	rng := rand.New(rand.NewSource(7))
+	id := g.Identity()
+	for i := 0; i < 2000; i++ {
+		x, y, z := randMat(g, rng), randMat(g, rng), randMat(g, rng)
+		if g.Mul(g.Mul(x, y), z) != g.Mul(x, g.Mul(y, z)) {
+			t.Fatalf("associativity failed")
+		}
+		if g.Mul(x, id) != x || g.Mul(id, x) != x {
+			t.Fatalf("identity failed for %v", x)
+		}
+		if g.Mul(x, g.Inv(x)) != id || g.Mul(g.Inv(x), x) != id {
+			t.Fatalf("inverse failed for %v", x)
+		}
+	}
+}
+
+func TestMakeRejectsSingular(t *testing.T) {
+	g := newGroup(t, 1, 3)
+	if _, err := g.Make(0, 0, 0, 0); err == nil {
+		t.Error("zero matrix accepted")
+	}
+	if _, err := g.Make(1, 1, 1, 1); err == nil {
+		t.Error("rank-1 matrix accepted")
+	}
+	if _, err := g.Make(2, 3, 4, 6); err == nil {
+		// det = 2·6 + 3·4; in GF(8) with γ=x: 2=x, 6=x²+x, 3=x+1, 4=x².
+		// x·(x²+x) = x³+x² = (x+1)+x² ; (x+1)·x² = x³+x² = same → det 0.
+		t.Error("singular product matrix accepted")
+	}
+}
+
+func TestH0Subgroup(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {2, 3}} {
+		g := newGroup(t, c.m, c.n)
+		q := uint32(g.F.Q)
+		h0 := g.H0Elements()
+		if uint32(len(h0)) != q*q*q-q {
+			t.Fatalf("|H_0| = %d, want %d", len(h0), q*q*q-q)
+		}
+		set := make(map[Mat]bool, len(h0))
+		for _, h := range h0 {
+			if !g.InH0(h) {
+				t.Fatalf("H0 element %v fails InH0", h)
+			}
+			set[h] = true
+		}
+		if len(set) != len(h0) {
+			t.Fatalf("H0 enumeration has duplicates")
+		}
+		// Closure under multiplication and inverse (subgroup property).
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 500; i++ {
+			a := h0[rng.Intn(len(h0))]
+			b := h0[rng.Intn(len(h0))]
+			if !set[g.Mul(a, b)] {
+				t.Fatalf("H0 not closed: %v * %v", a, b)
+			}
+			if !set[g.Inv(a)] {
+				t.Fatalf("H0 not closed under inverse: %v", a)
+			}
+		}
+	}
+}
+
+func TestHn1Membership(t *testing.T) {
+	g := newGroup(t, 2, 3) // q=4, n=3
+	f := g.F
+	// Count canonical elements in H_{n-1}; expect (q−1)·q^n.
+	var count uint32
+	g.Enumerate(func(m Mat) bool {
+		if g.InHn1(m) {
+			count++
+		}
+		return true
+	})
+	want := (f.Q - 1) * f.Order
+	if count != want {
+		t.Fatalf("|H_{n-1}| = %d, want %d", count, want)
+	}
+	// Closure under multiplication and inverse.
+	rng := rand.New(rand.NewSource(9))
+	randHn1 := func() Mat {
+		a := uint32(1 + rng.Intn(int(f.Q)-1))
+		al := uint32(rng.Intn(int(f.Order)))
+		return g.MustMake(a, al, 0, 1)
+	}
+	for i := 0; i < 500; i++ {
+		x, y := randHn1(), randHn1()
+		if !g.InHn1(g.Mul(x, y)) {
+			t.Fatalf("H_{n-1} not closed under mult: %v %v", x, y)
+		}
+		if !g.InHn1(g.Inv(x)) {
+			t.Fatalf("H_{n-1} not closed under inverse: %v", x)
+		}
+	}
+	if !g.InHn1(g.Translate(f.PElem(3))) {
+		t.Error("Translate(p) should lie in H_{n-1}")
+	}
+	if g.InHn1(g.Involution(1)) {
+		t.Error("Involution(1) should not lie in H_{n-1}")
+	}
+}
+
+func TestCosetCountsH0(t *testing.T) {
+	// q=2, n=3: M = |PGL₂(8)|/|PGL₂(2)| = 504/6 = 84 distinct H0-cosets.
+	g := newGroup(t, 1, 3)
+	keys := make(map[Mat]bool)
+	g.Enumerate(func(m Mat) bool {
+		keys[g.CosetKeyH0(m)] = true
+		return true
+	})
+	if len(keys) != 84 {
+		t.Fatalf("distinct H0 cosets = %d, want 84", len(keys))
+	}
+}
+
+func TestCosetKeyH0ConsistentWithSameCoset(t *testing.T) {
+	g := newGroup(t, 1, 3)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1500; i++ {
+		x, y := randMat(g, rng), randMat(g, rng)
+		same := g.SameCosetH0(x, y)
+		keyEq := g.CosetKeyH0(x) == g.CosetKeyH0(y)
+		if same != keyEq {
+			t.Fatalf("coset key / SameCosetH0 disagree for %v, %v (same=%v keyEq=%v)",
+				x, y, same, keyEq)
+		}
+		// Key stability: multiplying by an H0 element must not change the key.
+		h := g.H0Elements()[rng.Intn(len(g.H0Elements()))]
+		if g.CosetKeyH0(g.Mul(x, h)) != g.CosetKeyH0(x) {
+			t.Fatalf("coset key changed under right H0 action")
+		}
+	}
+}
+
+func TestCosetKeyHn1(t *testing.T) {
+	g := newGroup(t, 1, 5)
+	f := g.F
+	rng := rand.New(rand.NewSource(13))
+	type key struct {
+		s uint32
+		t int32
+	}
+	for i := 0; i < 1500; i++ {
+		x, y := randMat(g, rng), randMat(g, rng)
+		xs, xt := g.CosetKeyHn1(x)
+		ys, yt := g.CosetKeyHn1(y)
+		same := g.SameCosetHn1(x, y)
+		if same != (key{xs, xt} == key{ys, yt}) {
+			t.Fatalf("Hn1 coset key / SameCosetHn1 disagree for %v, %v", x, y)
+		}
+		// Stability under right H_{n-1} action.
+		a := uint32(1 + rng.Intn(int(f.Q)-1))
+		al := uint32(rng.Intn(int(f.Order)))
+		xh := g.Mul(x, g.MustMake(a, al, 0, 1))
+		hs, ht := g.CosetKeyHn1(xh)
+		if hs != xs || ht != xt {
+			t.Fatalf("Hn1 coset key changed under right action")
+		}
+	}
+	// Key ranges: s < (q^n−1)/(q−1), t ∈ [−1, q^n).
+	ugi := f.UnitGroupIndex()
+	count := make(map[key]bool)
+	g.Enumerate(func(m Mat) bool {
+		s, tt := g.CosetKeyHn1(m)
+		if s >= ugi || tt < -1 || tt >= int32(f.Order) {
+			t.Fatalf("key out of range: s=%d t=%d", s, tt)
+		}
+		count[key{s, tt}] = true
+		return true
+	})
+	wantN := int((uint64(f.Order) + 1) * uint64(ugi))
+	if len(count) != wantN {
+		t.Fatalf("distinct Hn1 cosets = %d, want N = %d", len(count), wantN)
+	}
+}
+
+func TestInvolutionAndTranslateForms(t *testing.T) {
+	g := newGroup(t, 1, 3)
+	if m := g.Translate(4); (m != Mat{1, 4, 0, 1}) {
+		t.Errorf("Translate(4) = %v", m)
+	}
+	if m := g.Involution(5); (m != Mat{5, 1, 1, 0}) {
+		t.Errorf("Involution(5) = %v", m)
+	}
+	// Involution is an involution in PGL₂ (char 2): (a 1;1 0)² = (a²+1, a; a, 1) …
+	// projectively equals identity only for a = 0; but (0 1; 1 0)² = I.
+	sq := g.Mul(g.Involution(0), g.Involution(0))
+	if sq != g.Identity() {
+		t.Errorf("(0 1;1 0)² = %v, want identity", sq)
+	}
+}

@@ -1,0 +1,143 @@
+package pram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CombineMode selects how concurrent writes to one address are resolved —
+// the CRCW write-conflict rules, applied client-side before the batch
+// reaches the (concurrent-access-free) module level.
+type CombineMode int
+
+const (
+	// CombinePriority keeps the write of the lowest-indexed processor.
+	CombinePriority CombineMode = iota
+	// CombineArbitrary keeps an arbitrary (here: first-seen) write.
+	CombineArbitrary
+	// CombineSum stores the sum of all written values (the Fetch&Add-style
+	// combining used by combining networks).
+	CombineSum
+	// CombineMax stores the maximum written value.
+	CombineMax
+)
+
+// WriteCombine performs one CRCW write step: addrs[i]/vals[i] is processor
+// i's write, concurrent writes to the same address are merged per mode.
+func (p *PRAM) WriteCombine(addrs, vals []uint64, mode CombineMode) error {
+	if len(addrs) != len(vals) {
+		return fmt.Errorf("pram: %d addresses but %d values", len(addrs), len(vals))
+	}
+	merged := make(map[uint64]uint64, len(addrs))
+	owner := make(map[uint64]int, len(addrs))
+	for i, a := range addrs {
+		cur, seen := merged[a]
+		if !seen {
+			merged[a] = vals[i]
+			owner[a] = i
+			continue
+		}
+		switch mode {
+		case CombinePriority:
+			if i < owner[a] {
+				merged[a] = vals[i]
+				owner[a] = i
+			}
+		case CombineArbitrary:
+			// keep first-seen
+		case CombineSum:
+			merged[a] = cur + vals[i]
+		case CombineMax:
+			if vals[i] > cur {
+				merged[a] = vals[i]
+			}
+		default:
+			return fmt.Errorf("pram: unknown combine mode %d", mode)
+		}
+	}
+	// Deterministic order for reproducible module traffic.
+	uniq := make([]uint64, 0, len(merged))
+	for a := range merged {
+		uniq = append(uniq, a)
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	wv := make([]uint64, len(uniq))
+	for i, a := range uniq {
+		wv[i] = merged[a]
+	}
+	return p.Write(uniq, wv)
+}
+
+// MaxReduce computes the maximum of the n values at base … base+n−1 using
+// CRCW-style combining: one read step plus one combining write into the
+// scratch cell out. It returns the maximum. (On a true CRCW PRAM this is
+// O(1) time with n² processors; here it is the combining-network analogue.)
+func (p *PRAM) MaxReduce(base uint64, n int, out uint64) (uint64, error) {
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = base + uint64(i)
+	}
+	vals, err := p.Read(addrs)
+	if err != nil {
+		return 0, err
+	}
+	outs := make([]uint64, n)
+	for i := range outs {
+		outs[i] = out
+	}
+	if err := p.WriteCombine(outs, vals, CombineMax); err != nil {
+		return 0, err
+	}
+	res, err := p.Read([]uint64{out})
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// BitonicSort sorts the n values stored at base … base+n−1 in place using
+// Batcher's bitonic network: O(log² n) EREW steps of disjoint
+// compare-exchange pairs. n must be a power of two.
+func (p *PRAM) BitonicSort(base uint64, n int) error {
+	if n&(n-1) != 0 || n == 0 {
+		return fmt.Errorf("pram: bitonic sort needs a power-of-two size, got %d", n)
+	}
+	for k := 2; k <= n; k *= 2 {
+		for j := k / 2; j >= 1; j /= 2 {
+			// One network stage: pairs (i, i^j) with i < i^j, direction by
+			// the k-block bit. All pair endpoints are disjoint, so one read
+			// batch + one write batch realizes the stage.
+			var lo, hi []uint64
+			var up []bool
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l > i {
+					lo = append(lo, base+uint64(i))
+					hi = append(hi, base+uint64(l))
+					up = append(up, i&k == 0)
+				}
+			}
+			a, err := p.Read(lo)
+			if err != nil {
+				return err
+			}
+			b, err := p.Read(hi)
+			if err != nil {
+				return err
+			}
+			wa := make([]uint64, len(a))
+			wb := make([]uint64, len(b))
+			for i := range a {
+				x, y := a[i], b[i]
+				if (x > y) == up[i] {
+					x, y = y, x
+				}
+				wa[i], wb[i] = x, y
+			}
+			if err := p.Write(append(append([]uint64{}, lo...), hi...), append(wa, wb...)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package pram
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestWriteCombineModes(t *testing.T) {
+	cases := []struct {
+		mode CombineMode
+		want uint64
+	}{
+		{CombinePriority, 10}, // lowest processor index wins
+		{CombineArbitrary, 10},
+		{CombineSum, 60},
+		{CombineMax, 30},
+	}
+	for _, c := range cases {
+		p := New(newMem(t))
+		addrs := []uint64{9, 9, 9}
+		vals := []uint64{10, 20, 30}
+		if err := p.WriteCombine(addrs, vals, c.mode); err != nil {
+			t.Fatalf("mode %d: %v", c.mode, err)
+		}
+		got, err := p.Read([]uint64{9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != c.want {
+			t.Fatalf("mode %d: got %d, want %d", c.mode, got[0], c.want)
+		}
+	}
+}
+
+func TestWriteCombineMixedAddresses(t *testing.T) {
+	p := New(newMem(t))
+	if err := p.WriteCombine(
+		[]uint64{1, 2, 1, 3, 2},
+		[]uint64{5, 6, 7, 8, 9},
+		CombineSum,
+	); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read([]uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{12, 15, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("addr %d: got %d want %d", i+1, got[i], want[i])
+		}
+	}
+	if err := p.WriteCombine([]uint64{1}, []uint64{1, 2}, CombineSum); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestMaxReduce(t *testing.T) {
+	p := New(newMem(t))
+	vals := []uint64{3, 99, 12, 45, 7, 99, 1, 50}
+	addrs := make([]uint64, len(vals))
+	for i := range addrs {
+		addrs[i] = uint64(i)
+	}
+	if err := p.Write(addrs, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.MaxReduce(0, len(vals), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("MaxReduce = %d, want 99", got)
+	}
+}
+
+func TestBitonicSort(t *testing.T) {
+	p := New(newMem(t))
+	const n = 256
+	rng := rand.New(rand.NewSource(21))
+	vals := make([]uint64, n)
+	addrs := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(10000))
+		addrs[i] = uint64(i)
+	}
+	if err := p.Write(addrs, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BitonicSort(0, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]uint64{}, vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitonicSortRejectsNonPowerOfTwo(t *testing.T) {
+	p := New(newMem(t))
+	if err := p.BitonicSort(0, 100); err == nil {
+		t.Fatal("non-power-of-two size accepted")
+	}
+	if err := p.BitonicSort(0, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestBitonicSortAlreadySortedAndReverse(t *testing.T) {
+	for _, reverse := range []bool{false, true} {
+		p := New(newMem(t))
+		const n = 64
+		vals := make([]uint64, n)
+		addrs := make([]uint64, n)
+		for i := range vals {
+			addrs[i] = uint64(i)
+			if reverse {
+				vals[i] = uint64(n - i)
+			} else {
+				vals[i] = uint64(i)
+			}
+		}
+		if err := p.Write(addrs, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.BitonicSort(0, n); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Read(addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < n; i++ {
+			if got[i] < got[i-1] {
+				t.Fatalf("reverse=%v: not sorted at %d", reverse, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package pram layers a PRAM-style shared-memory abstraction over the access
+// protocol — the application the granularity problem exists for: PRAM steps
+// become batches of distinct-variable reads/writes on the MPC, with the
+// memory organization deciding how fast each batch completes.
+//
+// The layer performs client-side read combining (deduplicating concurrent
+// reads of the same variable before they reach the module level), so CREW
+// programs such as pointer jumping run on the EREW-style batch protocol.
+// Writes must target distinct variables (exact duplicate writes — same
+// address, same value — are merged; conflicting ones are an error).
+package pram
+
+import (
+	"fmt"
+
+	"detshmem/internal/protocol"
+)
+
+// Memory is the shared-memory interface the PRAM runs on (satisfied by
+// *protocol.System for any Mapper).
+type Memory interface {
+	Access([]protocol.Request) (*protocol.Result, error)
+}
+
+// PRAM executes synchronous parallel steps against a Memory.
+type PRAM struct {
+	mem Memory
+
+	// Steps and Rounds accumulate executed PRAM steps (batches) and the MPC
+	// rounds they consumed.
+	Steps  int
+	Rounds int
+}
+
+// New builds a PRAM over mem.
+func New(mem Memory) *PRAM { return &PRAM{mem: mem} }
+
+// Read fetches the values of addrs (duplicates allowed; combined
+// client-side). One PRAM step.
+func (p *PRAM) Read(addrs []uint64) ([]uint64, error) {
+	uniq := make([]uint64, 0, len(addrs))
+	pos := make(map[uint64]int, len(addrs))
+	for _, a := range addrs {
+		if _, ok := pos[a]; !ok {
+			pos[a] = len(uniq)
+			uniq = append(uniq, a)
+		}
+	}
+	reqs := make([]protocol.Request, len(uniq))
+	for i, a := range uniq {
+		reqs[i] = protocol.Request{Var: a, Op: protocol.Read}
+	}
+	res, err := p.mem.Access(reqs)
+	if err != nil {
+		return nil, err
+	}
+	p.Steps++
+	p.Rounds += res.Metrics.TotalRounds
+	out := make([]uint64, len(addrs))
+	for i, a := range addrs {
+		out[i] = res.Values[pos[a]]
+	}
+	return out, nil
+}
+
+// Write stores vals[i] at addrs[i] (exact duplicates merged; conflicting
+// writes to one address rejected). One PRAM step.
+func (p *PRAM) Write(addrs, vals []uint64) error {
+	if len(addrs) != len(vals) {
+		return fmt.Errorf("pram: %d addresses but %d values", len(addrs), len(vals))
+	}
+	seen := make(map[uint64]uint64, len(addrs))
+	reqs := make([]protocol.Request, 0, len(addrs))
+	for i, a := range addrs {
+		if v, dup := seen[a]; dup {
+			if v != vals[i] {
+				return fmt.Errorf("pram: conflicting concurrent writes to address %d", a)
+			}
+			continue
+		}
+		seen[a] = vals[i]
+		reqs = append(reqs, protocol.Request{Var: a, Op: protocol.Write, Value: vals[i]})
+	}
+	res, err := p.mem.Access(reqs)
+	if err != nil {
+		return err
+	}
+	p.Steps++
+	p.Rounds += res.Metrics.TotalRounds
+	return nil
+}
+
+// PrefixSum computes, in place in shared memory, the inclusive prefix sums
+// of the n values stored at addresses base … base+n−1, using the standard
+// O(log n)-step doubling algorithm. Returns the number of PRAM steps used.
+func (p *PRAM) PrefixSum(base uint64, n int) (int, error) {
+	steps0 := p.Steps
+	idx := make([]uint64, 0, n)
+	for d := 1; d < n; d *= 2 {
+		// x[i] += x[i-d] for i >= d, computed as one read step (distinct
+		// addresses) followed by one write step.
+		idx = idx[:0]
+		for i := d; i < n; i++ {
+			idx = append(idx, base+uint64(i-d))
+		}
+		lower, err := p.Read(idx)
+		if err != nil {
+			return 0, err
+		}
+		idx = idx[:0]
+		for i := d; i < n; i++ {
+			idx = append(idx, base+uint64(i))
+		}
+		cur, err := p.Read(idx)
+		if err != nil {
+			return 0, err
+		}
+		vals := make([]uint64, len(idx))
+		for i := range idx {
+			vals[i] = cur[i] + lower[i]
+		}
+		if err := p.Write(idx, vals); err != nil {
+			return 0, err
+		}
+	}
+	return p.Steps - steps0, nil
+}
+
+// PointerJump finds, for every node i of a forest stored as parent pointers
+// at addresses base … base+n−1 (roots point to themselves), the root of i's
+// tree, using O(log n) CREW jumping steps. It returns the roots (the shared
+// array is modified in place).
+func (p *PRAM) PointerJump(base uint64, n int) ([]uint64, error) {
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = base + uint64(i)
+	}
+	parent, err := p.Read(addrs)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// Concurrent read of parent[parent[i]] — combining handles the
+		// fan-in at roots.
+		paddr := make([]uint64, n)
+		for i := range paddr {
+			paddr[i] = base + parent[i]
+		}
+		grand, err := p.Read(paddr)
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		for i := range parent {
+			if grand[i] != parent[i] {
+				changed = true
+			}
+		}
+		if err := p.Write(addrs, grand); err != nil {
+			return nil, err
+		}
+		parent = grand
+		if !changed {
+			return parent, nil
+		}
+	}
+}
+
+// ListRank computes, for each element of a linked list stored as successor
+// pointers at base … base+n−1 (the tail points to itself), its distance to
+// the tail, via pointer jumping with distance accumulation. Distances are
+// kept in a scratch shared array at dbase … dbase+n−1.
+func (p *PRAM) ListRank(base, dbase uint64, n int) ([]uint64, error) {
+	addrs := make([]uint64, n)
+	daddrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = base + uint64(i)
+		daddrs[i] = dbase + uint64(i)
+	}
+	next, err := p.Read(addrs)
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]uint64, n)
+	for i := range dist {
+		if next[i] != uint64(i) {
+			dist[i] = 1
+		}
+	}
+	if err := p.Write(daddrs, dist); err != nil {
+		return nil, err
+	}
+	for step := 0; ; step++ {
+		naddr := make([]uint64, n)
+		for i := range naddr {
+			naddr[i] = base + next[i]
+		}
+		nnext, err := p.Read(naddr)
+		if err != nil {
+			return nil, err
+		}
+		dn := make([]uint64, n)
+		for i := range dn {
+			dn[i] = dbase + next[i]
+		}
+		ndist, err := p.Read(dn)
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		for i := range next {
+			if next[i] != nnext[i] {
+				dist[i] += ndist[i]
+				next[i] = nnext[i]
+				changed = true
+			}
+		}
+		if err := p.Write(addrs, next); err != nil {
+			return nil, err
+		}
+		if err := p.Write(daddrs, dist); err != nil {
+			return nil, err
+		}
+		if !changed {
+			return dist, nil
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/core"
+	"detshmem/internal/protocol"
+)
+
+func newMem(t testing.TB) *protocol.System {
+	t.Helper()
+	s, err := core.New(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := protocol.NewSystem(s, idx, protocol.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestReadCombining(t *testing.T) {
+	p := New(newMem(t))
+	if err := p.Write([]uint64{10, 11}, []uint64{100, 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent reads of address 10 by many "processors".
+	got, err := p.Read([]uint64{10, 10, 11, 10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{100, 100, 200, 100, 200}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("read[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriteConflictDetection(t *testing.T) {
+	p := New(newMem(t))
+	if err := p.Write([]uint64{5, 5}, []uint64{1, 1}); err != nil {
+		t.Fatalf("identical duplicate writes should merge: %v", err)
+	}
+	if err := p.Write([]uint64{5, 5}, []uint64{1, 2}); err == nil {
+		t.Fatal("conflicting writes accepted")
+	}
+	if err := p.Write([]uint64{5}, []uint64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	p := New(newMem(t))
+	const n = 200
+	rng := rand.New(rand.NewSource(6))
+	vals := make([]uint64, n)
+	addrs := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1000))
+		addrs[i] = uint64(i)
+	}
+	if err := p.Write(addrs, vals); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := p.PrefixSum(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling uses 3 steps (2 reads + 1 write) per of the ceil(log2 n)=8 rounds.
+	if steps != 24 {
+		t.Fatalf("prefix sum used %d PRAM steps, want 24", steps)
+	}
+	got, err := p.Read(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := uint64(0)
+	for i := range vals {
+		sum += vals[i]
+		if got[i] != sum {
+			t.Fatalf("prefix[%d] = %d, want %d", i, got[i], sum)
+		}
+	}
+	if p.Rounds <= 0 || p.Steps <= 0 {
+		t.Fatal("metrics not accumulated")
+	}
+}
+
+func TestPointerJump(t *testing.T) {
+	p := New(newMem(t))
+	const n = 128
+	// Forest: two trees rooted at 0 and 64; node i's parent is i-1 within
+	// each half (long chains, the worst case for jumping depth).
+	parent := make([]uint64, n)
+	addrs := make([]uint64, n)
+	for i := range parent {
+		addrs[i] = uint64(i)
+		switch {
+		case i == 0 || i == 64:
+			parent[i] = uint64(i)
+		default:
+			parent[i] = uint64(i - 1)
+		}
+	}
+	if err := p.Write(addrs, parent); err != nil {
+		t.Fatal(err)
+	}
+	roots, err := p.PointerJump(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range roots {
+		want := uint64(0)
+		if i >= 64 {
+			want = 64
+		}
+		if roots[i] != want {
+			t.Fatalf("root[%d] = %d, want %d", i, roots[i], want)
+		}
+	}
+}
+
+func TestListRank(t *testing.T) {
+	p := New(newMem(t))
+	const n = 100
+	// A linked list in scrambled memory order: perm[i] is the node stored
+	// at address i; successor of the node at position k in list order is
+	// the node at position k+1.
+	rng := rand.New(rand.NewSource(8))
+	order := rng.Perm(n)
+	next := make([]uint64, n)
+	for k := 0; k < n-1; k++ {
+		next[order[k]] = uint64(order[k+1])
+	}
+	next[order[n-1]] = uint64(order[n-1]) // tail self-loop
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = uint64(i)
+	}
+	if err := p.Write(addrs, next); err != nil {
+		t.Fatal(err)
+	}
+	dist, err := p.ListRank(0, 1000, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, node := range order {
+		want := uint64(n - 1 - k)
+		if dist[node] != want {
+			t.Fatalf("rank of node %d (list position %d) = %d, want %d", node, k, dist[node], want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package pramvm
+
+// Canned PRAM programs. Each constructor returns a Program plus the register
+// count the VM needs to run it. Shared-memory layout is the caller's: `base`
+// addresses the working array, `flag` (for fixpoint programs) and `dcell`
+// (for the doubling counter) are caller-chosen scratch cells outside the
+// array.
+
+// PointerJumpProgram builds one pass of pointer jumping over the parent
+// array at base … base+n−1 (roots self-looped): parent[i] ← parent[parent[i]],
+// writing 1 to flag whenever any processor changed its parent. Run it with
+// RunUntil(prog, flag, ⌈log₂ n⌉+2); processor i handles node i.
+func PointerJumpProgram(base, flag uint64) (Program, int) {
+	const (
+		rPID = iota
+		rBase
+		rOwnAddr
+		rParent
+		rParentAddr
+		rGrand
+		rUnchanged
+		rOne
+		rChanged
+		rFlagAddr
+		nRegs
+	)
+	return Program{
+		{Op: OpPID, Dst: rPID},
+		{Op: OpConst, Dst: rBase, Imm: base},
+		{Op: OpAdd, Dst: rOwnAddr, A: rPID, B: rBase},
+		{Op: OpRead, Dst: rParent, A: rOwnAddr},
+		{Op: OpAdd, Dst: rParentAddr, A: rParent, B: rBase},
+		{Op: OpRead, Dst: rGrand, A: rParentAddr},
+		{Op: OpWrite, A: rOwnAddr, B: rGrand},
+		{Op: OpEq, Dst: rUnchanged, A: rParent, B: rGrand},
+		{Op: OpConst, Dst: rOne, Imm: 1},
+		{Op: OpSub, Dst: rChanged, A: rOne, B: rUnchanged},
+		{Op: OpPred, A: rChanged},
+		{Op: OpConst, Dst: rFlagAddr, Imm: flag},
+		{Op: OpWrite, A: rFlagAddr, B: rOne},
+		{Op: OpPredAll},
+	}, nRegs
+}
+
+// PrefixSumProgram builds one doubling pass of inclusive prefix sums over
+// base … base+n−1. The current stride d lives in shared cell dcell (the
+// caller initializes it to 1); processor 0 doubles it each pass and raises
+// flag while d < n. Run with RunUntil(prog, flag, ⌈log₂ n⌉+2).
+func PrefixSumProgram(base, dcell, flag uint64, n int) (Program, int) {
+	const (
+		rPID = iota
+		rBase
+		rD
+		rDAddr
+		rActive
+		rInactive
+		rSrcIdx
+		rSrcAddr
+		rOwnAddr
+		rLower
+		rOwn
+		rSum
+		rZero
+		rIsZeroPID
+		rD2
+		rN
+		rMore
+		rGate
+		rFlagAddr
+		rOne
+		nRegs
+	)
+	return Program{
+		{Op: OpPID, Dst: rPID},
+		{Op: OpConst, Dst: rBase, Imm: base},
+		{Op: OpConst, Dst: rDAddr, Imm: dcell},
+		{Op: OpRead, Dst: rD, A: rDAddr},
+		// active ⇔ pid >= d
+		{Op: OpLT, Dst: rInactive, A: rPID, B: rD},
+		{Op: OpConst, Dst: rOne, Imm: 1},
+		{Op: OpSub, Dst: rActive, A: rOne, B: rInactive},
+		{Op: OpPred, A: rActive},
+		{Op: OpSub, Dst: rSrcIdx, A: rPID, B: rD},
+		{Op: OpAdd, Dst: rSrcAddr, A: rSrcIdx, B: rBase},
+		{Op: OpRead, Dst: rLower, A: rSrcAddr},
+		{Op: OpAdd, Dst: rOwnAddr, A: rPID, B: rBase},
+		{Op: OpRead, Dst: rOwn, A: rOwnAddr},
+		{Op: OpAdd, Dst: rSum, A: rLower, B: rOwn},
+		{Op: OpWrite, A: rOwnAddr, B: rSum},
+		{Op: OpPredAll},
+		// Processor 0 doubles d and raises the flag while d·2 < n.
+		{Op: OpConst, Dst: rZero, Imm: 0},
+		{Op: OpEq, Dst: rIsZeroPID, A: rPID, B: rZero},
+		{Op: OpPred, A: rIsZeroPID},
+		{Op: OpAdd, Dst: rD2, A: rD, B: rD},
+		{Op: OpWrite, A: rDAddr, B: rD2},
+		{Op: OpConst, Dst: rN, Imm: uint64(n)},
+		{Op: OpLT, Dst: rMore, A: rD2, B: rN},
+		{Op: OpMul, Dst: rGate, A: rIsZeroPID, B: rMore},
+		{Op: OpPred, A: rGate},
+		{Op: OpConst, Dst: rFlagAddr, Imm: flag},
+		{Op: OpWrite, A: rFlagAddr, B: rOne},
+		{Op: OpPredAll},
+	}, nRegs
+}
+
+// MaxProgram computes the maximum of base … base+n−1 into shared cell out
+// with a single CRCW-Max step. Run once with Run (no fixpoint needed);
+// processor i handles element i.
+func MaxProgram(base, out uint64) (Program, int) {
+	const (
+		rPID = iota
+		rBase
+		rOwnAddr
+		rVal
+		rOut
+		nRegs
+	)
+	return Program{
+		{Op: OpPID, Dst: rPID},
+		{Op: OpConst, Dst: rBase, Imm: base},
+		{Op: OpAdd, Dst: rOwnAddr, A: rPID, B: rBase},
+		{Op: OpRead, Dst: rVal, A: rOwnAddr},
+		{Op: OpConst, Dst: rOut, Imm: out},
+		{Op: OpWriteMax, A: rOut, B: rVal},
+	}, nRegs
+}
+
+// HistogramProgram counts, with one Fetch&Add-style step, how many elements
+// of base … base+n−1 fall in each bucket value (elements are assumed to be
+// bucket ids < nbuckets), accumulating into buckets at bbase … — a classic
+// combining-network workload.
+func HistogramProgram(base, bbase uint64) (Program, int) {
+	const (
+		rPID = iota
+		rBase
+		rOwnAddr
+		rVal
+		rBBase
+		rBucketAddr
+		rOne
+		nRegs
+	)
+	return Program{
+		{Op: OpPID, Dst: rPID},
+		{Op: OpConst, Dst: rBase, Imm: base},
+		{Op: OpAdd, Dst: rOwnAddr, A: rPID, B: rBase},
+		{Op: OpRead, Dst: rVal, A: rOwnAddr},
+		{Op: OpConst, Dst: rBBase, Imm: bbase},
+		{Op: OpAdd, Dst: rBucketAddr, A: rVal, B: rBBase},
+		{Op: OpConst, Dst: rOne, Imm: 1},
+		{Op: OpWriteSum, A: rBucketAddr, B: rOne},
+	}, nRegs
+}

@@ -1,0 +1,296 @@
+// Package pramvm is a small PRAM virtual machine: P processors execute the
+// same straight-line instruction sequence in lockstep (SIMD style, with
+// per-processor registers and predication), and every shared-memory
+// instruction becomes one batch on the underlying memory organization — the
+// exact "simulate an idealized parallel machine on banked memory" scenario
+// the granularity problem comes from.
+//
+// Shared reads are combined (CREW); shared writes use priority combining
+// (CRCW-Priority: the lowest-numbered active processor wins). Loops are
+// host-controlled: Run executes the program once, RunUntil re-executes it
+// until a designated shared flag cell stays zero (programs signal progress
+// by writing the flag), which expresses fixpoint algorithms such as pointer
+// jumping without per-processor control flow.
+package pramvm
+
+import (
+	"fmt"
+
+	"detshmem/internal/pram"
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Instruction set. Register operands name per-processor registers; A/B are
+// sources, Dst the destination. Every processor executes every instruction,
+// gated by its predicate register (set via SetPred/PredGE/...).
+const (
+	// OpConst: r[Dst] = Imm.
+	OpConst Op = iota
+	// OpPID: r[Dst] = processor id.
+	OpPID
+	// OpMov: r[Dst] = r[A].
+	OpMov
+	// OpAdd: r[Dst] = r[A] + r[B].
+	OpAdd
+	// OpSub: r[Dst] = r[A] − r[B] (wrapping).
+	OpSub
+	// OpMul: r[Dst] = r[A] · r[B] (wrapping).
+	OpMul
+	// OpMin: r[Dst] = min(r[A], r[B]).
+	OpMin
+	// OpMax: r[Dst] = max(r[A], r[B]).
+	OpMax
+	// OpShr: r[Dst] = r[A] >> Imm.
+	OpShr
+	// OpEq: r[Dst] = 1 if r[A] == r[B] else 0.
+	OpEq
+	// OpLT: r[Dst] = 1 if r[A] < r[B] else 0.
+	OpLT
+	// OpSelect: r[Dst] = r[A] if r[Pred-slot B] != 0 … rendered as
+	// r[Dst] = (r[C]!=0) ? r[A] : r[B]; C is carried in Imm.
+	OpSelect
+	// OpPred: predicate register = (r[A] != 0); subsequent instructions
+	// only execute on processors whose predicate holds, until OpPredAll.
+	OpPred
+	// OpPredAll: re-enable all processors.
+	OpPredAll
+	// OpRead: r[Dst] = shared[r[A]] (one combined read batch per OpRead).
+	OpRead
+	// OpWrite: shared[r[A]] = r[B] (one priority-combined write batch).
+	OpWrite
+	// OpWriteMax: shared[r[A]] = max over writers of r[B] (CRCW-Max).
+	OpWriteMax
+	// OpWriteSum: shared[r[A]] = Σ over writers of r[B] (Fetch&Add-style).
+	OpWriteSum
+)
+
+// Instr is one lockstep instruction.
+type Instr struct {
+	Op   Op
+	Dst  int
+	A, B int
+	Imm  uint64
+}
+
+// Program is a straight-line instruction sequence.
+type Program []Instr
+
+// VM executes programs over a PRAM (which supplies combining and the
+// underlying memory organization).
+type VM struct {
+	mem   *pram.PRAM
+	procs int
+	nreg  int
+
+	regs [][]uint64 // [proc][reg]
+	pred []bool
+
+	// scratch
+	addrs, vals []uint64
+	who         []int
+}
+
+// New builds a VM with procs processors and nreg registers each.
+func New(mem *pram.PRAM, procs, nreg int) (*VM, error) {
+	if procs <= 0 || nreg <= 0 {
+		return nil, fmt.Errorf("pramvm: need positive processor and register counts")
+	}
+	regs := make([][]uint64, procs)
+	for p := range regs {
+		regs[p] = make([]uint64, nreg)
+	}
+	return &VM{
+		mem:   mem,
+		procs: procs,
+		nreg:  nreg,
+		regs:  regs,
+		pred:  make([]bool, procs),
+	}, nil
+}
+
+// Reg returns processor p's register r (for result extraction in tests and
+// callers).
+func (vm *VM) Reg(p, r int) uint64 { return vm.regs[p][r] }
+
+// Run executes the program once, lockstep. It returns the number of shared
+// batches issued.
+func (vm *VM) Run(prog Program) (batches int, err error) {
+	for p := range vm.pred {
+		vm.pred[p] = true
+	}
+	for pc, ins := range prog {
+		if err := vm.checkRegs(ins); err != nil {
+			return batches, fmt.Errorf("pramvm: pc %d: %w", pc, err)
+		}
+		switch ins.Op {
+		case OpConst:
+			vm.each(func(r []uint64) { r[ins.Dst] = ins.Imm })
+		case OpPID:
+			for p := 0; p < vm.procs; p++ {
+				if vm.pred[p] {
+					vm.regs[p][ins.Dst] = uint64(p)
+				}
+			}
+		case OpMov:
+			vm.each(func(r []uint64) { r[ins.Dst] = r[ins.A] })
+		case OpAdd:
+			vm.each(func(r []uint64) { r[ins.Dst] = r[ins.A] + r[ins.B] })
+		case OpSub:
+			vm.each(func(r []uint64) { r[ins.Dst] = r[ins.A] - r[ins.B] })
+		case OpMul:
+			vm.each(func(r []uint64) { r[ins.Dst] = r[ins.A] * r[ins.B] })
+		case OpMin:
+			vm.each(func(r []uint64) {
+				if r[ins.B] < r[ins.A] {
+					r[ins.Dst] = r[ins.B]
+				} else {
+					r[ins.Dst] = r[ins.A]
+				}
+			})
+		case OpMax:
+			vm.each(func(r []uint64) {
+				if r[ins.B] > r[ins.A] {
+					r[ins.Dst] = r[ins.B]
+				} else {
+					r[ins.Dst] = r[ins.A]
+				}
+			})
+		case OpShr:
+			vm.each(func(r []uint64) { r[ins.Dst] = r[ins.A] >> (ins.Imm & 63) })
+		case OpEq:
+			vm.each(func(r []uint64) { r[ins.Dst] = b2u(r[ins.A] == r[ins.B]) })
+		case OpLT:
+			vm.each(func(r []uint64) { r[ins.Dst] = b2u(r[ins.A] < r[ins.B]) })
+		case OpSelect:
+			c := int(ins.Imm)
+			if c < 0 || c >= vm.nreg {
+				return batches, fmt.Errorf("pramvm: pc %d: select condition register %d out of range", pc, c)
+			}
+			vm.each(func(r []uint64) {
+				if r[c] != 0 {
+					r[ins.Dst] = r[ins.A]
+				} else {
+					r[ins.Dst] = r[ins.B]
+				}
+			})
+		case OpPred:
+			for p := 0; p < vm.procs; p++ {
+				vm.pred[p] = vm.regs[p][ins.A] != 0
+			}
+		case OpPredAll:
+			for p := range vm.pred {
+				vm.pred[p] = true
+			}
+		case OpRead:
+			if err := vm.sharedRead(ins); err != nil {
+				return batches, err
+			}
+			batches++
+		case OpWrite:
+			if err := vm.sharedWrite(ins, pram.CombinePriority); err != nil {
+				return batches, err
+			}
+			batches++
+		case OpWriteMax:
+			if err := vm.sharedWrite(ins, pram.CombineMax); err != nil {
+				return batches, err
+			}
+			batches++
+		case OpWriteSum:
+			if err := vm.sharedWrite(ins, pram.CombineSum); err != nil {
+				return batches, err
+			}
+			batches++
+		default:
+			return batches, fmt.Errorf("pramvm: pc %d: unknown opcode %d", pc, ins.Op)
+		}
+	}
+	return batches, nil
+}
+
+// RunUntil repeatedly executes the program while the shared flag cell is
+// nonzero after a pass, clearing it before each pass; maxIters bounds the
+// loop. It returns the number of passes.
+func (vm *VM) RunUntil(prog Program, flag uint64, maxIters int) (int, error) {
+	for iter := 1; iter <= maxIters; iter++ {
+		if err := vm.mem.Write([]uint64{flag}, []uint64{0}); err != nil {
+			return iter, err
+		}
+		if _, err := vm.Run(prog); err != nil {
+			return iter, err
+		}
+		v, err := vm.mem.Read([]uint64{flag})
+		if err != nil {
+			return iter, err
+		}
+		if v[0] == 0 {
+			return iter, nil
+		}
+	}
+	return maxIters, fmt.Errorf("pramvm: no fixpoint within %d passes", maxIters)
+}
+
+func (vm *VM) each(f func(r []uint64)) {
+	for p := 0; p < vm.procs; p++ {
+		if vm.pred[p] {
+			f(vm.regs[p])
+		}
+	}
+}
+
+func (vm *VM) sharedRead(ins Instr) error {
+	vm.addrs = vm.addrs[:0]
+	vm.who = vm.who[:0]
+	for p := 0; p < vm.procs; p++ {
+		if vm.pred[p] {
+			vm.addrs = append(vm.addrs, vm.regs[p][ins.A])
+			vm.who = append(vm.who, p)
+		}
+	}
+	if len(vm.addrs) == 0 {
+		return nil
+	}
+	got, err := vm.mem.Read(vm.addrs)
+	if err != nil {
+		return err
+	}
+	for i, p := range vm.who {
+		vm.regs[p][ins.Dst] = got[i]
+	}
+	return nil
+}
+
+func (vm *VM) sharedWrite(ins Instr, mode pram.CombineMode) error {
+	vm.addrs = vm.addrs[:0]
+	vm.vals = vm.vals[:0]
+	for p := 0; p < vm.procs; p++ {
+		if vm.pred[p] {
+			vm.addrs = append(vm.addrs, vm.regs[p][ins.A])
+			vm.vals = append(vm.vals, vm.regs[p][ins.B])
+		}
+	}
+	if len(vm.addrs) == 0 {
+		return nil
+	}
+	// Processors are appended in id order, so CombinePriority keeps the
+	// lowest-numbered writer (CRCW-Priority semantics).
+	return vm.mem.WriteCombine(vm.addrs, vm.vals, mode)
+}
+
+func (vm *VM) checkRegs(ins Instr) error {
+	for _, r := range []int{ins.Dst, ins.A, ins.B} {
+		if r < 0 || r >= vm.nreg {
+			return fmt.Errorf("register %d out of range [0,%d)", r, vm.nreg)
+		}
+	}
+	return nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,302 @@
+package pramvm
+
+import (
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/core"
+	"detshmem/internal/pram"
+	"detshmem/internal/protocol"
+)
+
+func newVM(t testing.TB, procs, nreg int) (*VM, *pram.PRAM) {
+	t.Helper()
+	s, err := core.New(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := protocol.NewSystem(s, idx, protocol.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := pram.New(sys)
+	vm, err := New(mem, procs, nreg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm, mem
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0, 4); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := New(nil, 4, 0); err == nil {
+		t.Error("zero registers accepted")
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	vm, _ := newVM(t, 4, 8)
+	prog := Program{
+		{Op: OpPID, Dst: 0},
+		{Op: OpConst, Dst: 1, Imm: 10},
+		{Op: OpAdd, Dst: 2, A: 0, B: 1},   // pid+10
+		{Op: OpMul, Dst: 3, A: 0, B: 0},   // pid²
+		{Op: OpSub, Dst: 4, A: 1, B: 0},   // 10−pid
+		{Op: OpMin, Dst: 5, A: 0, B: 1},   // min(pid,10)
+		{Op: OpMax, Dst: 6, A: 3, B: 1},   // max(pid²,10)
+		{Op: OpShr, Dst: 7, A: 1, Imm: 1}, // 5
+	}
+	if _, err := vm.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		pid := uint64(p)
+		checks := map[int]uint64{
+			2: pid + 10, 3: pid * pid, 4: 10 - pid, 5: pid, 7: 5,
+		}
+		for r, want := range checks {
+			if got := vm.Reg(p, r); got != want {
+				t.Fatalf("proc %d reg %d = %d, want %d", p, r, got, want)
+			}
+		}
+		wantMax := uint64(10)
+		if pid*pid > 10 {
+			wantMax = pid * pid
+		}
+		if vm.Reg(p, 6) != wantMax {
+			t.Fatalf("proc %d max = %d", p, vm.Reg(p, 6))
+		}
+	}
+}
+
+func TestPredication(t *testing.T) {
+	vm, _ := newVM(t, 8, 6)
+	prog := Program{
+		{Op: OpPID, Dst: 0},
+		{Op: OpConst, Dst: 1, Imm: 4},
+		{Op: OpLT, Dst: 2, A: 0, B: 1}, // pid < 4
+		{Op: OpConst, Dst: 3, Imm: 111},
+		{Op: OpPred, A: 2},
+		{Op: OpConst, Dst: 3, Imm: 222}, // only pid < 4
+		{Op: OpPredAll},
+	}
+	if _, err := vm.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 8; p++ {
+		want := uint64(111)
+		if p < 4 {
+			want = 222
+		}
+		if got := vm.Reg(p, 3); got != want {
+			t.Fatalf("proc %d reg3 = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestSharedReadWritePriority(t *testing.T) {
+	vm, mem := newVM(t, 6, 6)
+	// All processors write pid to cell 50 (priority: proc 0 wins), then all
+	// read it back.
+	prog := Program{
+		{Op: OpPID, Dst: 0},
+		{Op: OpConst, Dst: 1, Imm: 50},
+		{Op: OpWrite, A: 1, B: 0},
+		{Op: OpRead, Dst: 2, A: 1},
+	}
+	batches, err := vm.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 2 {
+		t.Fatalf("batches = %d, want 2", batches)
+	}
+	for p := 0; p < 6; p++ {
+		if vm.Reg(p, 2) != 0 {
+			t.Fatalf("priority write lost: proc %d read %d", p, vm.Reg(p, 2))
+		}
+	}
+	got, err := mem.Read([]uint64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatalf("cell 50 = %d, want 0 (lowest pid)", got[0])
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	vm, _ := newVM(t, 2, 3)
+	if _, err := vm.Run(Program{{Op: OpMov, Dst: 5, A: 0}}); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+	if _, err := vm.Run(Program{{Op: OpSelect, Dst: 0, A: 1, B: 2, Imm: 99}}); err == nil {
+		t.Error("out-of-range select condition accepted")
+	}
+	if _, err := vm.Run(Program{{Op: Op(200), Dst: 0}}); err == nil {
+		t.Error("unknown opcode accepted")
+	}
+}
+
+func TestPointerJumpProgram(t *testing.T) {
+	const n = 64
+	vm, mem := newVM(t, n, 16)
+	base, flag := uint64(0), uint64(1000)
+	parent := make([]uint64, n)
+	addrs := make([]uint64, n)
+	for i := range parent {
+		addrs[i] = uint64(i)
+		if i == 0 || i == 32 {
+			parent[i] = uint64(i) // two roots
+		} else {
+			parent[i] = uint64(i - 1) // chains
+		}
+	}
+	if err := mem.Write(addrs, parent); err != nil {
+		t.Fatal(err)
+	}
+	prog, nreg := PointerJumpProgram(base, flag)
+	if nreg > 16 {
+		t.Fatalf("program needs %d registers", nreg)
+	}
+	passes, err := vm.RunUntil(prog, flag, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes > 8 { // ⌈log₂ 32⌉ + slack
+		t.Fatalf("pointer jumping took %d passes", passes)
+	}
+	got, err := mem.Read(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := uint64(0)
+		if i >= 32 {
+			want = 32
+		}
+		if got[i] != want {
+			t.Fatalf("root[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestPrefixSumProgram(t *testing.T) {
+	const n = 100
+	vm, mem := newVM(t, n, 24)
+	base, dcell, flag := uint64(0), uint64(500), uint64(501)
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]uint64, n)
+	addrs := make([]uint64, n)
+	for i := range vals {
+		addrs[i] = uint64(i)
+		vals[i] = uint64(rng.Intn(100))
+	}
+	if err := mem.Write(addrs, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Write([]uint64{dcell}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	prog, nreg := PrefixSumProgram(base, dcell, flag, n)
+	if nreg > 24 {
+		t.Fatalf("program needs %d registers", nreg)
+	}
+	if _, err := vm.RunUntil(prog, flag, 10); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.Read(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := uint64(0)
+	for i := range vals {
+		sum += vals[i]
+		if got[i] != sum {
+			t.Fatalf("prefix[%d] = %d, want %d", i, got[i], sum)
+		}
+	}
+}
+
+func TestMaxProgram(t *testing.T) {
+	const n = 40
+	vm, mem := newVM(t, n, 8)
+	vals := make([]uint64, n)
+	addrs := make([]uint64, n)
+	for i := range vals {
+		addrs[i] = uint64(i)
+		vals[i] = uint64((i * 37) % 97)
+	}
+	if err := mem.Write(addrs, vals); err != nil {
+		t.Fatal(err)
+	}
+	prog, nreg := MaxProgram(0, 900)
+	if nreg > 8 {
+		t.Fatalf("program needs %d registers", nreg)
+	}
+	if _, err := vm.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.Read([]uint64{900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0)
+	for _, v := range vals {
+		if v > want {
+			want = v
+		}
+	}
+	if got[0] != want {
+		t.Fatalf("max = %d, want %d", got[0], want)
+	}
+}
+
+func TestHistogramProgram(t *testing.T) {
+	const n = 64
+	vm, mem := newVM(t, n, 8)
+	vals := make([]uint64, n)
+	addrs := make([]uint64, n)
+	for i := range vals {
+		addrs[i] = uint64(i)
+		vals[i] = uint64(i % 4) // buckets 0..3, 16 each
+	}
+	if err := mem.Write(addrs, vals); err != nil {
+		t.Fatal(err)
+	}
+	prog, nreg := HistogramProgram(0, 800)
+	if nreg > 8 {
+		t.Fatalf("program needs %d registers", nreg)
+	}
+	if _, err := vm.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.Read([]uint64{800, 801, 802, 803})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, c := range got {
+		if c != 16 {
+			t.Fatalf("bucket %d = %d, want 16", b, c)
+		}
+	}
+}
+
+func TestRunUntilBudget(t *testing.T) {
+	vm, _ := newVM(t, 2, 8)
+	// A program that always raises the flag never reaches a fixpoint.
+	prog := Program{
+		{Op: OpConst, Dst: 0, Imm: 700},
+		{Op: OpConst, Dst: 1, Imm: 1},
+		{Op: OpWrite, A: 0, B: 1},
+	}
+	if _, err := vm.RunUntil(prog, 700, 5); err == nil {
+		t.Fatal("expected fixpoint-budget error")
+	}
+}

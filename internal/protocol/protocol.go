@@ -1,0 +1,494 @@
+// Package protocol implements the Section 3 access protocol of
+// Pietracaprina–Preparata on top of the core memory organization and the MPC
+// simulator: processors are grouped into clusters of q+1, a batch of distinct
+// read/write requests is served in q+1 phases, and within a phase the cluster
+// members repeatedly bid for the q+1 copies of their cluster's current
+// variable until a quorum (q/2+1, the majority) of copies has been touched.
+// Copies carry timestamps (the Upfal–Wigderson adaptation of Thomas'
+// majority-consensus rule), so a read that reaches any read quorum is
+// guaranteed to see the most recently written value.
+//
+// The executor is generic over the Mapper interface, so the comparison
+// baselines (Mehlhorn–Vishkin write-all/read-one, single-copy hashing,
+// Upfal–Wigderson random graphs) run under the exact same MPC accounting.
+//
+// The number of iterations a phase needs is the quantity Φ bounded by
+// Theorem 6: Φ ∈ O(N^{1/3} log* N) for constant q. Metrics expose the
+// per-iteration live-variable counts so the Recurrence (2) envelope can be
+// checked empirically.
+package protocol
+
+import (
+	"fmt"
+
+	"detshmem/internal/core"
+	"detshmem/internal/mpc"
+)
+
+// Op is the kind of memory access.
+type Op uint8
+
+const (
+	// Read fetches the variable's current value.
+	Read Op = iota
+	// Write replaces the variable's value.
+	Write
+)
+
+// Request is one processor's access request for a batch. Variables within a
+// batch must be pairwise distinct (the paper's EREW-style assumption).
+type Request struct {
+	Var   uint64 // variable index under the system's Mapper
+	Op    Op
+	Value uint64 // payload for Write; ignored for Read
+}
+
+// Metrics reports how the protocol performed on one batch.
+type Metrics struct {
+	Phases          int     // number of phases executed (cluster size)
+	PhaseIterations []int   // MPC iterations used by each phase
+	MaxIterations   int     // Φ: max over phases
+	TotalRounds     int     // Σ PhaseIterations — total MPC time for the batch
+	LiveTrace       [][]int // per phase: live (incomplete) variables after each iteration
+	CopyAccesses    int     // total copies touched (grants consumed by quorums)
+	// InterconnectCost is the machine's cumulative cost for the batch: equal
+	// to TotalRounds on the plain MPC, the routed link-step total on a
+	// network machine.
+	InterconnectCost uint64
+	// Unfinished lists request indices whose quorum could not be met within
+	// the iteration bound (only possible under failure injection).
+	Unfinished []int
+}
+
+// Result carries read values (aligned with the request slice; zero for
+// writes) and the batch metrics.
+type Result struct {
+	Values  []uint64
+	Metrics Metrics
+}
+
+// CopyPolicy selects how many copies a variable keeps in flight.
+type CopyPolicy int
+
+const (
+	// PolicyAllCancel is the paper's rule: all r copies bid, and the
+	// variable's outstanding bids are cancelled once its quorum succeeded.
+	PolicyAllCancel CopyPolicy = iota
+	// PolicyFixedMajority is an ablation: only the first quorum-many copies
+	// ever bid, with no slack copies to route around congestion.
+	PolicyFixedMajority
+)
+
+// Machine abstracts the interconnect executing one synchronous request
+// round: reqs[p] is the module processor p addresses (or mpc.Idle), grant[p]
+// reports whether p's request was the one its module served. Cost() is the
+// cumulative interconnect time in whatever unit the machine charges (rounds
+// for the plain MPC, link steps for a routed network).
+type Machine interface {
+	Round(reqs []int64, grant []bool) int
+	Cost() uint64
+}
+
+// Config tunes the protocol run.
+type Config struct {
+	Arb      mpc.Arbiter // module arbitration policy
+	Seed     uint64      // seed for mpc.ArbRandom
+	Parallel bool        // use the goroutine MPC engine
+	Workers  int         // goroutine count for the parallel engine
+	Policy   CopyPolicy
+	// ClusterSize overrides the default cluster size (= the copy count);
+	// 0 means default. It must be at least the larger quorum.
+	ClusterSize int
+	// TraceLive records LiveTrace (costs one counter sweep per iteration).
+	TraceLive bool
+	// NewMachine overrides interconnect construction (failure injection,
+	// routed networks); nil uses the plain MPC.
+	NewMachine func(cfg mpc.Config) (Machine, error)
+	// MaxIterationsPerPhase bounds a phase's iteration count; 0 means the
+	// generous default 8N+64. The bound can only trigger when requests are
+	// genuinely unservable (e.g. a variable lost a quorum of its copies to
+	// failed modules); such requests are reported in Metrics.Unfinished and
+	// Access returns ErrIncomplete.
+	MaxIterationsPerPhase int
+	// CacheAddresses memoizes each variable's copy addresses after the
+	// first resolution. The mapping is static for every scheme in this
+	// repository, so caching only trades memory (Copies·16 bytes per
+	// distinct variable touched) for skipping the O(log N) address
+	// computation on repeats.
+	CacheAddresses bool
+}
+
+// System binds a memory organization (as a Mapper), copy storage and an MPC
+// configuration into a runnable shared-memory abstraction.
+type System struct {
+	Mapper Mapper
+	// Scheme and Index are set when the system wraps the core organization
+	// (NewSystem); nil for generic baseline systems.
+	Scheme *core.Scheme
+	Index  core.Indexer
+
+	cfg   Config
+	store store
+	ts    uint64 // batch timestamp, incremented per Access
+
+	// Machine reuse: rebuilding interconnect state per batch is wasteful
+	// when consecutive batches have the same processor count.
+	machine      Machine
+	machineProcs int
+	machineCost  uint64 // machine.Cost() at the start of the current batch
+
+	addrCache map[uint64][]assignment // variable -> copy assignments
+}
+
+// NewSystem builds a protocol system for the Pietracaprina–Preparata scheme.
+func NewSystem(s *core.Scheme, idx core.Indexer, cfg Config) (*System, error) {
+	sys, err := NewGenericSystem(NewCoreMapper(s, idx), cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys.Scheme = s
+	sys.Index = idx
+	return sys, nil
+}
+
+// NewGenericSystem builds a protocol system over any Mapper. It validates
+// the quorum-intersection requirement ReadQuorum + WriteQuorum > Copies.
+func NewGenericSystem(m Mapper, cfg Config) (*System, error) {
+	r, w, c := m.ReadQuorum(), m.WriteQuorum(), m.Copies()
+	if r < 1 || w < 1 || r > c || w > c {
+		return nil, fmt.Errorf("protocol: quorums (%d,%d) out of range for %d copies", r, w, c)
+	}
+	if r+w <= c {
+		return nil, fmt.Errorf("protocol: quorums (%d,%d) do not intersect over %d copies", r, w, c)
+	}
+	if cfg.ClusterSize < 0 {
+		return nil, fmt.Errorf("protocol: negative cluster size")
+	}
+	if cfg.ClusterSize == 0 {
+		cfg.ClusterSize = c
+	}
+	maxQ := r
+	if w > maxQ {
+		maxQ = w
+	}
+	if cfg.ClusterSize < maxQ {
+		// With one copy per cluster member, fewer members than the quorum
+		// can never complete an access.
+		return nil, fmt.Errorf("protocol: cluster size %d below quorum %d", cfg.ClusterSize, maxQ)
+	}
+	return &System{
+		Mapper: m,
+		cfg:    cfg,
+		store:  newStore(m.AddrSpace()),
+	}, nil
+}
+
+// assignment is one processor's job within a phase: one copy of one request.
+type assignment struct {
+	req    int32
+	module int64
+	addr   uint64
+}
+
+// quorum returns the number of copies the request's operation must touch.
+func (sys *System) quorum(op Op) int32 {
+	if op == Write {
+		return int32(sys.Mapper.WriteQuorum())
+	}
+	return int32(sys.Mapper.ReadQuorum())
+}
+
+// Access executes one batch of at most N distinct-variable requests and
+// returns read values plus metrics. The batch is one synchronous
+// shared-memory step: all writes in it carry the same timestamp, and a read
+// in a later batch is guaranteed to observe the latest earlier write.
+func (sys *System) Access(reqs []Request) (*Result, error) {
+	m := sys.Mapper
+	if uint64(len(reqs)) > m.NumModules() {
+		return nil, fmt.Errorf("protocol: batch of %d exceeds N = %d", len(reqs), m.NumModules())
+	}
+	seen := make(map[uint64]struct{}, len(reqs))
+	for _, r := range reqs {
+		if r.Var >= m.NumVars() {
+			return nil, fmt.Errorf("protocol: variable %d out of range [0,%d)", r.Var, m.NumVars())
+		}
+		if _, dup := seen[r.Var]; dup {
+			return nil, fmt.Errorf("protocol: variable %d requested twice in one batch", r.Var)
+		}
+		seen[r.Var] = struct{}{}
+	}
+	sys.ts++
+
+	clusterSize := sys.cfg.ClusterSize
+	numClusters := (len(reqs) + clusterSize - 1) / clusterSize
+	if numClusters == 0 {
+		return &Result{Values: []uint64{}}, nil
+	}
+	procs := numClusters * clusterSize
+
+	machine, err := sys.obtainMachine(procs)
+	if err != nil {
+		return nil, err
+	}
+	maxIters := sys.cfg.MaxIterationsPerPhase
+	if maxIters == 0 {
+		maxIters = 8*int(m.NumModules()) + 64
+	}
+
+	// Resolve every copy address up front (the per-processor O(log N)
+	// address computation of Section 4).
+	copies := sys.resolveCopies(reqs)
+	nCopies := m.Copies()
+
+	res := &Result{Values: make([]uint64, len(reqs))}
+	remaining := make([]int32, len(reqs)) // copies still needed per request
+	bestTS := make([]uint64, len(reqs))
+	bestVal := make([]uint64, len(reqs))
+
+	mreqs := make([]int64, procs)
+	grant := make([]bool, procs)
+	for p := range mreqs {
+		mreqs[p] = mpc.Idle
+	}
+
+	res.Metrics.Phases = clusterSize
+	for phase := 0; phase < clusterSize; phase++ {
+		// Build the task list: cluster i serves request i*clusterSize+phase;
+		// member j bids for copy j (members beyond the in-flight copy count
+		// idle).
+		var tasks []taskRef
+		for i := 0; i < numClusters; i++ {
+			r := i*clusterSize + phase
+			if r >= len(reqs) {
+				continue
+			}
+			remaining[r] = sys.quorum(reqs[r].Op)
+			bestTS[r] = 0
+			bestVal[r] = 0
+			inFlight := nCopies
+			if sys.cfg.Policy == PolicyFixedMajority {
+				inFlight = int(remaining[r])
+			}
+			if inFlight > clusterSize {
+				inFlight = clusterSize
+			}
+			for j := 0; j < inFlight; j++ {
+				tasks = append(tasks, taskRef{proc: int32(i*clusterSize + j), a: copies[r*nCopies+j]})
+			}
+		}
+		iters := 0
+		var live []int
+		for len(tasks) > 0 && iters < maxIters {
+			for _, t := range tasks {
+				mreqs[t.proc] = t.a.module
+			}
+			machine.Round(mreqs, grant)
+			iters++
+			next := tasks[:0]
+			for _, t := range tasks {
+				mreqs[t.proc] = mpc.Idle
+				r := t.a.req
+				if !grant[t.proc] {
+					if remaining[r] > 0 {
+						next = append(next, t)
+					}
+					continue
+				}
+				if remaining[r] <= 0 {
+					// Granted after the quorum already completed; a
+					// cancelled bid whose result is unused.
+					continue
+				}
+				sys.touch(reqs[r], t.a, r, bestTS, bestVal)
+				res.Metrics.CopyAccesses++
+				remaining[r]--
+			}
+			tasks = next
+			if sys.cfg.TraceLive {
+				cnt := 0
+				for i := 0; i < numClusters; i++ {
+					r := i*clusterSize + phase
+					if r < len(reqs) && remaining[r] > 0 {
+						cnt++
+					}
+				}
+				live = append(live, cnt)
+			}
+		}
+		if len(tasks) > 0 {
+			// The iteration bound tripped: some variables could not reach
+			// their quorum (only possible when modules are failing). Clear
+			// the leftover request slots and record the casualties.
+			for _, t := range tasks {
+				mreqs[t.proc] = mpc.Idle
+			}
+			seenReq := make(map[int32]bool)
+			for _, t := range tasks {
+				if remaining[t.a.req] > 0 && !seenReq[t.a.req] {
+					seenReq[t.a.req] = true
+					res.Metrics.Unfinished = append(res.Metrics.Unfinished, int(t.a.req))
+				}
+			}
+		}
+		// Commit read results for this phase.
+		for i := 0; i < numClusters; i++ {
+			r := i*clusterSize + phase
+			if r < len(reqs) && reqs[r].Op == Read && remaining[r] <= 0 {
+				res.Values[r] = bestVal[r]
+			}
+		}
+		res.Metrics.PhaseIterations = append(res.Metrics.PhaseIterations, iters)
+		if iters > res.Metrics.MaxIterations {
+			res.Metrics.MaxIterations = iters
+		}
+		res.Metrics.TotalRounds += iters
+		if sys.cfg.TraceLive {
+			res.Metrics.LiveTrace = append(res.Metrics.LiveTrace, live)
+		}
+	}
+	res.Metrics.InterconnectCost = machine.Cost() - sys.machineCost
+	if len(res.Metrics.Unfinished) > 0 {
+		return res, fmt.Errorf("%w: %d of %d requests could not reach a quorum",
+			ErrIncomplete, len(res.Metrics.Unfinished), len(reqs))
+	}
+	return res, nil
+}
+
+// ErrIncomplete is wrapped by Access when some requests could not reach
+// their quorum within the iteration bound (failure injection). The returned
+// Result is still valid for the completed requests.
+var ErrIncomplete = errIncomplete{}
+
+type errIncomplete struct{}
+
+func (errIncomplete) Error() string { return "protocol: quorum unreachable" }
+
+type taskRef struct {
+	proc int32
+	a    assignment
+}
+
+// obtainMachine returns a machine sized for procs bidders, reusing the
+// previous batch's machine when the geometry matches (interconnect state —
+// round counters, network queues — carries over; per-batch cost is taken as
+// a delta against machineCost).
+func (sys *System) obtainMachine(procs int) (Machine, error) {
+	if sys.machine != nil && sys.machineProcs == procs {
+		sys.machineCost = sys.machine.Cost()
+		return sys.machine, nil
+	}
+	mcfg := mpc.Config{
+		Procs:    procs,
+		Modules:  int(sys.Mapper.NumModules()),
+		Arb:      sys.cfg.Arb,
+		Seed:     sys.cfg.Seed,
+		Parallel: sys.cfg.Parallel,
+		Workers:  sys.cfg.Workers,
+	}
+	var machine Machine
+	var err error
+	if sys.cfg.NewMachine != nil {
+		machine, err = sys.cfg.NewMachine(mcfg)
+	} else {
+		machine, err = mpc.New(mcfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sys.machine = machine
+	sys.machineProcs = procs
+	sys.machineCost = machine.Cost()
+	return machine, nil
+}
+
+// resolveCopies computes the (module, address) of every copy of every
+// requested variable, consulting the address cache when enabled.
+func (sys *System) resolveCopies(reqs []Request) []assignment {
+	nCopies := sys.Mapper.Copies()
+	out := make([]assignment, len(reqs)*nCopies)
+	if sys.cfg.CacheAddresses && sys.addrCache == nil {
+		sys.addrCache = make(map[uint64][]assignment)
+	}
+	for r := range reqs {
+		if sys.cfg.CacheAddresses {
+			cached, ok := sys.addrCache[reqs[r].Var]
+			if !ok {
+				cached = make([]assignment, nCopies)
+				for c := 0; c < nCopies; c++ {
+					mod, addr := sys.Mapper.CopyAddr(reqs[r].Var, c)
+					cached[c] = assignment{module: int64(mod), addr: addr}
+				}
+				sys.addrCache[reqs[r].Var] = cached
+			}
+			for c := 0; c < nCopies; c++ {
+				a := cached[c]
+				a.req = int32(r)
+				out[r*nCopies+c] = a
+			}
+			continue
+		}
+		for c := 0; c < nCopies; c++ {
+			mod, addr := sys.Mapper.CopyAddr(reqs[r].Var, c)
+			out[r*nCopies+c] = assignment{req: int32(r), module: int64(mod), addr: addr}
+		}
+	}
+	return out
+}
+
+// touch performs the physical copy access for a granted bid.
+func (sys *System) touch(req Request, a assignment, r int32, bestTS, bestVal []uint64) {
+	switch req.Op {
+	case Write:
+		sys.store.put(a.addr, cell{val: req.Value, ts: sys.ts})
+	case Read:
+		c := sys.store.get(a.addr)
+		// Quorum rule: among the copies read, the one with the newest
+		// timestamp holds the variable's current value. ts is compared with
+		// >= so the zero-initialized state is well-defined too.
+		if c.ts >= bestTS[r] {
+			bestTS[r] = c.ts
+			bestVal[r] = c.val
+		}
+	}
+}
+
+// ReadBatch is a convenience wrapper issuing a read-only batch. On
+// ErrIncomplete the partial values and metrics are still returned.
+func (sys *System) ReadBatch(vars []uint64) ([]uint64, *Metrics, error) {
+	reqs := make([]Request, len(vars))
+	for i, v := range vars {
+		reqs[i] = Request{Var: v, Op: Read}
+	}
+	res, err := sys.Access(reqs)
+	if res == nil {
+		return nil, nil, err
+	}
+	return res.Values, &res.Metrics, err
+}
+
+// WriteBatch is a convenience wrapper issuing a write-only batch.
+func (sys *System) WriteBatch(vars []uint64, vals []uint64) (*Metrics, error) {
+	if len(vars) != len(vals) {
+		return nil, fmt.Errorf("protocol: %d vars but %d values", len(vars), len(vals))
+	}
+	reqs := make([]Request, len(vars))
+	for i, v := range vars {
+		reqs[i] = Request{Var: v, Op: Write, Value: vals[i]}
+	}
+	res, err := sys.Access(reqs)
+	if res == nil {
+		return nil, err
+	}
+	return &res.Metrics, err
+}
+
+// CopyState reports, for invariant tests, the timestamps of all copies of a
+// variable.
+func (sys *System) CopyState(v uint64) []uint64 {
+	out := make([]uint64, sys.Mapper.Copies())
+	for c := range out {
+		_, addr := sys.Mapper.CopyAddr(v, c)
+		out[c] = sys.store.get(addr).ts
+	}
+	return out
+}

@@ -1,0 +1,332 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/core"
+	"detshmem/internal/mpc"
+)
+
+func newSystem(t testing.TB, m, n int, cfg Config) *System {
+	t.Helper()
+	s, err := core.New(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(s, idx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestWriteThenRead(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 3}, {1, 5}, {2, 3}} {
+		sys := newSystem(t, c.m, c.n, Config{})
+		vars := []uint64{0, 1, 5, 17, 33}
+		vals := []uint64{100, 200, 300, 400, 500}
+		if _, err := sys.WriteBatch(vars, vals); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := sys.ReadBatch(vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vars {
+			if got[i] != vals[i] {
+				t.Fatalf("q=%d n=%d: read var %d = %d, want %d", sys.Scheme.Q, c.n, vars[i], got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	sys := newSystem(t, 1, 3, Config{})
+	got, _, err := sys.ReadBatch([]uint64{3, 7, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("unwritten variable read %d at %d", v, i)
+		}
+	}
+}
+
+// TestMajorityInvariant: the paper's central consistency property. A write
+// touches exactly q/2+1 copies; q/2 copies stay stale; yet every subsequent
+// read (which also touches only a majority) returns the new value.
+func TestMajorityInvariant(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{1, 5}, {2, 3}} {
+		sys := newSystem(t, c.m, c.n, Config{})
+		v := uint64(42)
+		if _, err := sys.WriteBatch([]uint64{v}, []uint64{777}); err != nil {
+			t.Fatal(err)
+		}
+		ts := sys.CopyState(v)
+		fresh := 0
+		for _, x := range ts {
+			if x != 0 {
+				fresh++
+			}
+		}
+		if fresh != sys.Scheme.Majority {
+			t.Fatalf("q=%d: write touched %d copies, want exactly majority %d", sys.Scheme.Q, fresh, sys.Scheme.Majority)
+		}
+		// Repeat reads: every majority choice must return 777.
+		for trial := 0; trial < 5; trial++ {
+			got, _, err := sys.ReadBatch([]uint64{v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != 777 {
+				t.Fatalf("stale read: got %d", got[0])
+			}
+		}
+	}
+}
+
+// TestReferenceModel runs a long random sequence of mixed batches against a
+// plain map and checks every read.
+func TestReferenceModel(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Policy: PolicyFixedMajority},
+		{Arb: mpc.ArbRandom, Seed: 5},
+		{Arb: mpc.ArbRoundRobin},
+	} {
+		sys := newSystem(t, 1, 5, cfg)
+		ref := make(map[uint64]uint64)
+		rng := rand.New(rand.NewSource(77))
+		M := sys.Index.M()
+		for batch := 0; batch < 40; batch++ {
+			k := 1 + rng.Intn(200)
+			chosen := make(map[uint64]bool, k)
+			var reqs []Request
+			for len(chosen) < k {
+				v := uint64(rng.Intn(int(M)))
+				if chosen[v] {
+					continue
+				}
+				chosen[v] = true
+				if rng.Intn(2) == 0 {
+					reqs = append(reqs, Request{Var: v, Op: Write, Value: rng.Uint64()})
+				} else {
+					reqs = append(reqs, Request{Var: v, Op: Read})
+				}
+			}
+			res, err := sys.Access(reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range reqs {
+				if r.Op == Read {
+					if res.Values[i] != ref[r.Var] {
+						t.Fatalf("cfg=%+v batch %d: read %d = %d, want %d",
+							cfg, batch, r.Var, res.Values[i], ref[r.Var])
+					}
+				}
+			}
+			for _, r := range reqs {
+				if r.Op == Write {
+					ref[r.Var] = r.Value
+				}
+			}
+		}
+	}
+}
+
+// TestFullBatch drives a complete N-request batch (the Theorem 1 workload)
+// and sanity-checks the metrics.
+func TestFullBatch(t *testing.T) {
+	sys := newSystem(t, 1, 5, Config{TraceLive: true})
+	N := int(sys.Scheme.NumModules)
+	vars := make([]uint64, N)
+	vals := make([]uint64, N)
+	for i := range vars {
+		vars[i] = uint64(i)
+		vals[i] = uint64(i) * 3
+	}
+	met, err := sys.WriteBatch(vars, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Phases != sys.Scheme.Copies {
+		t.Fatalf("phases = %d, want q+1 = %d", met.Phases, sys.Scheme.Copies)
+	}
+	if len(met.PhaseIterations) != met.Phases {
+		t.Fatalf("PhaseIterations length %d", len(met.PhaseIterations))
+	}
+	sum := 0
+	for _, it := range met.PhaseIterations {
+		sum += it
+		if it <= 0 {
+			t.Fatalf("phase with %d iterations", it)
+		}
+	}
+	if sum != met.TotalRounds {
+		t.Fatalf("TotalRounds %d != Σ %d", met.TotalRounds, sum)
+	}
+	if met.MaxIterations > met.TotalRounds || met.MaxIterations == 0 {
+		t.Fatalf("Φ = %d out of range", met.MaxIterations)
+	}
+	// Each request accesses exactly a majority of copies.
+	if met.CopyAccesses != N*sys.Scheme.Majority {
+		t.Fatalf("copy accesses = %d, want %d", met.CopyAccesses, N*sys.Scheme.Majority)
+	}
+	// Live trace must be non-increasing and end at zero in every phase.
+	for p, trace := range met.LiveTrace {
+		for i := 1; i < len(trace); i++ {
+			if trace[i] > trace[i-1] {
+				t.Fatalf("phase %d: live count increased at iteration %d", p, i)
+			}
+		}
+		if len(trace) > 0 && trace[len(trace)-1] != 0 {
+			t.Fatalf("phase %d: live count ends at %d", p, trace[len(trace)-1])
+		}
+	}
+	got, _, err := sys.ReadBatch(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != vals[i] {
+			t.Fatalf("full-batch readback mismatch at %d", i)
+		}
+	}
+}
+
+// TestEngineEquivalence: the goroutine MPC engine yields identical values
+// and iteration counts to the sequential one.
+func TestEngineEquivalence(t *testing.T) {
+	seqSys := newSystem(t, 1, 5, Config{})
+	parSys := newSystem(t, 1, 5, Config{Parallel: true, Workers: 5})
+	rng := rand.New(rand.NewSource(3))
+	M := seqSys.Index.M()
+	for batch := 0; batch < 10; batch++ {
+		k := 50 + rng.Intn(300)
+		chosen := make(map[uint64]bool)
+		var reqs []Request
+		for len(chosen) < k {
+			v := uint64(rng.Intn(int(M)))
+			if chosen[v] {
+				continue
+			}
+			chosen[v] = true
+			op := Read
+			if rng.Intn(2) == 0 {
+				op = Write
+			}
+			reqs = append(reqs, Request{Var: v, Op: op, Value: rng.Uint64()})
+		}
+		r1, err := seqSys.Access(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := parSys.Access(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range r1.Values {
+			if r1.Values[i] != r2.Values[i] {
+				t.Fatalf("batch %d: engines disagree on value %d", batch, i)
+			}
+		}
+		if r1.Metrics.TotalRounds != r2.Metrics.TotalRounds ||
+			r1.Metrics.MaxIterations != r2.Metrics.MaxIterations {
+			t.Fatalf("batch %d: engines disagree on metrics: %+v vs %+v",
+				batch, r1.Metrics, r2.Metrics)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	sys := newSystem(t, 1, 3, Config{})
+	if _, err := sys.Access([]Request{{Var: 2}, {Var: 2}}); err == nil {
+		t.Error("duplicate variable accepted")
+	}
+	if _, err := sys.Access([]Request{{Var: sys.Index.M()}}); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	big := make([]Request, sys.Scheme.NumModules+1)
+	for i := range big {
+		big[i] = Request{Var: uint64(i)}
+	}
+	if _, err := sys.Access(big); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	if _, err := sys.WriteBatch([]uint64{1}, []uint64{1, 2}); err == nil {
+		t.Error("mismatched WriteBatch accepted")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	sys := newSystem(t, 1, 3, Config{})
+	res, err := sys.Access(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 0 {
+		t.Fatal("non-empty result for empty batch")
+	}
+}
+
+func TestClusterSizeValidation(t *testing.T) {
+	s, err := core.New(2, 3) // q=4: majority 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem(s, idx, Config{ClusterSize: 2}); err == nil {
+		t.Error("cluster size below majority accepted")
+	}
+	if _, err := NewSystem(s, idx, Config{ClusterSize: -1}); err == nil {
+		t.Error("negative cluster size accepted")
+	}
+	// Majority-sized and oversized clusters are both legal.
+	for _, cs := range []int{3, 5, 8} {
+		sys, err := NewSystem(s, idx, Config{ClusterSize: cs})
+		if err != nil {
+			t.Fatalf("cluster size %d rejected: %v", cs, err)
+		}
+		if _, err := sys.WriteBatch([]uint64{1, 2, 3, 4, 5, 6, 7}, []uint64{1, 2, 3, 4, 5, 6, 7}); err != nil {
+			t.Fatalf("cluster size %d: %v", cs, err)
+		}
+		got, _, err := sys.ReadBatch([]uint64{1, 2, 3, 4, 5, 6, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != uint64(i+1) {
+				t.Fatalf("cluster size %d: read %d = %d", cs, i+1, v)
+			}
+		}
+	}
+}
+
+// TestOverwriteSequence: repeated writes to the same variable across batches
+// always surface the latest value, exercising timestamp ordering.
+func TestOverwriteSequence(t *testing.T) {
+	sys := newSystem(t, 1, 5, Config{})
+	v := uint64(123)
+	for round := 1; round <= 20; round++ {
+		if _, err := sys.WriteBatch([]uint64{v}, []uint64{uint64(round * 11)}); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := sys.ReadBatch([]uint64{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != uint64(round*11) {
+			t.Fatalf("round %d: read %d", round, got[0])
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package protocol
+
+// cell is one physical copy: a value and the timestamp of its last write
+// (the paper's time-stamped copies, after Thomas' majority-consensus rule).
+type cell struct {
+	val uint64
+	ts  uint64
+}
+
+// store addresses cells by the flat copy address module·q^{n-1} + offset.
+type store interface {
+	get(addr uint64) cell
+	put(addr uint64, c cell)
+}
+
+// denseThreshold caps the flat-array store at 2^26 cells (1 GiB of cells
+// would be wasteful for sparse access patterns on big instances).
+const denseThreshold = 1 << 26
+
+// newStore picks a dense array for small copy spaces and a map for large
+// ones; both start logically zeroed (value 0 at timestamp 0).
+func newStore(cells uint64) store {
+	if cells <= denseThreshold {
+		return denseStore(make([]cell, cells))
+	}
+	return sparseStore(make(map[uint64]cell))
+}
+
+type denseStore []cell
+
+func (d denseStore) get(addr uint64) cell    { return d[addr] }
+func (d denseStore) put(addr uint64, c cell) { d[addr] = c }
+
+type sparseStore map[uint64]cell
+
+func (s sparseStore) get(addr uint64) cell    { return s[addr] }
+func (s sparseStore) put(addr uint64, c cell) { s[addr] = c }

@@ -1,0 +1,128 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestStoreSelection: newStore picks dense below the threshold, sparse above.
+func TestStoreSelection(t *testing.T) {
+	if _, ok := newStore(1024).(denseStore); !ok {
+		t.Error("small store not dense")
+	}
+	if _, ok := newStore(denseThreshold + 1).(sparseStore); !ok {
+		t.Error("huge store not sparse")
+	}
+}
+
+// TestStoreEquivalenceQuick: dense and sparse stores behave identically
+// under random operation sequences.
+func TestStoreEquivalenceQuick(t *testing.T) {
+	const space = 512
+	prop := func(ops []struct {
+		Addr uint64
+		Val  uint64
+		Put  bool
+	}) bool {
+		d := denseStore(make([]cell, space))
+		s := sparseStore(make(map[uint64]cell))
+		for i, op := range ops {
+			addr := op.Addr % space
+			if op.Put {
+				c := cell{val: op.Val, ts: uint64(i)}
+				d.put(addr, c)
+				s.put(addr, c)
+			} else if d.get(addr) != s.get(addr) {
+				return false
+			}
+		}
+		for a := uint64(0); a < space; a++ {
+			if d.get(a) != s.get(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sparseMapper wraps a Mapper reporting an address space beyond the dense
+// threshold, forcing the sparse store while keeping actual addresses small.
+type sparseMapper struct{ Mapper }
+
+func (s sparseMapper) AddrSpace() uint64 { return denseThreshold + 1 }
+
+// TestProtocolSparseStoreEquivalence: the same batch sequence produces the
+// same values and metrics under dense and sparse storage.
+func TestProtocolSparseStoreEquivalence(t *testing.T) {
+	mk := func(sparse bool) *System {
+		base := newSystem(t, 1, 5, Config{})
+		m := base.Mapper
+		if sparse {
+			m = sparseMapper{m}
+		}
+		sys, err := NewGenericSystem(m, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	a, b := mk(false), mk(true)
+	if _, ok := b.store.(sparseStore); !ok {
+		t.Fatal("sparse system did not get a sparse store")
+	}
+	vars := []uint64{0, 5, 10, 100, 1000}
+	vals := []uint64{9, 8, 7, 6, 5}
+	m1, err := a.WriteBatch(vars, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := b.WriteBatch(vars, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.TotalRounds != m2.TotalRounds {
+		t.Fatalf("rounds differ: %d vs %d", m1.TotalRounds, m2.TotalRounds)
+	}
+	g1, _, err := a.ReadBatch(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := b.ReadBatch(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] || g1[i] != vals[i] {
+			t.Fatalf("value mismatch at %d: %d / %d / %d", i, g1[i], g2[i], vals[i])
+		}
+	}
+}
+
+// TestReadIdempotence: reading the same batch twice returns identical values
+// and identical metrics (reads do not mutate protocol-relevant state).
+func TestReadIdempotence(t *testing.T) {
+	sys := newSystem(t, 1, 5, Config{})
+	vars := []uint64{1, 2, 3, 400, 500}
+	if _, err := sys.WriteBatch(vars, []uint64{10, 20, 30, 40, 50}); err != nil {
+		t.Fatal(err)
+	}
+	v1, m1, err := sys.ReadBatch(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, m2, err := sys.ReadBatch(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("read not idempotent at %d", i)
+		}
+	}
+	if m1.TotalRounds != m2.TotalRounds {
+		t.Fatalf("metrics differ across identical reads: %d vs %d", m1.TotalRounds, m2.TotalRounds)
+	}
+}

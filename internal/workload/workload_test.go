@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/core"
+)
+
+func TestDistinctRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{0, 1, 10, 100} {
+		out := DistinctRandom(rng, 1000, k)
+		if len(out) != k {
+			t.Fatalf("got %d, want %d", len(out), k)
+		}
+		seen := make(map[uint64]bool)
+		for _, v := range out {
+			if v >= 1000 || seen[v] {
+				t.Fatalf("bad sample %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	// Dense regime (k close to m) and clamping.
+	out := DistinctRandom(rng, 50, 50)
+	if len(out) != 50 {
+		t.Fatalf("dense sample size %d", len(out))
+	}
+	if got := DistinctRandom(rng, 10, 99); len(got) != 10 {
+		t.Fatalf("clamp failed: %d", len(got))
+	}
+}
+
+func TestStride(t *testing.T) {
+	out := Stride(100, 10, 7)
+	if len(out) != 10 {
+		t.Fatalf("size %d", len(out))
+	}
+	seen := make(map[uint64]bool)
+	for i, v := range out {
+		if v != uint64(i*7%100) {
+			t.Fatalf("stride value %d at %d", v, i)
+		}
+		if seen[v] {
+			t.Fatal("duplicate")
+		}
+		seen[v] = true
+	}
+}
+
+func TestGammaConcentrated(t *testing.T) {
+	s, err := core.New(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := int(s.ModuleSize) * 3
+	vars, err := GammaConcentrated(s, idx, 0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != k {
+		t.Fatalf("got %d vars, want %d", len(vars), k)
+	}
+	seen := make(map[uint64]bool)
+	for _, v := range vars {
+		if seen[v] {
+			t.Fatal("duplicate variable")
+		}
+		seen[v] = true
+	}
+	// Locality property: the variables' copies only span modules
+	// {0,1,2,...} ∪ their Γ² neighborhoods; in particular every variable
+	// has a copy in modules {0..3} (it was drawn from one of them; 3 full
+	// modules plus dedup spill can reach a 4th).
+	for _, v := range vars {
+		a := idx.Mat(v)
+		found := false
+		for _, j := range s.VarModules(nil, a) {
+			if j <= 3 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("variable %d has no copy in the concentration window", v)
+		}
+	}
+}
+
+func TestSubfieldSet(t *testing.T) {
+	s, err := core.New(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, err := SubfieldSet(s, idx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PGL₂(2³) has 504 elements and H₀ = PGL₂(2) has 6: the embedded coset
+	// space has 84 variables.
+	if len(vars) != 84 {
+		t.Fatalf("|subfield set| = %d, want 84", len(vars))
+	}
+	seen := make(map[uint64]bool)
+	for _, v := range vars {
+		if seen[v] {
+			t.Fatal("duplicate")
+		}
+		seen[v] = true
+	}
+	// Expansion witness: the subfield set's Γ(S) should sit near the
+	// Theorem 4 floor, far below the q+1-regular upper bound.
+	mods := make(map[uint64]bool)
+	for _, v := range vars {
+		for _, j := range s.VarModules(nil, idx.Mat(v)) {
+			mods[j] = true
+		}
+	}
+	if len(mods) >= len(vars)*3/2 {
+		t.Fatalf("subfield set expands too much to be a tightness witness: %d modules for %d vars",
+			len(mods), len(vars))
+	}
+}
+
+func TestSubfieldSetValidation(t *testing.T) {
+	s, err := core.New(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SubfieldSet(s, idx, 3); err == nil {
+		t.Error("3 does not divide 5; expected error")
+	}
+}
