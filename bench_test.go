@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"detshmem/internal/affine"
@@ -12,6 +13,7 @@ import (
 	"detshmem/internal/baseline"
 	"detshmem/internal/core"
 	"detshmem/internal/experiments"
+	"detshmem/internal/frontend"
 	"detshmem/internal/mpc"
 	"detshmem/internal/network"
 	"detshmem/internal/pram"
@@ -20,7 +22,7 @@ import (
 )
 
 // The benchmarks below regenerate the measured side of every experiment in
-// DESIGN.md's per-experiment index (E1–E10), plus the ablations. Each bench
+// DESIGN.md's per-experiment index (E1–E15), plus the ablations. Each bench
 // reports domain metrics (MPC rounds, Φ) alongside ns/op.
 
 func mustScheme(b *testing.B, m, n int) (*core.Scheme, core.Indexer) {
@@ -533,6 +535,60 @@ func BenchmarkE14Audit(b *testing.B) {
 			b.Fatal("audit failed")
 		}
 	}
+}
+
+// BenchmarkE15Frontend measures combining-frontend throughput: 8 concurrent
+// clients submitting asynchronous hot-spot traffic over the PP93 system,
+// reporting the fraction of ops that never became protocol requests.
+func BenchmarkE15Frontend(b *testing.B) {
+	sys := mustSystem(b, 1, 5, protocol.Config{})
+	fe, err := frontend.New(sys, frontend.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fe.Close()
+	const clients, window = 8, 64
+	m := sys.Mapper.NumVars()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 42))
+			stream := workload.HotSpot(rng, m, (b.N+clients-1)/clients, 16, 0.85)
+			pending := make([]*frontend.Future, 0, window)
+			drain := func() {
+				for _, fut := range pending {
+					if _, err := fut.Wait(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				pending = pending[:0]
+			}
+			for i, v := range stream {
+				var fut *frontend.Future
+				var err error
+				if i%3 == 0 {
+					fut, err = fe.WriteAsync(v, uint64(i))
+				} else {
+					fut, err = fe.ReadAsync(v)
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				pending = append(pending, fut)
+				if len(pending) == window {
+					drain()
+				}
+			}
+			drain()
+		}(c)
+	}
+	wg.Wait()
+	b.ReportMetric(fe.Stats().CombiningRate(), "combined/op")
 }
 
 // BenchmarkE11FailureMasking measures a full batch with one failed module

@@ -1,6 +1,6 @@
-// Command smembench regenerates the experiment tables E1–E10 (the paper's
-// analytical claims as measurements). See DESIGN.md for the per-experiment
-// index and EXPERIMENTS.md for recorded results.
+// Command smembench regenerates the experiment tables E1–E15 (the paper's
+// analytical claims as measurements, plus the extensions). See DESIGN.md for
+// the per-experiment index and EXPERIMENTS.md for recorded results.
 //
 // Usage:
 //
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment ids (e1..e10); empty = all")
+		expFlag = flag.String("exp", "", "comma-separated experiment ids (e1..e15); empty = all")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
 		seed    = flag.Int64("seed", 0, "workload RNG seed (0 = default)")
 	)

@@ -1,0 +1,98 @@
+// Example frontend: many asynchronous clients over the synchronous batch
+// protocol via the combining frontend. Eight goroutines hammer a small hot
+// set of shared counters; the frontend coalesces their operations into
+// EREW-legal batches (distinct variables only) and the combining statistics
+// show how many client ops never became protocol requests at all.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"detshmem/internal/core"
+	"detshmem/internal/frontend"
+	"detshmem/internal/protocol"
+)
+
+func main() {
+	// q=2, n=3: N=63 modules, M=84 variables, 3 copies, majority 2.
+	scheme, err := core.New(1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := scheme.NewIndexer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := protocol.NewSystem(scheme, idx, protocol.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe, err := frontend.New(sys, frontend.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each client pipelines a window of asynchronous operations — the
+	// submit-then-wait pattern that lets the dispatcher see concurrent ops
+	// and combine them (fully synchronous clients would serialize into
+	// one-op batches).
+	const clients, opsPerClient, window, hotVars = 8, 500, 16, 4
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			pending := make([]*frontend.Future, 0, window)
+			drain := func() {
+				for _, fut := range pending {
+					if _, err := fut.Wait(); err != nil {
+						log.Fatal(err)
+					}
+				}
+				pending = pending[:0]
+			}
+			for i := 0; i < opsPerClient; i++ {
+				v := uint64(rng.Intn(hotVars))
+				var fut *frontend.Future
+				var err error
+				if i%2 == 0 {
+					fut, err = fe.WriteAsync(v, uint64(c)<<16|uint64(i))
+				} else {
+					fut, err = fe.ReadAsync(v)
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				if pending = append(pending, fut); len(pending) == window {
+					drain()
+				}
+			}
+			drain()
+		}(c)
+	}
+	wg.Wait()
+
+	for v := uint64(0); v < hotVars; v++ {
+		val, err := fe.Read(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("var %d: last committed value %d (client %d, op %d)\n",
+			v, val, val>>16, val&0xffff)
+	}
+	if err := fe.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	s := fe.Stats()
+	fmt.Printf("\n%d client ops -> %d protocol requests in %d batches (combining rate %.1f%%)\n",
+		s.OpsIn, s.RequestsOut, s.Batches, 100*s.CombiningRate())
+	fmt.Printf("read sharing %d, write coalescing %d, read-after-write forwards %d\n",
+		s.CombinedReads, s.CoalescedWrites, s.ForwardedReads)
+	fmt.Printf("protocol cost: %d MPC rounds total, max per-batch Φ = %d\n",
+		s.TotalRounds, s.MaxPhi)
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"detshmem/internal/frontend"
+	"detshmem/internal/protocol"
+	"detshmem/internal/workload"
+)
+
+// E15 measures the combining frontend: concurrent clients submit
+// asynchronous read/write streams, the dispatcher coalesces them into
+// EREW-legal protocol batches, and the table reports how many protocol
+// requests actually reached the memory versus raw client operations
+// (combining rate), alongside throughput. On hot-spot traffic the frontend
+// should issue far fewer requests than it admits — the same effect CRCW
+// combining has inside one PRAM step, applied across asynchronous clients —
+// while uniform traffic shows the protocol-bound baseline.
+func E15(w io.Writer, o Options) error {
+	n := 5
+	totalOps := 24000
+	clientCounts := []int{4, 32}
+	if o.Quick {
+		n = 3
+		totalOps = 3000
+		clientCounts = []int{2, 8}
+	}
+	inst, err := newE7Instance(n)
+	if err != nil {
+		return err
+	}
+	schemes := []protocol.Mapper{inst.pp, inst.mv, inst.si}
+	workloads := []struct {
+		name string
+		p    float64 // probability of hitting the 16-variable hot set
+	}{
+		{"uniform", 0},
+		{"hot-spot", 0.85},
+	}
+
+	fprintf(w, "E15 Combining frontend: concurrent clients over the batch protocol (q=2, n=%d, N=%d, M=%d, %d ops/run)\n",
+		n, inst.s.NumModules, inst.s.NumVariables, totalOps)
+	fprintf(w, "%-18s %-9s %8s %8s %9s %10s %7s %8s %12s\n",
+		"scheme", "workload", "clients", "ops in", "reqs out", "combine%", "maxΦ", "rounds", "ops/sec")
+	for _, m := range schemes {
+		for _, wl := range workloads {
+			for _, clients := range clientCounts {
+				sys, err := protocol.NewGenericSystem(m, protocol.Config{})
+				if err != nil {
+					return err
+				}
+				fe, err := frontend.New(sys, frontend.Config{})
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				if err := driveFrontend(fe, m.NumVars(), clients, totalOps/clients, wl.p, o.Seed); err != nil {
+					return err
+				}
+				if err := fe.Close(); err != nil {
+					return err
+				}
+				elapsed := time.Since(start)
+				s := fe.Stats()
+				fprintf(w, "%-18s %-9s %8d %8d %9d %10.1f %7d %8d %12.0f\n",
+					m.Name(), wl.name, clients, s.OpsIn, s.RequestsOut,
+					100*s.CombiningRate(), s.MaxPhi, s.TotalRounds,
+					float64(s.OpsIn)/elapsed.Seconds())
+			}
+		}
+	}
+	fprintf(w, "  (combine%% = ops that never became protocol requests: shared reads,\n")
+	fprintf(w, "   last-writer-wins coalescing, and read-after-write forwarding. Hot-spot\n")
+	fprintf(w, "   traffic combines heavily — the issued-request count decouples from the\n")
+	fprintf(w, "   op count — while uniform traffic stays protocol-bound. ops/sec is\n")
+	fprintf(w, "   wall-clock and machine-dependent; all other columns are deterministic\n")
+	fprintf(w, "   up to goroutine interleaving.)\n\n")
+	return nil
+}
+
+// driveFrontend runs clients goroutines, each submitting opsPer operations
+// (30% writes) in asynchronous windows so batches genuinely combine.
+func driveFrontend(fe *frontend.Frontend, vars uint64, clients, opsPer int, hotP float64, seed int64) error {
+	const window = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 1993 + int64(c)*104729))
+			stream := workload.HotSpot(rng, vars, opsPer, 16, hotP)
+			pending := make([]*frontend.Future, 0, window)
+			drain := func() bool {
+				for _, fut := range pending {
+					if _, err := fut.Wait(); err != nil {
+						errs <- err
+						return false
+					}
+				}
+				pending = pending[:0]
+				return true
+			}
+			for i, v := range stream {
+				var fut *frontend.Future
+				var err error
+				if rng.Intn(100) < 30 {
+					fut, err = fe.WriteAsync(v, uint64(c)<<32|uint64(i))
+				} else {
+					fut, err = fe.ReadAsync(v)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				pending = append(pending, fut)
+				if len(pending) == window && !drain() {
+					return
+				}
+			}
+			drain()
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return fmt.Errorf("frontend client: %w", err)
+		}
+	}
+	return nil
+}

@@ -65,6 +65,7 @@ func All() []Runner {
 		{"e12", "Extension: protocol over a butterfly network", E12},
 		{"e13", "Extension: Θ(N^{1.5-ε}) vs Θ(N²) regime comparison", E13},
 		{"e14", "Extension: structural audit of every organization", E14},
+		{"e15", "Extension: combining frontend under concurrent clients", E15},
 	}
 }
 

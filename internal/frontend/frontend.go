@@ -1,0 +1,487 @@
+// Package frontend bridges the paper's synchronous batch protocol to
+// asynchronous concurrent traffic: protocol.System.Access serves one batch
+// of pairwise-distinct variables and is not safe for concurrent use, while
+// real clients are many goroutines issuing reads and writes whenever they
+// like, often to the same hot variables.
+//
+// The Frontend is a request-combining service in the tradition of combining
+// networks (and of the CRCW read/write combining already in internal/pram):
+// clients submit operations on futures; a single dispatcher goroutine admits
+// them in arrival order — that admission order is the commit order — and
+// coalesces them into EREW-legal batches:
+//
+//   - reads of the same variable share one protocol Read request and all
+//     receive its value (read combining);
+//   - writes to the same variable collapse into the latest one, earlier
+//     writers completing as overwritten (last-writer-wins coalescing);
+//   - a read admitted after a write to the same variable in the same batch
+//     is served the pending write's value directly and consumes no protocol
+//     request at all (read-after-write forwarding);
+//   - a write admitted after an issued read of the same variable cannot
+//     join the batch (the variable would appear twice), so the batch is
+//     flushed first — reads admitted earlier keep seeing the old value.
+//
+// A batch is flushed when it reaches MaxBatch distinct variables, when the
+// submission queue runs dry (so latency stays bounded without timers), or on
+// an explicit Flush. The bounded submission queue applies backpressure:
+// submitters block when the dispatcher falls behind.
+//
+// Because one goroutine assigns commit sequence numbers and batches are
+// applied in order, the service is linearizable: the differential stress
+// test replays every operation in sequence order against a plain map and
+// demands identical read values.
+package frontend
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"detshmem/internal/protocol"
+)
+
+// Backend is the synchronous batch engine the frontend serializes access
+// to. *protocol.System is the canonical implementation; tests substitute
+// fakes.
+type Backend interface {
+	Access(reqs []protocol.Request) (*protocol.Result, error)
+}
+
+// ErrClosed is returned by operations submitted after Close.
+var ErrClosed = errors.New("frontend: closed")
+
+// Config tunes the frontend.
+type Config struct {
+	// MaxBatch is the flush threshold in distinct variables. 0 defaults to
+	// the backend's module count N when the backend is a *protocol.System
+	// (the largest batch the protocol accepts); otherwise it must be set.
+	MaxBatch int
+	// QueueCap bounds the submission queue; submitters block (backpressure)
+	// when it is full. 0 defaults to 4×MaxBatch.
+	QueueCap int
+}
+
+// Frontend is the combining service. All methods are safe for concurrent
+// use by any number of goroutines.
+type Frontend struct {
+	backend Backend
+	cfg     Config
+
+	ops chan op
+
+	mu     sync.RWMutex // guards closed against in-flight submits
+	closed bool
+
+	doneOnce sync.Once
+	done     chan struct{} // dispatcher exited
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Future is the handle for one submitted operation. Wait blocks until the
+// operation's batch has committed (or failed) and returns the read value
+// (zero for writes) and any error.
+type Future struct {
+	done chan struct{}
+	val  uint64
+	err  error
+	seq  uint64
+}
+
+// Wait blocks until the operation committed.
+func (f *Future) Wait() (uint64, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// Seq is the operation's global commit sequence number, assigned at
+// admission. It is valid only after Wait returns: operations with smaller
+// Seq committed before operations with larger Seq.
+func (f *Future) Seq() uint64 {
+	<-f.done
+	return f.seq
+}
+
+func (f *Future) complete(val uint64, err error) {
+	f.val, f.err = val, err
+	close(f.done)
+}
+
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opWrite
+	opFlush
+	opClose
+)
+
+type op struct {
+	kind opKind
+	v    uint64
+	val  uint64
+	fut  *Future
+	ack  chan struct{} // opFlush / opClose acknowledgement
+}
+
+// New builds a frontend over a backend and starts its dispatcher.
+func New(b Backend, cfg Config) (*Frontend, error) {
+	if b == nil {
+		return nil, fmt.Errorf("frontend: nil backend")
+	}
+	if cfg.MaxBatch == 0 {
+		if sys, ok := b.(*protocol.System); ok {
+			cfg.MaxBatch = int(sys.Mapper.NumModules())
+		} else {
+			return nil, fmt.Errorf("frontend: MaxBatch required for backend %T", b)
+		}
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("frontend: MaxBatch %d must be positive", cfg.MaxBatch)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 4 * cfg.MaxBatch
+	}
+	if cfg.QueueCap < 1 {
+		return nil, fmt.Errorf("frontend: QueueCap %d must be positive", cfg.QueueCap)
+	}
+	f := &Frontend{
+		backend: b,
+		cfg:     cfg,
+		ops:     make(chan op, cfg.QueueCap),
+		done:    make(chan struct{}),
+	}
+	go f.dispatch()
+	return f, nil
+}
+
+// Read submits a read and blocks until its batch commits.
+func (f *Frontend) Read(v uint64) (uint64, error) {
+	fut, err := f.ReadAsync(v)
+	if err != nil {
+		return 0, err
+	}
+	return fut.Wait()
+}
+
+// Write submits a write and blocks until its batch commits.
+func (f *Frontend) Write(v, val uint64) error {
+	fut, err := f.WriteAsync(v, val)
+	if err != nil {
+		return err
+	}
+	_, err = fut.Wait()
+	return err
+}
+
+// ReadAsync submits a read and returns immediately with its future.
+func (f *Frontend) ReadAsync(v uint64) (*Future, error) {
+	fut := &Future{done: make(chan struct{})}
+	if err := f.submit(op{kind: opRead, v: v, fut: fut}); err != nil {
+		return nil, err
+	}
+	return fut, nil
+}
+
+// WriteAsync submits a write and returns immediately with its future.
+func (f *Frontend) WriteAsync(v, val uint64) (*Future, error) {
+	fut := &Future{done: make(chan struct{})}
+	if err := f.submit(op{kind: opWrite, v: v, val: val, fut: fut}); err != nil {
+		return nil, err
+	}
+	return fut, nil
+}
+
+// Flush forces the pending batch out and blocks until it has committed.
+func (f *Frontend) Flush() error {
+	ack := make(chan struct{})
+	if err := f.submit(op{kind: opFlush, ack: ack}); err != nil {
+		return err
+	}
+	<-ack
+	return nil
+}
+
+// Close flushes pending work, stops the dispatcher, and fails all later
+// submissions with ErrClosed. It is safe to call once; subsequent calls
+// return ErrClosed.
+func (f *Frontend) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	f.closed = true
+	f.mu.Unlock()
+	ack := make(chan struct{})
+	f.ops <- op{kind: opClose, ack: ack}
+	<-ack
+	return nil
+}
+
+// submit enqueues one op, blocking while the queue is full. The read lock
+// spans the send so Close cannot mark the frontend closed while a send is
+// in flight (the dispatcher drains every op admitted before opClose).
+func (f *Frontend) submit(o op) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.ops <- o
+	return nil
+}
+
+// Stats returns a snapshot of the cumulative combining metrics.
+func (f *Frontend) Stats() Stats {
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
+	return f.stats
+}
+
+// entry is the pending batch's state for one distinct variable.
+type entry struct {
+	write     bool   // a protocol Write will be issued for this variable
+	val       uint64 // latest coalesced write value
+	readFuts  []*Future
+	writeFuts []*Future
+	fwd       []*Future // read-after-write forwarded reads
+	fwdVals   []uint64  // value each forwarded read observes
+}
+
+// pending is the batch under construction.
+type pending struct {
+	entries map[uint64]*entry
+	order   []uint64
+	ops     int // operations admitted (≥ len(order) once combining bites)
+}
+
+func newPending(capacity int) *pending {
+	return &pending{entries: make(map[uint64]*entry, capacity)}
+}
+
+// dispatch is the single combining loop: admit in arrival order, flush on
+// size, conflict, idleness, or explicit request.
+func (f *Frontend) dispatch() {
+	defer close(f.done)
+	p := newPending(f.cfg.MaxBatch)
+	var seq uint64
+	for {
+		var o op
+		select {
+		case o = <-f.ops:
+		default:
+			// Queue drained: commit what we have before blocking so no
+			// client waits on an idle dispatcher.
+			if len(p.order) > 0 {
+				f.flush(p, flushIdle)
+				p = newPending(f.cfg.MaxBatch)
+			}
+			o = <-f.ops
+		}
+		switch o.kind {
+		case opRead, opWrite:
+			seq++
+			o.fut.seq = seq
+			f.noteQueueDepth(len(f.ops))
+			p = f.admit(p, o)
+		case opFlush:
+			if len(p.order) > 0 {
+				f.flush(p, flushExplicit)
+				p = newPending(f.cfg.MaxBatch)
+			}
+			close(o.ack)
+		case opClose:
+			if len(p.order) > 0 {
+				f.flush(p, flushExplicit)
+			}
+			close(o.ack)
+			return
+		}
+	}
+}
+
+// admit folds one operation into the pending batch, flushing first when the
+// op conflicts (write after issued read of the same variable) and after
+// when the batch reached MaxBatch distinct variables. It returns the batch
+// to keep building.
+func (f *Frontend) admit(p *pending, o op) *pending {
+	e := p.entries[o.v]
+	if o.kind == opWrite && e != nil && !e.write {
+		// The variable already carries an issued read: adding a write would
+		// either reorder the read after the write or duplicate the variable
+		// in the batch. Commit the batch; the write opens the next one.
+		f.flush(p, flushConflict)
+		p = newPending(f.cfg.MaxBatch)
+		e = nil
+	}
+	if e == nil {
+		e = &entry{}
+		p.entries[o.v] = e
+		p.order = append(p.order, o.v)
+		if o.kind == opWrite {
+			e.write = true
+			e.val = o.val
+			e.writeFuts = append(e.writeFuts, o.fut)
+		} else {
+			e.readFuts = append(e.readFuts, o.fut)
+		}
+	} else {
+		switch {
+		case o.kind == opWrite: // e.write: last writer wins
+			e.val = o.val
+			e.writeFuts = append(e.writeFuts, o.fut)
+		case e.write: // read after pending write: forward its value
+			e.fwd = append(e.fwd, o.fut)
+			e.fwdVals = append(e.fwdVals, e.val)
+		default: // read joining an issued read
+			e.readFuts = append(e.readFuts, o.fut)
+		}
+	}
+	p.ops++
+	if len(p.order) >= f.cfg.MaxBatch {
+		f.flush(p, flushSize)
+		p = newPending(f.cfg.MaxBatch)
+	}
+	return p
+}
+
+type flushCause int
+
+const (
+	flushSize flushCause = iota
+	flushIdle
+	flushExplicit
+	flushConflict
+)
+
+// flush issues the batch's requests to the backend and fans results (or the
+// error) back out to every combined waiter.
+func (f *Frontend) flush(p *pending, cause flushCause) {
+	reqs := make([]protocol.Request, len(p.order))
+	for i, v := range p.order {
+		e := p.entries[v]
+		if e.write {
+			reqs[i] = protocol.Request{Var: v, Op: protocol.Write, Value: e.val}
+		} else {
+			reqs[i] = protocol.Request{Var: v, Op: protocol.Read}
+		}
+	}
+	res, err := f.backend.Access(reqs)
+
+	incomplete := err != nil && errors.Is(err, protocol.ErrIncomplete) && res != nil
+	unfinished := map[int]bool{}
+	if incomplete {
+		for _, r := range res.Metrics.Unfinished {
+			unfinished[r] = true
+		}
+	}
+	for i, v := range p.order {
+		e := p.entries[v]
+		switch {
+		case err != nil && (!incomplete || unfinished[i]):
+			// Whole-batch failure, or this request missed its quorum: every
+			// waiter on the variable (including forwarded reads riding a
+			// failed write) learns the error.
+			for _, fut := range e.readFuts {
+				fut.complete(0, err)
+			}
+			for _, fut := range e.writeFuts {
+				fut.complete(0, err)
+			}
+			for _, fut := range e.fwd {
+				fut.complete(0, err)
+			}
+		case e.write:
+			for _, fut := range e.writeFuts {
+				fut.complete(0, nil)
+			}
+			for j, fut := range e.fwd {
+				fut.complete(e.fwdVals[j], nil)
+			}
+		default:
+			for _, fut := range e.readFuts {
+				fut.complete(res.Values[i], nil)
+			}
+		}
+	}
+
+	f.statsMu.Lock()
+	s := &f.stats
+	s.Batches++
+	s.OpsIn += int64(p.ops)
+	s.RequestsOut += int64(len(reqs))
+	for _, v := range p.order {
+		e := p.entries[v]
+		s.ForwardedReads += int64(len(e.fwd))
+		if !e.write && len(e.readFuts) > 1 {
+			s.CombinedReads += int64(len(e.readFuts) - 1)
+		}
+		if e.write && len(e.writeFuts) > 1 {
+			s.CoalescedWrites += int64(len(e.writeFuts) - 1)
+		}
+	}
+	switch cause {
+	case flushSize:
+		s.SizeFlushes++
+	case flushIdle:
+		s.IdleFlushes++
+	case flushExplicit:
+		s.ExplicitFlushes++
+	case flushConflict:
+		s.ConflictFlushes++
+	}
+	if res != nil {
+		s.TotalRounds += int64(res.Metrics.TotalRounds)
+		s.CopyAccesses += int64(res.Metrics.CopyAccesses)
+		if res.Metrics.MaxIterations > s.MaxPhi {
+			s.MaxPhi = res.Metrics.MaxIterations
+		}
+		s.Unfinished += int64(len(res.Metrics.Unfinished))
+	}
+	if err != nil && !incomplete {
+		s.FailedBatches++
+	}
+	f.statsMu.Unlock()
+}
+
+func (f *Frontend) noteQueueDepth(depth int) {
+	f.statsMu.Lock()
+	if depth > f.stats.MaxQueueDepth {
+		f.stats.MaxQueueDepth = depth
+	}
+	f.statsMu.Unlock()
+}
+
+// Stats aggregates combining metrics over every flushed batch. They extend
+// the per-batch protocol.Metrics with the combining view: how many client
+// operations entered versus how many protocol requests left.
+type Stats struct {
+	Batches         int   // batches flushed
+	OpsIn           int64 // client operations admitted into flushed batches
+	RequestsOut     int64 // protocol requests issued
+	CombinedReads   int64 // reads that shared an already-issued read
+	CoalescedWrites int64 // writes absorbed by a later write to the same var
+	ForwardedReads  int64 // reads served from a pending write, no request
+	SizeFlushes     int64 // batches flushed at MaxBatch distinct variables
+	IdleFlushes     int64 // batches flushed because the queue ran dry
+	ExplicitFlushes int64 // batches flushed by Flush or Close
+	ConflictFlushes int64 // batches flushed by a write-after-read conflict
+	MaxQueueDepth   int   // deepest submission queue observed at admission
+	TotalRounds     int64 // protocol MPC rounds consumed by flushed batches
+	CopyAccesses    int64 // protocol copy accesses across flushed batches
+	MaxPhi          int   // largest per-batch Φ (max phase iterations)
+	Unfinished      int64 // requests that missed their quorum (failures)
+	FailedBatches   int   // batches rejected by the backend outright
+}
+
+// CombiningRate is the fraction of operations that did not become protocol
+// requests: 1 − RequestsOut/OpsIn. Zero when nothing combined (or nothing
+// ran).
+func (s Stats) CombiningRate() float64 {
+	if s.OpsIn == 0 {
+		return 0
+	}
+	return 1 - float64(s.RequestsOut)/float64(s.OpsIn)
+}

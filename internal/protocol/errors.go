@@ -1,0 +1,47 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Batch admission errors. Access wraps each of these in a detailed message
+// (via errorf), so callers — in particular the combining front-end in
+// internal/frontend — branch on them with errors.Is while the human-readable
+// text stays unchanged.
+var (
+	// ErrBatchTooLarge is returned when a batch holds more requests than the
+	// machine has modules (the protocol serves at most N requests per batch).
+	ErrBatchTooLarge = errors.New("protocol: batch too large")
+	// ErrDuplicateVar is returned when two requests in one batch name the
+	// same variable (the paper's EREW-style distinctness assumption).
+	ErrDuplicateVar = errors.New("protocol: duplicate variable in batch")
+	// ErrVarOutOfRange is returned when a request names a variable index
+	// at or beyond the Mapper's NumVars.
+	ErrVarOutOfRange = errors.New("protocol: variable out of range")
+)
+
+// ErrIncomplete is wrapped by Access when some requests could not reach
+// their quorum within the iteration bound (failure injection). The returned
+// Result is still valid for the completed requests.
+var ErrIncomplete = errIncomplete{}
+
+type errIncomplete struct{}
+
+func (errIncomplete) Error() string { return "protocol: quorum unreachable" }
+
+// wrappedError pairs a sentinel with a fully formatted message: Error()
+// reports only the message (keeping historical text intact), while Unwrap
+// exposes the sentinel to errors.Is.
+type wrappedError struct {
+	sentinel error
+	msg      string
+}
+
+func (e wrappedError) Error() string { return e.msg }
+func (e wrappedError) Unwrap() error { return e.sentinel }
+
+// errorf builds a wrappedError with a printf-style message.
+func errorf(sentinel error, format string, args ...interface{}) error {
+	return wrappedError{sentinel: sentinel, msg: fmt.Sprintf(format, args...)}
+}

@@ -205,15 +205,15 @@ func (sys *System) quorum(op Op) int32 {
 func (sys *System) Access(reqs []Request) (*Result, error) {
 	m := sys.Mapper
 	if uint64(len(reqs)) > m.NumModules() {
-		return nil, fmt.Errorf("protocol: batch of %d exceeds N = %d", len(reqs), m.NumModules())
+		return nil, errorf(ErrBatchTooLarge, "protocol: batch of %d exceeds N = %d", len(reqs), m.NumModules())
 	}
 	seen := make(map[uint64]struct{}, len(reqs))
 	for _, r := range reqs {
 		if r.Var >= m.NumVars() {
-			return nil, fmt.Errorf("protocol: variable %d out of range [0,%d)", r.Var, m.NumVars())
+			return nil, errorf(ErrVarOutOfRange, "protocol: variable %d out of range [0,%d)", r.Var, m.NumVars())
 		}
 		if _, dup := seen[r.Var]; dup {
-			return nil, fmt.Errorf("protocol: variable %d requested twice in one batch", r.Var)
+			return nil, errorf(ErrDuplicateVar, "protocol: variable %d requested twice in one batch", r.Var)
 		}
 		seen[r.Var] = struct{}{}
 	}
@@ -353,15 +353,6 @@ func (sys *System) Access(reqs []Request) (*Result, error) {
 	}
 	return res, nil
 }
-
-// ErrIncomplete is wrapped by Access when some requests could not reach
-// their quorum within the iteration bound (failure injection). The returned
-// Result is still valid for the completed requests.
-var ErrIncomplete = errIncomplete{}
-
-type errIncomplete struct{}
-
-func (errIncomplete) Error() string { return "protocol: quorum unreachable" }
 
 type taskRef struct {
 	proc int32

@@ -32,6 +32,59 @@ func TestDistinctRandom(t *testing.T) {
 	}
 }
 
+func TestHotSpot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const m, k, hot = 10000, 20000, 16
+	out := HotSpot(rng, m, k, hot, 0.9)
+	if len(out) != k {
+		t.Fatalf("size %d", len(out))
+	}
+	inHot := 0
+	for _, v := range out {
+		if v >= m {
+			t.Fatalf("sample %d out of range", v)
+		}
+		if v < hot {
+			inHot++
+		}
+	}
+	// 90% targeted at the hot set (plus ~hot/m spillover from the uniform
+	// arm); 20k draws concentrate tightly around that.
+	if frac := float64(inHot) / k; frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction %.3f outside [0.85, 0.95]", frac)
+	}
+	// Degenerate parameters fall back to uniform over [0, m).
+	for _, v := range HotSpot(rng, 10, 100, 0, 0.5) {
+		if v >= 10 {
+			t.Fatalf("fallback sample %d out of range", v)
+		}
+	}
+}
+
+func TestZipf(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const m, k = 10000, 20000
+	out := Zipf(rng, m, k, 1.5)
+	if len(out) != k {
+		t.Fatalf("size %d", len(out))
+	}
+	counts := make(map[uint64]int)
+	for _, v := range out {
+		if v >= m {
+			t.Fatalf("sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Skew sanity: rank 0 dominates, and the stream repeats heavily (far
+	// fewer distinct values than draws).
+	if counts[0] < k/10 {
+		t.Fatalf("rank-0 count %d too small for s=1.5", counts[0])
+	}
+	if len(counts) > k/4 {
+		t.Fatalf("%d distinct values in %d draws: not skewed", len(counts), k)
+	}
+}
+
 func TestStride(t *testing.T) {
 	out := Stride(100, 10, 7)
 	if len(out) != 10 {
