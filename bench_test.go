@@ -158,28 +158,56 @@ func BenchmarkE5Recurrence(b *testing.B) {
 	b.ReportMetric(float64(phi), "phi")
 }
 
+// hotPathVariants enumerates the PR's hot-path ablation: live CopyAddr
+// resolution on the sequential engine (the old default), the compiled
+// resolver on the sequential engine, and the compiled resolver on the
+// persistent-worker-pool engine.
+func hotPathVariants(b *testing.B, m, n int) []struct {
+	name string
+	cfg  protocol.Config
+} {
+	b.Helper()
+	s, idx := mustScheme(b, m, n)
+	res, err := protocol.CompileMapper(protocol.NewCoreMapper(s, idx), protocol.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []struct {
+		name string
+		cfg  protocol.Config
+	}{
+		{"live+seq", protocol.Config{}},
+		{"compiled+seq", protocol.Config{Resolver: res}},
+		{"compiled+par", protocol.Config{Resolver: res, Parallel: true}},
+	}
+}
+
 // BenchmarkE6ProtocolScaling measures full-batch access per degree; the
-// reported phi column is the Theorem 6 quantity.
+// reported phi column is the Theorem 6 quantity. Variants cover the
+// resolver/engine ablation (see E16).
 func BenchmarkE6ProtocolScaling(b *testing.B) {
 	for _, n := range []int{3, 5, 7} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			sys := mustSystem(b, 1, n, protocol.Config{})
-			N := int(sys.Scheme.NumModules)
-			rng := rand.New(rand.NewSource(5))
-			vars := workload.DistinctRandom(rng, sys.Index.M(), N)
-			vals := make([]uint64, N)
-			var phi, rounds int
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				met, err := sys.WriteBatch(vars, vals)
-				if err != nil {
-					b.Fatal(err)
+		for _, variant := range hotPathVariants(b, 1, n) {
+			b.Run(fmt.Sprintf("n=%d/%s", n, variant.name), func(b *testing.B) {
+				sys := mustSystem(b, 1, n, variant.cfg)
+				defer sys.Close()
+				N := int(sys.Scheme.NumModules)
+				rng := rand.New(rand.NewSource(5))
+				vars := workload.DistinctRandom(rng, sys.Index.M(), N)
+				vals := make([]uint64, N)
+				var phi, rounds int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					met, err := sys.WriteBatch(vars, vals)
+					if err != nil {
+						b.Fatal(err)
+					}
+					phi, rounds = met.MaxIterations, met.TotalRounds
 				}
-				phi, rounds = met.MaxIterations, met.TotalRounds
-			}
-			b.ReportMetric(float64(phi), "phi")
-			b.ReportMetric(float64(rounds), "rounds")
-		})
+				b.ReportMetric(float64(phi), "phi")
+				b.ReportMetric(float64(rounds), "rounds")
+			})
+		}
 	}
 }
 
@@ -540,55 +568,71 @@ func BenchmarkE14Audit(b *testing.B) {
 // BenchmarkE15Frontend measures combining-frontend throughput: 8 concurrent
 // clients submitting asynchronous hot-spot traffic over the PP93 system,
 // reporting the fraction of ops that never became protocol requests.
+// Variants cover the resolver/engine ablation (see E16).
 func BenchmarkE15Frontend(b *testing.B) {
-	sys := mustSystem(b, 1, 5, protocol.Config{})
-	fe, err := frontend.New(sys, frontend.Config{})
-	if err != nil {
-		b.Fatal(err)
+	workloads := []struct {
+		name string
+		p    float64
+	}{
+		{"hot-spot", 0.85},
+		{"uniform", 0},
 	}
-	defer fe.Close()
-	const clients, window = 8, 64
-	m := sys.Mapper.NumVars()
-	b.ResetTimer()
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(c) + 42))
-			stream := workload.HotSpot(rng, m, (b.N+clients-1)/clients, 16, 0.85)
-			pending := make([]*frontend.Future, 0, window)
-			drain := func() {
-				for _, fut := range pending {
-					if _, err := fut.Wait(); err != nil {
-						b.Error(err)
-						return
-					}
-				}
-				pending = pending[:0]
-			}
-			for i, v := range stream {
-				var fut *frontend.Future
-				var err error
-				if i%3 == 0 {
-					fut, err = fe.WriteAsync(v, uint64(i))
-				} else {
-					fut, err = fe.ReadAsync(v)
-				}
+	for _, variant := range hotPathVariants(b, 1, 5) {
+		for _, wl := range workloads {
+			wl := wl
+			b.Run(variant.name+"/"+wl.name, func(b *testing.B) {
+				sys := mustSystem(b, 1, 5, variant.cfg)
+				defer sys.Close()
+				fe, err := frontend.New(sys, frontend.Config{})
 				if err != nil {
-					b.Error(err)
-					return
+					b.Fatal(err)
 				}
-				pending = append(pending, fut)
-				if len(pending) == window {
-					drain()
+				defer fe.Close()
+				const clients, window = 8, 64
+				m := sys.Mapper.NumVars()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(c) + 42))
+						stream := workload.HotSpot(rng, m, (b.N+clients-1)/clients, 16, wl.p)
+						pending := make([]*frontend.Future, 0, window)
+						drain := func() {
+							for _, fut := range pending {
+								if _, err := fut.Wait(); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+							pending = pending[:0]
+						}
+						for i, v := range stream {
+							var fut *frontend.Future
+							var err error
+							if i%3 == 0 {
+								fut, err = fe.WriteAsync(v, uint64(i))
+							} else {
+								fut, err = fe.ReadAsync(v)
+							}
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							pending = append(pending, fut)
+							if len(pending) == window {
+								drain()
+							}
+						}
+						drain()
+					}(c)
 				}
-			}
-			drain()
-		}(c)
+				wg.Wait()
+				b.ReportMetric(fe.Stats().CombiningRate(), "combined/op")
+			})
+		}
 	}
-	wg.Wait()
-	b.ReportMetric(fe.Stats().CombiningRate(), "combined/op")
 }
 
 // BenchmarkE11FailureMasking measures a full batch with one failed module

@@ -1,12 +1,14 @@
-// Command smembench regenerates the experiment tables E1–E15 (the paper's
+// Command smembench regenerates the experiment tables E1–E16 (the paper's
 // analytical claims as measurements, plus the extensions). See DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for recorded results.
 //
 // Usage:
 //
-//	smembench [-exp e1,e4,...] [-quick] [-seed N]
+//	smembench [-exp e1,e4,...] [-quick] [-seed N] [-json] [-jsonout FILE]
 //
-// With no -exp it runs everything in order.
+// With no -exp it runs everything in order. -json makes JSON-capable
+// experiments (E16) also write machine-readable results, to BENCH_PR2.json
+// by default (-jsonout overrides the path).
 package main
 
 import (
@@ -21,9 +23,11 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment ids (e1..e15); empty = all")
+		expFlag = flag.String("exp", "", "comma-separated experiment ids (e1..e16); empty = all")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
 		seed    = flag.Int64("seed", 0, "workload RNG seed (0 = default)")
+		jsonOut = flag.Bool("json", false, "write machine-readable results where supported (e16)")
+		jsonF   = flag.String("jsonout", "BENCH_PR2.json", "path for -json output")
 	)
 	flag.Parse()
 
@@ -34,6 +38,9 @@ func main() {
 		}
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *jsonOut {
+		opts.JSONPath = *jsonF
+	}
 	ran := 0
 	for _, r := range experiments.All() {
 		if len(want) > 0 && !want[r.ID] {

@@ -53,29 +53,38 @@ func (s *UW) WriteQuorum() int { return s.C }
 // a deterministic function of (Seed, v): a pseudorandom sample without
 // replacement.
 func (s *UW) Modules(v uint64) []uint64 {
+	return s.appendModules(make([]uint64, 0, s.Copies()), v)
+}
+
+// appendModules appends v's module set to dst, so callers with a buffer on
+// the stack resolve addresses without heap traffic.
+func (s *UW) appendModules(dst []uint64, v uint64) []uint64 {
 	r := s.Copies()
-	out := make([]uint64, 0, r)
+	base := len(dst)
 	ctr := uint64(0)
-	for len(out) < r {
+	for len(dst)-base < r {
 		m := splitmix(s.Seed^v*0x9e3779b97f4a7c15^ctr) % s.N
 		ctr++
 		dup := false
-		for _, x := range out {
+		for _, x := range dst[base:] {
 			if x == m {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, m)
+			dst = append(dst, m)
 		}
 	}
-	return out
+	return dst
 }
 
-// CopyAddr places copy c of v.
+// CopyAddr places copy c of v. The module set is rebuilt into a stack buffer
+// (for practical majority sizes) rather than allocated per call.
 func (s *UW) CopyAddr(v uint64, c int) (uint64, uint64) {
-	return s.Modules(v)[c], v*uint64(s.Copies()) + uint64(c)
+	var buf [32]uint64
+	mods := s.appendModules(buf[:0], v)
+	return mods[c], v*uint64(s.Copies()) + uint64(c)
 }
 
 // AddrSpace returns M·(2c−1).

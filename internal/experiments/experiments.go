@@ -22,6 +22,9 @@ import (
 type Options struct {
 	Quick bool  // shrink sweeps for fast runs
 	Seed  int64 // randomness seed (workloads only; schemes are deterministic)
+	// JSONPath, when non-empty, makes experiments that support machine-
+	// readable output (currently E16) also write their results there.
+	JSONPath string
 }
 
 // Rng returns the experiment RNG.
@@ -66,6 +69,7 @@ func All() []Runner {
 		{"e13", "Extension: Θ(N^{1.5-ε}) vs Θ(N²) regime comparison", E13},
 		{"e14", "Extension: structural audit of every organization", E14},
 		{"e15", "Extension: combining frontend under concurrent clients", E15},
+		{"e16", "Hot path: compiled resolution + persistent-pool engine", E16},
 	}
 }
 

@@ -47,6 +47,14 @@ type Backend interface {
 	Access(reqs []protocol.Request) (*protocol.Result, error)
 }
 
+// BatchBackend is the allocation-free flush path: backends that also
+// implement it (as *protocol.System does) are driven through AccessInto
+// with a request buffer and Result reused across flushes, so a steady
+// stream of batches allocates nothing in the dispatcher's hot loop.
+type BatchBackend interface {
+	AccessInto(reqs []protocol.Request, res *protocol.Result) error
+}
+
 // ErrClosed is returned by operations submitted after Close.
 var ErrClosed = errors.New("frontend: closed")
 
@@ -65,9 +73,14 @@ type Config struct {
 // use by any number of goroutines.
 type Frontend struct {
 	backend Backend
+	batch   BatchBackend // non-nil when backend supports the reuse path
 	cfg     Config
 
 	ops chan op
+
+	// Dispatcher-only flush scratch, reused across batches.
+	reqs []protocol.Request
+	res  protocol.Result
 
 	mu     sync.RWMutex // guards closed against in-flight submits
 	closed bool
@@ -151,6 +164,9 @@ func New(b Backend, cfg Config) (*Frontend, error) {
 		cfg:     cfg,
 		ops:     make(chan op, cfg.QueueCap),
 		done:    make(chan struct{}),
+	}
+	if bb, ok := b.(BatchBackend); ok {
+		f.batch = bb
 	}
 	go f.dispatch()
 	return f, nil
@@ -359,7 +375,10 @@ const (
 // flush issues the batch's requests to the backend and fans results (or the
 // error) back out to every combined waiter.
 func (f *Frontend) flush(p *pending, cause flushCause) {
-	reqs := make([]protocol.Request, len(p.order))
+	if cap(f.reqs) < len(p.order) {
+		f.reqs = make([]protocol.Request, len(p.order))
+	}
+	reqs := f.reqs[:len(p.order)]
 	for i, v := range p.order {
 		e := p.entries[v]
 		if e.write {
@@ -368,11 +387,21 @@ func (f *Frontend) flush(p *pending, cause flushCause) {
 			reqs[i] = protocol.Request{Var: v, Op: protocol.Read}
 		}
 	}
-	res, err := f.backend.Access(reqs)
+	var res *protocol.Result
+	var err error
+	if f.batch != nil {
+		err = f.batch.AccessInto(reqs, &f.res)
+		if err == nil || errors.Is(err, protocol.ErrIncomplete) {
+			res = &f.res
+		}
+	} else {
+		res, err = f.backend.Access(reqs)
+	}
 
 	incomplete := err != nil && errors.Is(err, protocol.ErrIncomplete) && res != nil
-	unfinished := map[int]bool{}
+	var unfinished map[int]bool // nil on the happy path; lookups on nil are fine
 	if incomplete {
+		unfinished = make(map[int]bool, len(res.Metrics.Unfinished))
 		for _, r := range res.Metrics.Unfinished {
 			unfinished[r] = true
 		}

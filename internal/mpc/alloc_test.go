@@ -1,0 +1,52 @@
+package mpc
+
+import (
+	"testing"
+)
+
+// allocRoundConfig builds a machine plus round slices sized for the guard
+// tests: enough processors and modules that claims genuinely contend.
+func allocRoundMachine(t *testing.T, parallel bool) (*Machine, []int64, []bool) {
+	t.Helper()
+	const procs, modules = 96, 32
+	m, err := New(Config{Procs: procs, Modules: modules, Arb: ArbRandom, Seed: 7, Parallel: parallel, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	reqs := make([]int64, procs)
+	grant := make([]bool, procs)
+	for p := range reqs {
+		if p%5 == 4 {
+			reqs[p] = Idle
+		} else {
+			reqs[p] = int64(p % modules)
+		}
+	}
+	return m, reqs, grant
+}
+
+// TestRoundStateStateAllocsSequential pins the sequential engine's steady
+// state at zero allocations per round.
+func TestRoundSteadyStateAllocsSequential(t *testing.T) {
+	m, reqs, grant := allocRoundMachine(t, false)
+	m.Round(reqs, grant) // warm-up: grows the touched scratch
+	if avg := testing.AllocsPerRun(100, func() {
+		m.Round(reqs, grant)
+	}); avg != 0 {
+		t.Fatalf("sequential Round allocates %.2f per call in steady state, want 0", avg)
+	}
+}
+
+// TestRoundSteadyStateAllocsParallel pins the worker-pool engine at zero
+// allocations per round: the pool and barrier are built once in New, and a
+// round is only barrier signalling plus atomic sweeps.
+func TestRoundSteadyStateAllocsParallel(t *testing.T) {
+	m, reqs, grant := allocRoundMachine(t, true)
+	m.Round(reqs, grant) // warm-up: first round parks/wakes the fresh workers
+	if avg := testing.AllocsPerRun(100, func() {
+		m.Round(reqs, grant)
+	}); avg != 0 {
+		t.Fatalf("parallel Round allocates %.2f per call in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,61 @@
+package mpc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// barrier is a reusable sense-reversing barrier for a fixed set of n
+// participants. The "sense" is a monotonically increasing generation
+// counter: a participant records the generation on arrival and is released
+// when it changes. The last arriver resets the arrival count *before*
+// flipping the generation, so a released participant can immediately re-use
+// the same barrier for the next phase without miscounting.
+//
+// Waiters spin briefly (phases arrive back-to-back in the protocol hot
+// path, so the next release is usually nanoseconds away) and then park on a
+// condition variable, so idle worker pools consume no CPU between batches.
+// await performs no allocation in either path, which the engine's
+// zero-allocation guarantee depends on.
+type barrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint64
+	mu    sync.Mutex
+	cond  sync.Cond
+}
+
+// barrierSpin bounds the pre-park spin. Gosched in the loop keeps the spin
+// safe under GOMAXPROCS=1 (testing.AllocsPerRun runs measurements there).
+const barrierSpin = 64
+
+func (b *barrier) init(n int) {
+	b.n = int32(n)
+	b.cond.L = &b.mu
+}
+
+// await blocks until all n participants have arrived, then releases every
+// waiter and rearms the barrier for the next generation.
+func (b *barrier) await() {
+	g := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.mu.Lock()
+		b.gen.Add(1)
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for spin := 0; spin < barrierSpin; spin++ {
+		if b.gen.Load() != g {
+			return
+		}
+		runtime.Gosched()
+	}
+	b.mu.Lock()
+	for b.gen.Load() == g {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -7,15 +7,17 @@
 // quantity the Pietracaprina–Preparata memory organization minimizes.
 //
 // Two engines implement identical round semantics: a sequential one and a
-// goroutine-parallel one (workers racing atomic min-priority claims per
-// module, with barrier synchronization between the claim and grant sweeps).
-// Tests assert they produce identical grant vectors for every arbiter.
+// parallel one backed by a persistent worker pool (workers are spawned once
+// in New and reused for every round; the claim, grant and reset sweeps are
+// phases signalled through a reusable sense-reversing barrier, with workers
+// racing atomic min-priority claims per module). Both engines are
+// allocation-free in steady state. Tests assert they produce identical
+// grant vectors for every arbiter.
 package mpc
 
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -52,32 +54,63 @@ type Config struct {
 	Modules  int     // number of memory modules (N)
 	Arb      Arbiter // arbitration policy
 	Seed     uint64  // seed for ArbRandom
-	Parallel bool    // use the goroutine engine
-	Workers  int     // goroutine count (defaults to GOMAXPROCS)
+	Parallel bool    // use the persistent-worker-pool engine
+	Workers  int     // pool size (defaults to GOMAXPROCS)
 }
 
 // Machine is a synchronous MPC. Methods are not safe for concurrent use by
-// multiple callers; the parallel engine is internal.
+// multiple callers; the parallel engine's worker pool is internal.
+//
+// A parallel machine owns a pool of goroutines for its whole lifetime; call
+// Close when done with it. Leaked machines are closed by a GC finalizer, so
+// Close is an optimization, not a correctness requirement.
 type Machine struct {
-	cfg    Config
-	round  uint64 // rounds executed so far
-	winner []uint64
-
-	wg sync.WaitGroup
+	cfg     Config
+	round   uint64  // rounds executed so far
+	winner  []uint64
+	touched []int64 // sequential engine scratch, reused across rounds
+	pool    *pool   // persistent parallel engine; nil when !cfg.Parallel
 }
 
-// New builds a machine. Procs and Modules must be positive.
+// New builds a machine. Procs and Modules must be positive. When
+// cfg.Parallel is set the worker pool is spawned here, once, and serves
+// every subsequent Round.
 func New(cfg Config) (*Machine, error) {
 	if cfg.Procs <= 0 || cfg.Modules <= 0 {
 		return nil, fmt.Errorf("mpc: need positive Procs and Modules, got %d/%d", cfg.Procs, cfg.Modules)
 	}
+	if cfg.Procs >= 1<<24-1 {
+		return nil, fmt.Errorf("mpc: 2^24-1 or more processors unsupported by claim packing")
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Machine{
-		cfg:    cfg,
-		winner: make([]uint64, cfg.Modules),
-	}, nil
+	m := &Machine{
+		cfg:     cfg,
+		winner:  make([]uint64, cfg.Modules),
+		touched: make([]int64, 0, 64),
+	}
+	if cfg.Parallel {
+		m.pool = newPool(cfg, m.winner)
+		// The pool's workers reference only the pool, never the Machine, so
+		// an unreachable Machine is collectable and the finalizer can stop
+		// the pool for callers that never call Close.
+		runtime.SetFinalizer(m, (*Machine).Close)
+	}
+	return m, nil
+}
+
+// Close stops the worker pool of a parallel machine. It is idempotent, must
+// not be called concurrently with Round, and after it returns Round panics.
+// Sequential machines have no resources; Close is a no-op for them.
+func (m *Machine) Close() {
+	if m.pool == nil {
+		return
+	}
+	m.pool.stop = true
+	m.pool.bar.await() // release the workers into the stop check
+	m.pool = nil
+	runtime.SetFinalizer(m, nil)
 }
 
 // Procs returns the processor count.
@@ -92,15 +125,16 @@ func (m *Machine) Rounds() uint64 { return m.round }
 // ResetRounds zeroes the round counter (metrics convenience).
 func (m *Machine) ResetRounds() { m.round = 0 }
 
-// priority computes the arbitration rank of processor p this round; lower
-// wins. It is engine-independent so both engines arbitrate identically.
-// Ranks are bounded to 40 bits so a packed claim fits one word.
-func (m *Machine) priority(p int) uint64 {
-	switch m.cfg.Arb {
+// priority computes the arbitration rank of processor p in the given round;
+// lower wins. It is a pure function of its arguments so the sequential
+// engine and every pool worker arbitrate identically. Ranks are bounded to
+// 40 bits so a packed claim fits one word.
+func priority(arb Arbiter, procs int, seed, round uint64, p int) uint64 {
+	switch arb {
 	case ArbRoundRobin:
-		return uint64((p + int(m.round)*7919) % m.cfg.Procs)
+		return uint64((p + int(round)*7919) % procs)
 	case ArbRandom:
-		return splitmix(m.cfg.Seed^m.round*0x9e3779b97f4a7c15^uint64(p)) & (1<<40 - 1)
+		return splitmix(seed^round*0x9e3779b97f4a7c15^uint64(p)) & (1<<40 - 1)
 	default:
 		return uint64(p)
 	}
@@ -116,17 +150,18 @@ func unpackProc(w uint64) int { return int(w&(1<<24-1)) - 1 }
 // Round executes one synchronous round. reqs[p] is the module processor p
 // addresses this round, or Idle. grant[p] is set to true iff p's request was
 // the one its module served. It returns the number of requests served.
-// len(reqs) and len(grant) must equal Procs().
+// len(reqs) and len(grant) must equal Procs(). Steady-state rounds perform
+// no allocation on either engine.
 func (m *Machine) Round(reqs []int64, grant []bool) int {
 	if len(reqs) != m.cfg.Procs || len(grant) != m.cfg.Procs {
 		panic(fmt.Sprintf("mpc: round slices sized %d/%d, want %d", len(reqs), len(grant), m.cfg.Procs))
 	}
-	if m.cfg.Procs >= 1<<24-1 {
-		panic("mpc: 2^24-1 or more processors unsupported by claim packing")
-	}
 	var served int
 	if m.cfg.Parallel {
-		served = m.roundParallel(reqs, grant)
+		if m.pool == nil {
+			panic("mpc: Round on closed machine")
+		}
+		served = m.pool.exec(reqs, grant, m.round)
 	} else {
 		served = m.roundSequential(reqs, grant)
 	}
@@ -135,7 +170,7 @@ func (m *Machine) Round(reqs []int64, grant []bool) int {
 }
 
 func (m *Machine) roundSequential(reqs []int64, grant []bool) int {
-	touched := make([]int64, 0, 64)
+	touched := m.touched[:0]
 	for p, mod := range reqs {
 		grant[p] = false
 		if mod == Idle {
@@ -144,7 +179,7 @@ func (m *Machine) roundSequential(reqs []int64, grant []bool) int {
 		if mod < 0 || mod >= int64(m.cfg.Modules) {
 			panic(fmt.Sprintf("mpc: processor %d addresses invalid module %d", p, mod))
 		}
-		claim := pack(m.priority(p), p)
+		claim := pack(priority(m.cfg.Arb, m.cfg.Procs, m.cfg.Seed, m.round, p), p)
 		switch cur := m.winner[mod]; {
 		case cur == 0:
 			touched = append(touched, mod)
@@ -166,89 +201,134 @@ func (m *Machine) roundSequential(reqs []int64, grant []bool) int {
 	for _, mod := range touched {
 		m.winner[mod] = 0
 	}
+	m.touched = touched
 	return served
 }
 
-func (m *Machine) roundParallel(reqs []int64, grant []bool) int {
-	w := m.cfg.Workers
-	chunk := (m.cfg.Procs + w - 1) / w
-	// Claim sweep: workers race atomic-min on per-module claim words.
-	m.wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func(lo int) {
-			defer m.wg.Done()
-			hi := lo + chunk
-			if hi > m.cfg.Procs {
-				hi = m.cfg.Procs
-			}
-			for p := lo; p < hi; p++ {
-				grant[p] = false
-				mod := reqs[p]
-				if mod == Idle {
-					continue
-				}
-				claim := pack(m.priority(p), p)
-				addr := &m.winner[mod]
-				for {
-					cur := atomic.LoadUint64(addr)
-					if cur != 0 && cur <= claim {
-						break
-					}
-					if atomic.CompareAndSwapUint64(addr, cur, claim) {
-						break
-					}
-				}
-			}
-		}(g * chunk)
+// grantCount is one worker's served tally, padded to its own cache line so
+// workers on adjacent ids do not false-share while tallying.
+type grantCount struct {
+	n int64
+	_ [56]byte
+}
+
+// pool is the persistent parallel engine. Workers are spawned once and live
+// until stop; each round the coordinator publishes (reqs, grant, round) and
+// drives the claim → grant → reset sweeps through four barrier generations:
+//
+//	barrier 1  releases the workers into the claim sweep
+//	barrier 2  claims final; workers start the grant sweep
+//	barrier 3  grants final; workers start the reset sweep
+//	barrier 4  reset done; the coordinator may return and the caller may
+//	           reuse reqs/grant
+//
+// The pool deliberately does not reference its Machine so that machines can
+// be finalized (see New).
+type pool struct {
+	arb     Arbiter
+	seed    uint64
+	procs   int
+	workers int
+	chunk   int
+	winner  []uint64
+	counts  []grantCount
+	bar     barrier
+
+	// Per-round state, published by the coordinator before barrier 1 (the
+	// barrier's release establishes the happens-before edge to the workers).
+	reqs  []int64
+	grant []bool
+	gen   uint64
+	stop  bool
+}
+
+func newPool(cfg Config, winner []uint64) *pool {
+	pl := &pool{
+		arb:     cfg.Arb,
+		seed:    cfg.Seed,
+		procs:   cfg.Procs,
+		workers: cfg.Workers,
+		chunk:   (cfg.Procs + cfg.Workers - 1) / cfg.Workers,
+		winner:  winner,
+		counts:  make([]grantCount, cfg.Workers),
 	}
-	m.wg.Wait()
-	// Grant sweep (barrier above guarantees claims are final).
-	counts := make([]int64, w)
-	m.wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func(id, lo int) {
-			defer m.wg.Done()
-			hi := lo + chunk
-			if hi > m.cfg.Procs {
-				hi = m.cfg.Procs
-			}
-			var local int64
-			for p := lo; p < hi; p++ {
-				mod := reqs[p]
-				if mod == Idle {
-					continue
-				}
-				if unpackProc(atomic.LoadUint64(&m.winner[mod])) == p {
-					grant[p] = true
-					local++
-				}
-			}
-			counts[id] = local
-		}(g, g*chunk)
+	pl.bar.init(cfg.Workers + 1) // workers + the coordinator
+	for g := 0; g < cfg.Workers; g++ {
+		go pl.run(g)
 	}
-	m.wg.Wait()
-	// Reset sweep.
-	m.wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func(lo int) {
-			defer m.wg.Done()
-			hi := lo + chunk
-			if hi > m.cfg.Procs {
-				hi = m.cfg.Procs
-			}
-			for p := lo; p < hi; p++ {
-				if mod := reqs[p]; mod != Idle {
-					atomic.StoreUint64(&m.winner[mod], 0)
-				}
-			}
-		}(g * chunk)
-	}
-	m.wg.Wait()
-	var served int
-	for _, c := range counts {
-		served += int(c)
+	return pl
+}
+
+// exec is the coordinator side of one parallel round.
+func (pl *pool) exec(reqs []int64, grant []bool, round uint64) int {
+	pl.reqs, pl.grant, pl.gen = reqs, grant, round
+	pl.bar.await() // 1: release claim sweep
+	pl.bar.await() // 2: claims final
+	pl.bar.await() // 3: grants final
+	pl.bar.await() // 4: reset done
+	served := 0
+	for i := range pl.counts {
+		served += int(pl.counts[i].n)
 	}
 	return served
+}
+
+// run is one pool worker, owning the processor range [id·chunk, (id+1)·chunk).
+func (pl *pool) run(id int) {
+	lo := id * pl.chunk
+	hi := lo + pl.chunk
+	if lo > pl.procs {
+		lo = pl.procs
+	}
+	if hi > pl.procs {
+		hi = pl.procs
+	}
+	for {
+		pl.bar.await() // round start (or shutdown)
+		if pl.stop {
+			return
+		}
+		reqs, grant := pl.reqs, pl.grant
+		// Claim sweep: race atomic-min on per-module claim words.
+		for p := lo; p < hi; p++ {
+			grant[p] = false
+			mod := reqs[p]
+			if mod == Idle {
+				continue
+			}
+			claim := pack(priority(pl.arb, pl.procs, pl.seed, pl.gen, p), p)
+			addr := &pl.winner[mod]
+			for {
+				cur := atomic.LoadUint64(addr)
+				if cur != 0 && cur <= claim {
+					break
+				}
+				if atomic.CompareAndSwapUint64(addr, cur, claim) {
+					break
+				}
+			}
+		}
+		pl.bar.await() // claims final
+		var local int64
+		for p := lo; p < hi; p++ {
+			mod := reqs[p]
+			if mod == Idle {
+				continue
+			}
+			if unpackProc(atomic.LoadUint64(&pl.winner[mod])) == p {
+				grant[p] = true
+				local++
+			}
+		}
+		pl.counts[id].n = local
+		pl.bar.await() // grants final
+		for p := lo; p < hi; p++ {
+			if mod := reqs[p]; mod != Idle {
+				atomic.StoreUint64(&pl.winner[mod], 0)
+			}
+		}
+		pl.bar.await() // reset done
+	}
 }
 
 // splitmix is SplitMix64, a fast deterministic 64-bit mixer.

@@ -1,0 +1,123 @@
+package protocol
+
+import (
+	"testing"
+
+	"detshmem/internal/core"
+)
+
+// allocSystem builds a compiled-resolver system over the q=2 core scheme for
+// the steady-state allocation guards.
+func allocSystem(t *testing.T, cfg Config) (*System, []Request) {
+	t.Helper()
+	s, err := core.New(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CompileMapper(NewCoreMapper(s, idx), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewGenericSystem(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	n := int(r.NumModules())
+	reqs := make([]Request, n)
+	for i := range reqs {
+		op := Read
+		if i%2 == 0 {
+			op = Write
+		}
+		reqs[i] = Request{Var: uint64(i * 37 % int(r.NumVars())), Op: op, Value: uint64(i)}
+	}
+	seen := map[uint64]bool{}
+	w := 0
+	for _, rq := range reqs {
+		if !seen[rq.Var] {
+			seen[rq.Var] = true
+			reqs[w] = rq
+			w++
+		}
+	}
+	return sys, reqs[:w]
+}
+
+// TestAccessIntoSteadyStateAllocs pins the whole protocol iteration loop —
+// validation, address resolution, the phase loop, metrics — at zero
+// allocations per batch once the scratch buffers are warm, on both MPC
+// engines.
+func TestAccessIntoSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"sequential", Config{}},
+		{"parallel", Config{Parallel: true, Workers: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, reqs := allocSystem(t, tc.cfg)
+			var res Result
+			if err := sys.AccessInto(reqs, &res); err != nil { // warm-up
+				t.Fatal(err)
+			}
+			if avg := testing.AllocsPerRun(50, func() {
+				if err := sys.AccessInto(reqs, &res); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Fatalf("AccessInto allocates %.2f per batch in steady state, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestAccessMatchesAccessInto checks the allocating wrapper and the reuse
+// path return identical values and metrics.
+func TestAccessMatchesAccessInto(t *testing.T) {
+	sysA, reqs := allocSystem(t, Config{})
+	sysB, _ := allocSystem(t, Config{})
+
+	vals := make([]uint64, len(reqs))
+	for i := range vals {
+		vals[i] = uint64(1000 + i)
+	}
+	for i := range reqs {
+		reqs[i].Op = Write
+		reqs[i].Value = vals[i]
+	}
+	resA, err := sysA.Access(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resB Result
+	if err := sysB.AccessInto(reqs, &resB); err != nil {
+		t.Fatal(err)
+	}
+	if resA.Metrics.TotalRounds != resB.Metrics.TotalRounds ||
+		resA.Metrics.CopyAccesses != resB.Metrics.CopyAccesses ||
+		resA.Metrics.Phases != resB.Metrics.Phases {
+		t.Fatalf("metrics diverge: Access=%+v AccessInto=%+v", resA.Metrics, resB.Metrics)
+	}
+
+	for i := range reqs {
+		reqs[i].Op = Read
+	}
+	resA, err = sysA.Access(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysB.AccessInto(reqs, &resB); err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if resA.Values[i] != vals[i] || resB.Values[i] != vals[i] {
+			t.Fatalf("read %d: Access=%d AccessInto=%d want %d", i, resA.Values[i], resB.Values[i], vals[i])
+		}
+	}
+}

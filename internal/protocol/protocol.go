@@ -12,6 +12,12 @@
 // baselines (Mehlhorn–Vishkin write-all/read-one, single-copy hashing,
 // Upfal–Wigderson random graphs) run under the exact same MPC accounting.
 //
+// Two hot-path layers keep the executor fast: CompileMapper precomputes any
+// Mapper's address map into a dense shared table (the paper's O(log N),
+// O(1)-space Section 4 computation, compiled down to an O(1) array read),
+// and AccessInto reuses all per-batch buffers so steady-state batches
+// allocate nothing.
+//
 // The number of iterations a phase needs is the quantity Φ bounded by
 // Theorem 6: Φ ∈ O(N^{1/3} log* N) for constant q. Metrics expose the
 // per-iteration live-variable counts so the Recurrence (2) envelope can be
@@ -19,6 +25,7 @@
 package protocol
 
 import (
+	"errors"
 	"fmt"
 
 	"detshmem/internal/core"
@@ -93,13 +100,14 @@ type Machine interface {
 type Config struct {
 	Arb      mpc.Arbiter // module arbitration policy
 	Seed     uint64      // seed for mpc.ArbRandom
-	Parallel bool        // use the goroutine MPC engine
-	Workers  int         // goroutine count for the parallel engine
+	Parallel bool        // use the persistent-worker-pool MPC engine
+	Workers  int         // pool size for the parallel engine
 	Policy   CopyPolicy
 	// ClusterSize overrides the default cluster size (= the copy count);
 	// 0 means default. It must be at least the larger quorum.
 	ClusterSize int
-	// TraceLive records LiveTrace (costs one counter sweep per iteration).
+	// TraceLive records LiveTrace (costs one counter sweep per iteration
+	// and allocates for the trace itself).
 	TraceLive bool
 	// NewMachine overrides interconnect construction (failure injection,
 	// routed networks); nil uses the plain MPC.
@@ -110,11 +118,19 @@ type Config struct {
 	// failed modules); such requests are reported in Metrics.Unfinished and
 	// Access returns ErrIncomplete.
 	MaxIterationsPerPhase int
-	// CacheAddresses memoizes each variable's copy addresses after the
-	// first resolution. The mapping is static for every scheme in this
-	// repository, so caching only trades memory (Copies·16 bytes per
-	// distinct variable touched) for skipping the O(log N) address
-	// computation on repeats.
+	// Resolver supplies a compiled address map (see CompileMapper) for the
+	// system's Mapper. One resolver may be shared by any number of Systems
+	// and frontends; it must have been compiled from a mapper with the
+	// same geometry as this system's.
+	Resolver *CompiledResolver
+	//
+	// Deprecated: CacheAddresses memoized each variable's copy addresses in
+	// a per-System unbounded map that was neither shared across Systems nor
+	// safe to share. It is superseded by the compiled resolver: set
+	// Resolver (or build the System directly over a CompiledResolver) to
+	// control compilation explicitly. The flag still works — it is now
+	// routed through a lazily compiled resolver private to the System, so
+	// memory grows shard-wise with the touched working set.
 	CacheAddresses bool
 }
 
@@ -131,13 +147,26 @@ type System struct {
 	store store
 	ts    uint64 // batch timestamp, incremented per Access
 
+	// resolver serves compiled copy addresses; nil means live CopyAddr
+	// resolution through the Mapper.
+	resolver *CompiledResolver
+
 	// Machine reuse: rebuilding interconnect state per batch is wasteful
 	// when consecutive batches have the same processor count.
 	machine      Machine
 	machineProcs int
 	machineCost  uint64 // machine.Cost() at the start of the current batch
 
-	addrCache map[uint64][]assignment // variable -> copy assignments
+	// Per-batch scratch, reused across Access calls so the iteration loop
+	// is allocation-free once the buffers reach their high-water sizes.
+	seen      map[uint64]struct{}
+	copies    []assignment
+	remaining []int32
+	bestTS    []uint64
+	bestVal   []uint64
+	mreqs     []int64
+	grant     []bool
+	tasks     []taskRef
 }
 
 // NewSystem builds a protocol system for the Pietracaprina–Preparata scheme.
@@ -176,11 +205,48 @@ func NewGenericSystem(m Mapper, cfg Config) (*System, error) {
 		// can never complete an access.
 		return nil, fmt.Errorf("protocol: cluster size %d below quorum %d", cfg.ClusterSize, maxQ)
 	}
+	resolver := cfg.Resolver
+	switch {
+	case resolver != nil:
+		if err := resolver.compatibleWith(m); err != nil {
+			return nil, err
+		}
+	case isCompiled(m):
+		resolver = m.(*CompiledResolver)
+	case cfg.CacheAddresses:
+		// Deprecated flag, kept working: route it through a lazily compiled
+		// private resolver instead of the old unbounded per-System map.
+		var err error
+		resolver, err = CompileMapper(m, CompileOptions{Lazy: true})
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &System{
-		Mapper: m,
-		cfg:    cfg,
-		store:  newStore(m.AddrSpace()),
+		Mapper:   m,
+		cfg:      cfg,
+		store:    newStore(m.AddrSpace()),
+		resolver: resolver,
+		seen:     make(map[uint64]struct{}),
 	}, nil
+}
+
+func isCompiled(m Mapper) bool {
+	_, ok := m.(*CompiledResolver)
+	return ok
+}
+
+// Close releases the system's interconnect (the parallel MPC engine's
+// worker pool, when one is live). The system remains usable: the next
+// Access rebuilds the machine. Closing is optional — leaked machines are
+// finalized by the GC — but deterministic release keeps goroutine counts
+// flat in long-running services.
+func (sys *System) Close() {
+	if c, ok := sys.machine.(interface{ Close() }); ok {
+		c.Close()
+	}
+	sys.machine = nil
+	sys.machineProcs = 0
 }
 
 // assignment is one processor's job within a phase: one copy of one request.
@@ -198,37 +264,74 @@ func (sys *System) quorum(op Op) int32 {
 	return int32(sys.Mapper.ReadQuorum())
 }
 
+// grow returns s resized to n elements, reusing its backing array when the
+// capacity allows. Contents are unspecified; callers overwrite.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // Access executes one batch of at most N distinct-variable requests and
 // returns read values plus metrics. The batch is one synchronous
 // shared-memory step: all writes in it carry the same timestamp, and a read
 // in a later batch is guaranteed to observe the latest earlier write.
+//
+// Access allocates a fresh Result per call; use AccessInto on latency- or
+// allocation-sensitive paths.
 func (sys *System) Access(reqs []Request) (*Result, error) {
+	res := &Result{}
+	err := sys.AccessInto(reqs, res)
+	if err != nil && !errors.Is(err, ErrIncomplete) {
+		return nil, err
+	}
+	return res, err
+}
+
+// AccessInto is the allocation-free variant of Access: it executes the
+// batch and writes read values and metrics into res, reusing res's slices
+// and the System's internal buffers. After a warm-up batch of each size,
+// steady-state calls perform no allocation (TraceLive and failure paths
+// excepted). res must not alias the request slice and is valid until the
+// next AccessInto on the same Result.
+func (sys *System) AccessInto(reqs []Request, res *Result) error {
 	m := sys.Mapper
 	if uint64(len(reqs)) > m.NumModules() {
-		return nil, errorf(ErrBatchTooLarge, "protocol: batch of %d exceeds N = %d", len(reqs), m.NumModules())
+		return errorf(ErrBatchTooLarge, "protocol: batch of %d exceeds N = %d", len(reqs), m.NumModules())
 	}
-	seen := make(map[uint64]struct{}, len(reqs))
+	clear(sys.seen)
 	for _, r := range reqs {
 		if r.Var >= m.NumVars() {
-			return nil, errorf(ErrVarOutOfRange, "protocol: variable %d out of range [0,%d)", r.Var, m.NumVars())
+			return errorf(ErrVarOutOfRange, "protocol: variable %d out of range [0,%d)", r.Var, m.NumVars())
 		}
-		if _, dup := seen[r.Var]; dup {
-			return nil, errorf(ErrDuplicateVar, "protocol: variable %d requested twice in one batch", r.Var)
+		if _, dup := sys.seen[r.Var]; dup {
+			return errorf(ErrDuplicateVar, "protocol: variable %d requested twice in one batch", r.Var)
 		}
-		seen[r.Var] = struct{}{}
+		sys.seen[r.Var] = struct{}{}
 	}
 	sys.ts++
+
+	res.Values = grow(res.Values, len(reqs))
+	for i := range res.Values {
+		res.Values[i] = 0
+	}
+	res.Metrics = Metrics{
+		PhaseIterations: res.Metrics.PhaseIterations[:0],
+		LiveTrace:       res.Metrics.LiveTrace[:0],
+		Unfinished:      res.Metrics.Unfinished[:0],
+	}
 
 	clusterSize := sys.cfg.ClusterSize
 	numClusters := (len(reqs) + clusterSize - 1) / clusterSize
 	if numClusters == 0 {
-		return &Result{Values: []uint64{}}, nil
+		return nil
 	}
 	procs := numClusters * clusterSize
 
 	machine, err := sys.obtainMachine(procs)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	maxIters := sys.cfg.MaxIterationsPerPhase
 	if maxIters == 0 {
@@ -236,27 +339,30 @@ func (sys *System) Access(reqs []Request) (*Result, error) {
 	}
 
 	// Resolve every copy address up front (the per-processor O(log N)
-	// address computation of Section 4).
+	// address computation of Section 4 — an O(1) table read per copy when a
+	// compiled resolver is attached).
 	copies := sys.resolveCopies(reqs)
 	nCopies := m.Copies()
 
-	res := &Result{Values: make([]uint64, len(reqs))}
-	remaining := make([]int32, len(reqs)) // copies still needed per request
-	bestTS := make([]uint64, len(reqs))
-	bestVal := make([]uint64, len(reqs))
+	remaining := grow(sys.remaining, len(reqs)) // copies still needed per request
+	bestTS := grow(sys.bestTS, len(reqs))
+	bestVal := grow(sys.bestVal, len(reqs))
+	sys.remaining, sys.bestTS, sys.bestVal = remaining, bestTS, bestVal
 
-	mreqs := make([]int64, procs)
-	grant := make([]bool, procs)
+	mreqs := grow(sys.mreqs, procs)
+	grant := grow(sys.grant, procs)
+	sys.mreqs, sys.grant = mreqs, grant
 	for p := range mreqs {
 		mreqs[p] = mpc.Idle
 	}
 
 	res.Metrics.Phases = clusterSize
+	tasks := sys.tasks
 	for phase := 0; phase < clusterSize; phase++ {
 		// Build the task list: cluster i serves request i*clusterSize+phase;
 		// member j bids for copy j (members beyond the in-flight copy count
 		// idle).
-		var tasks []taskRef
+		tasks = tasks[:0]
 		for i := 0; i < numClusters; i++ {
 			r := i*clusterSize + phase
 			if r >= len(reqs) {
@@ -346,12 +452,13 @@ func (sys *System) Access(reqs []Request) (*Result, error) {
 			res.Metrics.LiveTrace = append(res.Metrics.LiveTrace, live)
 		}
 	}
+	sys.tasks = tasks[:0]
 	res.Metrics.InterconnectCost = machine.Cost() - sys.machineCost
 	if len(res.Metrics.Unfinished) > 0 {
-		return res, fmt.Errorf("%w: %d of %d requests could not reach a quorum",
+		return fmt.Errorf("%w: %d of %d requests could not reach a quorum",
 			ErrIncomplete, len(res.Metrics.Unfinished), len(reqs))
 	}
-	return res, nil
+	return nil
 }
 
 type taskRef struct {
@@ -362,7 +469,8 @@ type taskRef struct {
 // obtainMachine returns a machine sized for procs bidders, reusing the
 // previous batch's machine when the geometry matches (interconnect state —
 // round counters, network queues — carries over; per-batch cost is taken as
-// a delta against machineCost).
+// a delta against machineCost). A replaced machine is closed so its worker
+// pool, if any, is released deterministically.
 func (sys *System) obtainMachine(procs int) (Machine, error) {
 	if sys.machine != nil && sys.machineProcs == procs {
 		sys.machineCost = sys.machine.Cost()
@@ -386,6 +494,9 @@ func (sys *System) obtainMachine(procs int) (Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c, ok := sys.machine.(interface{ Close() }); ok {
+		c.Close()
+	}
 	sys.machine = machine
 	sys.machineProcs = procs
 	sys.machineCost = machine.Cost()
@@ -393,31 +504,23 @@ func (sys *System) obtainMachine(procs int) (Machine, error) {
 }
 
 // resolveCopies computes the (module, address) of every copy of every
-// requested variable, consulting the address cache when enabled.
+// requested variable into the reused scratch buffer — from the compiled
+// table when a resolver is attached, live through the Mapper otherwise.
 func (sys *System) resolveCopies(reqs []Request) []assignment {
 	nCopies := sys.Mapper.Copies()
-	out := make([]assignment, len(reqs)*nCopies)
-	if sys.cfg.CacheAddresses && sys.addrCache == nil {
-		sys.addrCache = make(map[uint64][]assignment)
+	out := grow(sys.copies, len(reqs)*nCopies)
+	sys.copies = out
+	if sys.resolver != nil {
+		for r := range reqs {
+			row := sys.resolver.row(reqs[r].Var)
+			base := r * nCopies
+			for c := 0; c < nCopies; c++ {
+				out[base+c] = assignment{req: int32(r), module: row[c].module, addr: row[c].addr}
+			}
+		}
+		return out
 	}
 	for r := range reqs {
-		if sys.cfg.CacheAddresses {
-			cached, ok := sys.addrCache[reqs[r].Var]
-			if !ok {
-				cached = make([]assignment, nCopies)
-				for c := 0; c < nCopies; c++ {
-					mod, addr := sys.Mapper.CopyAddr(reqs[r].Var, c)
-					cached[c] = assignment{module: int64(mod), addr: addr}
-				}
-				sys.addrCache[reqs[r].Var] = cached
-			}
-			for c := 0; c < nCopies; c++ {
-				a := cached[c]
-				a.req = int32(r)
-				out[r*nCopies+c] = a
-			}
-			continue
-		}
 		for c := 0; c < nCopies; c++ {
 			mod, addr := sys.Mapper.CopyAddr(reqs[r].Var, c)
 			out[r*nCopies+c] = assignment{req: int32(r), module: int64(mod), addr: addr}

@@ -1,0 +1,236 @@
+package protocol
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// packedAssignment is one compiled copy location: the module serving the
+// copy and the copy's flat storage address, packed for cache-friendly
+// sequential scans by the protocol's per-batch resolution sweep.
+type packedAssignment struct {
+	module int64
+	addr   uint64
+}
+
+// CompileOptions tunes CompileMapper.
+type CompileOptions struct {
+	// Workers bounds the goroutines used to build the eager table;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// Lazy forces sharded lazy materialization: nothing is computed up
+	// front, and each shard of shardVars variables is compiled on first
+	// touch. Memory then grows with the touched working set, not with M.
+	Lazy bool
+	// Eager forces the full upfront table even above LazyThreshold.
+	Eager bool
+	// LazyThreshold is the table-entry count (NumVars·Copies) above which
+	// compilation defaults to lazy sharding; 0 means DefaultLazyThreshold.
+	LazyThreshold uint64
+}
+
+// DefaultLazyThreshold is the default eager/lazy cutover: 2^24 entries
+// (256 MiB of packed assignments) compiled up front at most.
+const DefaultLazyThreshold = 1 << 24
+
+const (
+	shardBits = 10 // variables per lazy shard: 1024
+	shardVars = 1 << shardBits
+)
+
+// resolverShard is one lazily compiled block of shardVars variables. The
+// table pointer is published atomically after a mutex-serialized build, so
+// readers never lock on the hot path.
+type resolverShard struct {
+	table atomic.Pointer[[]packedAssignment]
+	mu    sync.Mutex
+}
+
+// CompiledResolver is a compiled address map for a Mapper: the (module,
+// address) of every copy of every variable, precomputed into a dense
+// immutable table (or compiled shard-by-shard on demand in lazy mode) so
+// the per-batch resolution sweep is an O(1) array read per copy instead of
+// the live O(log N) algebra of Mapper.CopyAddr.
+//
+// A resolver is safe for concurrent use and is meant to be shared: any
+// number of Systems and frontends over the same memory organization can
+// reference one resolver (via Config.Resolver, or by using the resolver
+// itself as the System's Mapper — CompiledResolver implements Mapper and
+// reports the underlying scheme's name and parameters).
+type CompiledResolver struct {
+	inner  Mapper
+	vars   uint64
+	copies int
+
+	table  []packedAssignment // eager: len = vars·copies, immutable
+	shards []resolverShard    // lazy: one entry per shardVars variables
+}
+
+// CompileMapper compiles m's address map. The eager table is built in
+// parallel across opts.Workers goroutines; lazy mode returns immediately
+// and compiles shards on first touch. Compiling an already compiled
+// resolver returns it unchanged.
+func CompileMapper(m Mapper, opts CompileOptions) (*CompiledResolver, error) {
+	if m == nil {
+		return nil, fmt.Errorf("protocol: cannot compile nil mapper")
+	}
+	if r, ok := m.(*CompiledResolver); ok {
+		return r, nil
+	}
+	vars, copies := m.NumVars(), m.Copies()
+	if vars == 0 || copies < 1 {
+		return nil, fmt.Errorf("protocol: cannot compile %s with %d vars, %d copies", m.Name(), vars, copies)
+	}
+	entries := vars * uint64(copies)
+	threshold := opts.LazyThreshold
+	if threshold == 0 {
+		threshold = DefaultLazyThreshold
+	}
+	r := &CompiledResolver{inner: m, vars: vars, copies: copies}
+	if opts.Lazy || (!opts.Eager && entries > threshold) {
+		r.shards = make([]resolverShard, (vars+shardVars-1)/shardVars)
+		return r, nil
+	}
+	r.table = make([]packedAssignment, entries)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if uint64(workers) > vars {
+		workers = int(vars)
+	}
+	chunk := (vars + uint64(workers) - 1) / uint64(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := uint64(w) * chunk
+		hi := lo + chunk
+		if hi > vars {
+			hi = vars
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			compileRange(m, r.table, lo, hi, copies)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return r, nil
+}
+
+// compileRange fills table with the copies of variables [lo, hi).
+func compileRange(m Mapper, table []packedAssignment, lo, hi uint64, copies int) {
+	for v := lo; v < hi; v++ {
+		base := v * uint64(copies)
+		for c := 0; c < copies; c++ {
+			mod, addr := m.CopyAddr(v, c)
+			table[base+uint64(c)] = packedAssignment{module: int64(mod), addr: addr}
+		}
+	}
+}
+
+// row returns the compiled copies of v as one dense slice, materializing
+// v's shard on first touch in lazy mode. v must be below NumVars.
+func (r *CompiledResolver) row(v uint64) []packedAssignment {
+	c := uint64(r.copies)
+	if r.table != nil {
+		return r.table[v*c : v*c+c]
+	}
+	sh := &r.shards[v>>shardBits]
+	t := sh.table.Load()
+	if t == nil {
+		t = r.materialize(sh, v>>shardBits)
+	}
+	off := (v & (shardVars - 1)) * c
+	return (*t)[off : off+c]
+}
+
+// materialize compiles one lazy shard, serializing concurrent first
+// touches; later readers take the atomic fast path in row.
+func (r *CompiledResolver) materialize(sh *resolverShard, shard uint64) *[]packedAssignment {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if t := sh.table.Load(); t != nil {
+		return t
+	}
+	lo := shard << shardBits
+	hi := lo + shardVars
+	if hi > r.vars {
+		hi = r.vars
+	}
+	t := make([]packedAssignment, (hi-lo)*uint64(r.copies))
+	for v := lo; v < hi; v++ {
+		base := (v - lo) * uint64(r.copies)
+		for c := 0; c < r.copies; c++ {
+			mod, addr := r.inner.CopyAddr(v, c)
+			t[base+uint64(c)] = packedAssignment{module: int64(mod), addr: addr}
+		}
+	}
+	sh.table.Store(&t)
+	return &t
+}
+
+// Mapper returns the memory organization the resolver was compiled from.
+func (r *CompiledResolver) Mapper() Mapper { return r.inner }
+
+// Compiled reports how many variables have been compiled so far (all of
+// them for an eager resolver; the touched shards for a lazy one).
+func (r *CompiledResolver) Compiled() uint64 {
+	if r.table != nil {
+		return r.vars
+	}
+	var n uint64
+	for i := range r.shards {
+		if t := r.shards[i].table.Load(); t != nil {
+			n += uint64(len(*t)) / uint64(r.copies)
+		}
+	}
+	return n
+}
+
+// compatibleWith checks that m has the geometry the resolver was compiled
+// for (used when Config.Resolver pairs a resolver with a System's Mapper).
+func (r *CompiledResolver) compatibleWith(m Mapper) error {
+	if m.NumVars() != r.vars || m.Copies() != r.copies ||
+		m.NumModules() != r.inner.NumModules() || m.AddrSpace() != r.inner.AddrSpace() {
+		return fmt.Errorf("protocol: resolver compiled for %s (M=%d, copies=%d) does not match mapper %s (M=%d, copies=%d)",
+			r.inner.Name(), r.vars, r.copies, m.Name(), m.NumVars(), m.Copies())
+	}
+	return nil
+}
+
+// The Mapper view of a resolver: identical metadata to the underlying
+// organization, with CopyAddr served from the compiled table.
+
+// Name identifies the underlying scheme (reports stay comparable).
+func (r *CompiledResolver) Name() string { return r.inner.Name() }
+
+// NumVars returns M.
+func (r *CompiledResolver) NumVars() uint64 { return r.vars }
+
+// NumModules returns N.
+func (r *CompiledResolver) NumModules() uint64 { return r.inner.NumModules() }
+
+// Copies returns the replication factor.
+func (r *CompiledResolver) Copies() int { return r.copies }
+
+// ReadQuorum returns the underlying read quorum.
+func (r *CompiledResolver) ReadQuorum() int { return r.inner.ReadQuorum() }
+
+// WriteQuorum returns the underlying write quorum.
+func (r *CompiledResolver) WriteQuorum() int { return r.inner.WriteQuorum() }
+
+// CopyAddr serves copy c of v from the compiled table.
+func (r *CompiledResolver) CopyAddr(v uint64, c int) (uint64, uint64) {
+	pa := r.row(v)[c]
+	return uint64(pa.module), pa.addr
+}
+
+// AddrSpace returns the underlying address-space bound.
+func (r *CompiledResolver) AddrSpace() uint64 { return r.inner.AddrSpace() }
+
+var _ Mapper = (*CompiledResolver)(nil)
