@@ -6,9 +6,16 @@
 //
 //	mpcrun -q 2 -n 5 -batch 1023 -workload random|stride|gamma -op read|write \
 //	       [-scheme pp|mv|single|uw] [-arb lowest|rr|random] [-trace]
+//	       [-tracejson FILE] [-parallel]
+//
+// -tracejson captures every MPC round through the obs tracer and writes the
+// machine-readable round trajectory (requests, grants, contention
+// histogram, barrier wait) plus its totals, cross-checked against the
+// batch's protocol metrics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -17,20 +24,23 @@ import (
 	"detshmem/internal/baseline"
 	"detshmem/internal/core"
 	"detshmem/internal/mpc"
+	"detshmem/internal/obs"
 	"detshmem/internal/protocol"
 	"detshmem/internal/workload"
 )
 
 func main() {
 	var (
-		nFlag  = flag.Int("n", 5, "extension degree (q=2)")
-		batch  = flag.Int("batch", 0, "batch size (0 = full N)")
-		wl     = flag.String("workload", "random", "random | stride | gamma")
-		op     = flag.String("op", "write", "read | write")
-		scheme = flag.String("scheme", "pp", "pp | mv | single | uw")
-		arb    = flag.String("arb", "lowest", "lowest | rr | random")
-		seed   = flag.Int64("seed", 1993, "workload seed")
-		trace  = flag.Bool("trace", false, "print per-iteration live counts")
+		nFlag    = flag.Int("n", 5, "extension degree (q=2)")
+		batch    = flag.Int("batch", 0, "batch size (0 = full N)")
+		wl       = flag.String("workload", "random", "random | stride | gamma")
+		op       = flag.String("op", "write", "read | write")
+		scheme   = flag.String("scheme", "pp", "pp | mv | single | uw")
+		arb      = flag.String("arb", "lowest", "lowest | rr | random")
+		seed     = flag.Int64("seed", 1993, "workload seed")
+		trace    = flag.Bool("trace", false, "print per-iteration live counts")
+		traceOut = flag.String("tracejson", "", "write the per-round JSON trajectory here")
+		parallel = flag.Bool("parallel", false, "use the persistent-worker-pool MPC engine")
 	)
 	flag.Parse()
 
@@ -83,8 +93,15 @@ func main() {
 		fatal(fmt.Errorf("unknown workload %q", *wl))
 	}
 
-	sys, err := protocol.NewGenericSystem(mapper, protocol.Config{Arb: arbiter, Seed: uint64(*seed), TraceLive: *trace})
+	var tracer *obs.Tracer
+	cfg := protocol.Config{Arb: arbiter, Seed: uint64(*seed), TraceLive: *trace, Parallel: *parallel}
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+		cfg.Recorder = tracer
+	}
+	sys, err := protocol.NewGenericSystem(mapper, cfg)
 	fatal(err)
+	defer sys.Close()
 
 	reqs := make([]protocol.Request, len(vars))
 	theOp := protocol.Write
@@ -107,6 +124,24 @@ func main() {
 		for p, tr := range m.LiveTrace {
 			fmt.Printf("phase %d live: %v\n", p, tr)
 		}
+	}
+	if tracer != nil {
+		totals := tracer.Totals()
+		if totals.Rounds != uint64(m.TotalRounds) || totals.Granted != uint64(m.GrantedBids) {
+			fatal(fmt.Errorf("trace totals diverge from metrics: traced rounds=%d granted=%d, metrics rounds=%d granted=%d",
+				totals.Rounds, totals.Granted, m.TotalRounds, m.GrantedBids))
+		}
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(obs.TraceDump{Totals: totals, Dropped: tracer.Dropped(), Events: tracer.Events()})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fatal(err)
+		fmt.Printf("trace: %d rounds -> %s (consistent with batch metrics: granted=%d)\n",
+			totals.Rounds, *traceOut, totals.Granted)
 	}
 }
 

@@ -1,33 +1,62 @@
-// Command smembench regenerates the experiment tables E1–E16 (the paper's
+// Command smembench regenerates the experiment tables E1–E17 (the paper's
 // analytical claims as measurements, plus the extensions). See DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for recorded results.
 //
 // Usage:
 //
 //	smembench [-exp e1,e4,...] [-quick] [-seed N] [-json] [-jsonout FILE]
+//	          [-trace FILE] [-tracecap N] [-pprof ADDR]
 //
 // With no -exp it runs everything in order. -json makes JSON-capable
 // experiments (E16) also write machine-readable results, to BENCH_PR2.json
 // by default (-jsonout overrides the path).
+//
+// -trace attaches the obs ring-buffer tracer plus the cumulative collector
+// to every experiment system and dumps the per-round trajectory as JSON:
+// round index, live requests, granted copies, the per-module contention
+// histogram, and barrier wait time, alongside the collector's batch-level
+// totals. The dump is self-validating — smembench exits nonzero if the
+// trace totals do not match the summed protocol metrics.
+//
+// -pprof serves net/http/pprof, expvar (/debug/vars), and the Prometheus
+// text format (/metrics) on the given address for the duration of the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"strings"
 	"time"
 
 	"detshmem/internal/experiments"
+	"detshmem/internal/obs"
 )
+
+// traceDump is the -trace output: the tracer's trajectory and exact totals,
+// the collector's batch-level view of the same run, and the consistency
+// verdict between them.
+type traceDump struct {
+	Totals     obs.TraceTotals  `json:"totals"`
+	Dropped    uint64           `json:"dropped"`
+	Collector  map[string]int64 `json:"collector"`
+	Consistent bool             `json:"consistent"`
+	Events     []obs.RoundEvent `json:"events"`
+}
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment ids (e1..e16); empty = all")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		seed    = flag.Int64("seed", 0, "workload RNG seed (0 = default)")
-		jsonOut = flag.Bool("json", false, "write machine-readable results where supported (e16)")
-		jsonF   = flag.String("jsonout", "BENCH_PR2.json", "path for -json output")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e17); empty = all")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		seed     = flag.Int64("seed", 0, "workload RNG seed (0 = default)")
+		jsonOut  = flag.Bool("json", false, "write machine-readable results where supported (e16)")
+		jsonF    = flag.String("jsonout", "BENCH_PR2.json", "path for -json output")
+		traceF   = flag.String("trace", "", "capture per-round MPC events and write the JSON trajectory here")
+		traceCap = flag.Int("tracecap", obs.DefaultTraceCap, "ring capacity for -trace (oldest events drop beyond it)")
+		pprofA   = flag.String("pprof", "", "serve pprof + expvar + Prometheus /metrics on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -41,6 +70,35 @@ func main() {
 	if *jsonOut {
 		opts.JSONPath = *jsonF
 	}
+
+	collector := obs.NewCollector()
+	var tracer *obs.Tracer
+	if *traceF != "" {
+		tracer = obs.NewTracer(*traceCap)
+		opts.Recorder = obs.Multi(tracer, collector)
+		opts.Observer = collector
+	}
+	if *pprofA != "" {
+		if opts.Observer == nil {
+			// No tracer requested: still aggregate, so /metrics has data.
+			opts.Recorder = collector
+			opts.Observer = collector
+		}
+		collector.PublishExpvar("detshmem")
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := collector.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving pprof/expvar/metrics on %s\n\n", *pprofA)
+	}
+
 	ran := 0
 	for _, r := range experiments.All() {
 		if len(want) > 0 && !want[r.ID] {
@@ -63,4 +121,50 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
 	}
+
+	if tracer != nil {
+		if err := writeTrace(*traceF, tracer, collector); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the captured trajectory and verifies it against the
+// collector's summed protocol metrics: every MPC round recorded by the
+// tracer must be a round some batch's Metrics.TotalRounds accounted for,
+// and every grant a Metrics.GrantedBids bid (instrumented systems install
+// tracer and collector together, so the two views describe the same runs).
+func writeTrace(path string, tracer *obs.Tracer, collector *obs.Collector) error {
+	totals := tracer.Totals()
+	dump := traceDump{
+		Totals:    totals,
+		Dropped:   tracer.Dropped(),
+		Collector: collector.Snapshot(),
+		Consistent: totals.Rounds == uint64(collector.Rounds.Load()) &&
+			totals.Granted == uint64(collector.GrantedBids.Load()),
+		Events: tracer.Events(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(dump)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	fmt.Printf("trace: %d rounds (%d buffered, %d dropped) -> %s\n",
+		totals.Rounds, len(dump.Events), dump.Dropped, path)
+	if !dump.Consistent {
+		return fmt.Errorf("trace: totals diverge from protocol metrics: traced rounds=%d granted=%d, metrics rounds=%d granted=%d",
+			totals.Rounds, totals.Granted, collector.Rounds.Load(), collector.GrantedBids.Load())
+	}
+	fmt.Printf("trace: totals consistent with protocol metrics (rounds=%d, granted=%d)\n",
+		totals.Rounds, totals.Granted)
+	return nil
 }

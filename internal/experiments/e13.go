@@ -28,7 +28,7 @@ func E13(w io.Writer, o Options) error {
 	if o.Quick {
 		ppN = 5
 	}
-	sys, err := newSystem(1, ppN, protocol.Config{})
+	sys, err := newSystem(o, 1, ppN, protocol.Config{})
 	if err != nil {
 		return err
 	}

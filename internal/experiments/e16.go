@@ -142,7 +142,7 @@ func E16(w io.Writer, o Options) error {
 			// machine; the GC fence keeps one variant's garbage from being
 			// collected on another variant's clock.
 			if err := driveFrontend(fe, inst.s.NumVariables, clients, totalOps/(4*clients), wl.p, o.Seed); err != nil {
-				fe.Close()
+				_ = fe.Close() // the drive error is the one worth surfacing
 				sys.Close()
 				return err
 			}

@@ -18,7 +18,7 @@ func E5(w io.Writer, o Options) error {
 	if o.Quick {
 		n = 5
 	}
-	sys, err := newSystem(1, n, protocol.Config{TraceLive: true})
+	sys, err := newSystem(o, 1, n, protocol.Config{TraceLive: true})
 	if err != nil {
 		return err
 	}
@@ -84,7 +84,7 @@ func E6(w io.Writer, o Options) error {
 	fprintf(w, "%3s %10s %8s %8s %12s %16s %12s %10s\n",
 		"n", "N", "Φ", "rounds", "Φ/N^{1/3}", "Φ/(N^{1/3}log*N)", "bound-shape", "time-model")
 	for _, n := range o.Degrees() {
-		sys, err := newSystem(1, n, protocol.Config{})
+		sys, err := newSystem(o, 1, n, protocol.Config{})
 		if err != nil {
 			return err
 		}
@@ -110,7 +110,7 @@ func E6(w io.Writer, o Options) error {
 	if !o.Quick {
 		fprintf(w, "\n    q=4 instances (general-q protocol path, enumerated indexing)\n")
 		for _, n := range []int{3, 4} {
-			sys, err := newSystem(2, n, protocol.Config{})
+			sys, err := newSystem(o, 2, n, protocol.Config{})
 			if err != nil {
 				return err
 			}
@@ -131,7 +131,7 @@ func E6(w io.Writer, o Options) error {
 	if o.Quick {
 		nFix = 5
 	}
-	sys, err := newSystem(1, nFix, protocol.Config{})
+	sys, err := newSystem(o, 1, nFix, protocol.Config{})
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"detshmem/internal/core"
+	"detshmem/internal/obs"
 	"detshmem/internal/protocol"
 )
 
@@ -25,6 +26,25 @@ type Options struct {
 	// JSONPath, when non-empty, makes experiments that support machine-
 	// readable output (currently E16) also write their results there.
 	JSONPath string
+	// Recorder, when non-nil, is installed on every protocol system built
+	// through the shared constructor, capturing one event per MPC round
+	// (smembench -trace wires a ring-buffer tracer here).
+	Recorder obs.Recorder
+	// Observer, when non-nil, receives per-batch protocol metrics from the
+	// same systems (smembench wires its cumulative collector here).
+	Observer obs.BatchObserver
+}
+
+// instrument applies the Options' observability hooks to a protocol config,
+// keeping any hooks the experiment set explicitly.
+func (o Options) instrument(cfg protocol.Config) protocol.Config {
+	if cfg.Recorder == nil {
+		cfg.Recorder = o.Recorder
+	}
+	if cfg.Observer == nil {
+		cfg.Observer = o.Observer
+	}
+	return cfg
 }
 
 // Rng returns the experiment RNG.
@@ -70,11 +90,13 @@ func All() []Runner {
 		{"e14", "Extension: structural audit of every organization", E14},
 		{"e15", "Extension: combining frontend under concurrent clients", E15},
 		{"e16", "Hot path: compiled resolution + persistent-pool engine", E16},
+		{"e17", "Observability: round trajectory, contention, Theorem 6 shape", E17},
 	}
 }
 
-// newSystem builds a PP93 protocol system for q=2^m, degree n.
-func newSystem(m, n int, cfg protocol.Config) (*protocol.System, error) {
+// newSystem builds a PP93 protocol system for q=2^m, degree n, with the
+// Options' observability hooks installed.
+func newSystem(o Options, m, n int, cfg protocol.Config) (*protocol.System, error) {
 	s, err := core.New(m, n)
 	if err != nil {
 		return nil, err
@@ -83,7 +105,7 @@ func newSystem(m, n int, cfg protocol.Config) (*protocol.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return protocol.NewSystem(s, idx, cfg)
+	return protocol.NewSystem(s, idx, o.instrument(cfg))
 }
 
 // gammaSet computes |Γ(S)| for variables given by indices.

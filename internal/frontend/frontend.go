@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"sync"
 
+	"detshmem/internal/obs"
 	"detshmem/internal/protocol"
 )
 
@@ -67,6 +68,11 @@ type Config struct {
 	// QueueCap bounds the submission queue; submitters block (backpressure)
 	// when it is full. 0 defaults to 4×MaxBatch.
 	QueueCap int
+	// Collector, when non-nil, receives the dispatcher-side observability:
+	// queue-depth samples at admission and flush-cause counts. Batch-level
+	// protocol metrics flow through the backend's own instrumentation
+	// (protocol.Config.Observer / Recorder), typically the same collector.
+	Collector *obs.Collector
 }
 
 // Frontend is the combining service. All methods are safe for concurrent
@@ -406,6 +412,15 @@ func (f *Frontend) flush(p *pending, cause flushCause) {
 			unfinished[r] = true
 		}
 	}
+
+	// Account the batch BEFORE any future completes. Completing first opened
+	// a torn-read window: a client whose Wait had returned could call Stats
+	// and not find its own committed operation in the snapshot (the
+	// dispatcher was mid-flush, holding the update for after the fan-out).
+	// Updating under statsMu first — the same lock Stats snapshots under —
+	// makes the snapshot read-your-ops consistent for every waiter.
+	f.accountFlush(p, reqs, res, err, incomplete, cause)
+
 	for i, v := range p.order {
 		e := p.entries[v]
 		switch {
@@ -435,7 +450,12 @@ func (f *Frontend) flush(p *pending, cause flushCause) {
 			}
 		}
 	}
+}
 
+// accountFlush folds one flushed batch into Stats (under statsMu, the lock
+// Stats snapshots under) and into the optional obs collector. It must run
+// before the batch's futures complete; see the call site in flush.
+func (f *Frontend) accountFlush(p *pending, reqs []protocol.Request, res *protocol.Result, err error, incomplete bool, cause flushCause) {
 	f.statsMu.Lock()
 	s := &f.stats
 	s.Batches++
@@ -473,6 +493,24 @@ func (f *Frontend) flush(p *pending, cause flushCause) {
 		s.FailedBatches++
 	}
 	f.statsMu.Unlock()
+
+	if c := f.cfg.Collector; c != nil {
+		c.ObserveFlush(flushCauseObs(cause))
+	}
+}
+
+// flushCauseObs maps the dispatcher's internal cause to the obs label.
+func flushCauseObs(cause flushCause) obs.FlushCause {
+	switch cause {
+	case flushIdle:
+		return obs.FlushIdle
+	case flushExplicit:
+		return obs.FlushExplicit
+	case flushConflict:
+		return obs.FlushConflict
+	default:
+		return obs.FlushSize
+	}
 }
 
 func (f *Frontend) noteQueueDepth(depth int) {
@@ -481,6 +519,9 @@ func (f *Frontend) noteQueueDepth(depth int) {
 		f.stats.MaxQueueDepth = depth
 	}
 	f.statsMu.Unlock()
+	if c := f.cfg.Collector; c != nil {
+		c.ObserveQueueDepth(depth)
+	}
 }
 
 // Stats aggregates combining metrics over every flushed batch. They extend

@@ -97,9 +97,9 @@ func TestCombiningSemantics(t *testing.T) {
 	w1, _ := fe.WriteAsync(1, 10)
 	r1, _ := fe.ReadAsync(1) // forwarded: 10
 	w2, _ := fe.WriteAsync(1, 20)
-	r2, _ := fe.ReadAsync(1) // forwarded: 20
-	r3, _ := fe.ReadAsync(2) // issued read
-	r4, _ := fe.ReadAsync(2) // combined with r3
+	r2, _ := fe.ReadAsync(1)     // forwarded: 20
+	r3, _ := fe.ReadAsync(2)     // issued read
+	r4, _ := fe.ReadAsync(2)     // combined with r3
 	w3, _ := fe.WriteAsync(2, 5) // conflicts with the issued read: flush
 
 	b.gate <- struct{}{} // release the primer batch (already entered)

@@ -1,0 +1,122 @@
+package frontend
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"detshmem/internal/obs"
+)
+
+// TestStatsReadYourOps pins the accounting order fixed in accountFlush:
+// stats are updated under statsMu BEFORE the flush completes any futures,
+// so once a synchronous Write returns, Stats() must already include that
+// operation. Before the fix a waiter could be woken by its future and read
+// a Stats snapshot that did not yet contain its own committed op.
+func TestStatsReadYourOps(t *testing.T) {
+	b := newFakeBackend(false)
+	fe, err := New(b, Config{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+
+	for i := 1; i <= 50; i++ {
+		if err := fe.Write(uint64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if got := fe.Stats().OpsIn; got < int64(i) {
+			t.Fatalf("after write %d returned, Stats().OpsIn = %d: flush completed the future before accounting", i, got)
+		}
+	}
+}
+
+// TestStatsConcurrentWithFlushes hammers Stats from several goroutines
+// while writers drive a steady stream of flushes. Run under -race this
+// pins the snapshot path to the same lock the dispatcher's accounting
+// takes; the invariant checks catch torn or out-of-order snapshots even
+// without the race detector.
+func TestStatsConcurrentWithFlushes(t *testing.T) {
+	col := obs.NewCollector()
+	b := newFakeBackend(false)
+	fe, err := New(b, Config{MaxBatch: 8, Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, opsPerWriter, readers = 4, 300, 4
+	var stop atomic.Bool
+	var readersWG, writersWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			var lastOps int64
+			for !stop.Load() {
+				s := fe.Stats()
+				// Monotonicity: admitted ops never go backwards.
+				if s.OpsIn < lastOps {
+					t.Errorf("OpsIn went backwards: %d after %d", s.OpsIn, lastOps)
+					return
+				}
+				lastOps = s.OpsIn
+				// Combining can only remove requests, never add them, and
+				// every admitted op is exactly one of issued / combined /
+				// coalesced / forwarded — a torn snapshot breaks the sum.
+				if s.RequestsOut > s.OpsIn {
+					t.Errorf("torn snapshot: RequestsOut %d > OpsIn %d", s.RequestsOut, s.OpsIn)
+					return
+				}
+				if s.RequestsOut+s.CombinedReads+s.CoalescedWrites+s.ForwardedReads != s.OpsIn {
+					t.Errorf("torn snapshot: %d out + %d combined + %d coalesced + %d forwarded != %d in",
+						s.RequestsOut, s.CombinedReads, s.CoalescedWrites, s.ForwardedReads, s.OpsIn)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				v := uint64(w*opsPerWriter + i)
+				if err := fe.Write(v, v); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if i%16 == 0 {
+					if _, err := fe.Read(v); err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	stop.Store(true)
+	readersWG.Wait()
+
+	if err := fe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := fe.Stats()
+	if s.OpsIn < int64(writers*opsPerWriter) {
+		t.Fatalf("final OpsIn %d < %d writes issued", s.OpsIn, writers*opsPerWriter)
+	}
+	if s.RequestsOut+s.CombinedReads+s.CoalescedWrites+s.ForwardedReads != s.OpsIn {
+		t.Fatalf("final stats identity broken: %+v", s)
+	}
+
+	// The collector's dispatcher-side counters must agree with Stats.
+	snap := col.Snapshot()
+	flushes := snap["flushes_size_total"] + snap["flushes_idle_total"] +
+		snap["flushes_explicit_total"] + snap["flushes_conflict_total"]
+	if flushes != int64(s.Batches) {
+		t.Fatalf("collector counted %d flushes, Stats.Batches = %d", flushes, s.Batches)
+	}
+	if snap["max_queue_depth"] != int64(s.MaxQueueDepth) {
+		t.Fatalf("collector max queue depth %d, Stats %d", snap["max_queue_depth"], s.MaxQueueDepth)
+	}
+}

@@ -2,14 +2,18 @@ package mpc
 
 import (
 	"testing"
+
+	"detshmem/internal/obs"
 )
 
 // allocRoundConfig builds a machine plus round slices sized for the guard
-// tests: enough processors and modules that claims genuinely contend.
+// tests: enough processors and modules that claims genuinely contend. The
+// default no-op recorder is installed explicitly: the zero-allocation
+// guarantee must hold with the instrumentation layer wired in.
 func allocRoundMachine(t *testing.T, parallel bool) (*Machine, []int64, []bool) {
 	t.Helper()
 	const procs, modules = 96, 32
-	m, err := New(Config{Procs: procs, Modules: modules, Arb: ArbRandom, Seed: 7, Parallel: parallel, Workers: 4})
+	m, err := New(Config{Procs: procs, Modules: modules, Arb: ArbRandom, Seed: 7, Parallel: parallel, Workers: 4, Recorder: obs.Nop})
 	if err != nil {
 		t.Fatal(err)
 	}

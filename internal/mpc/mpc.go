@@ -19,6 +19,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
+
+	"detshmem/internal/obs"
 )
 
 // Idle marks a processor that makes no request this round.
@@ -56,6 +59,12 @@ type Config struct {
 	Seed     uint64  // seed for ArbRandom
 	Parallel bool    // use the persistent-worker-pool engine
 	Workers  int     // pool size (defaults to GOMAXPROCS)
+	// Recorder receives one obs.RoundEvent per executed round on either
+	// engine. Nil means no instrumentation (the default): Round then costs
+	// one disabled-recorder check and stays allocation-free. A recorder
+	// whose Enabled() reports true buys one extra O(P) contention sweep per
+	// round, still allocation-free in steady state.
+	Recorder obs.Recorder
 }
 
 // Machine is a synchronous MPC. Methods are not safe for concurrent use by
@@ -66,10 +75,16 @@ type Config struct {
 // Close is an optimization, not a correctness requirement.
 type Machine struct {
 	cfg     Config
-	round   uint64  // rounds executed so far
+	round   uint64 // rounds executed so far
 	winner  []uint64
 	touched []int64 // sequential engine scratch, reused across rounds
 	pool    *pool   // persistent parallel engine; nil when !cfg.Parallel
+
+	rec obs.Recorder // never nil; obs.Nop when no recorder configured
+	// Recorder scratch, sized on first enabled round and reused: per-module
+	// load counts and the touched-module list for clearing them.
+	loads      []int32
+	recTouched []int64
 }
 
 // New builds a machine. Procs and Modules must be positive. When
@@ -89,6 +104,10 @@ func New(cfg Config) (*Machine, error) {
 		cfg:     cfg,
 		winner:  make([]uint64, cfg.Modules),
 		touched: make([]int64, 0, 64),
+		rec:     cfg.Recorder,
+	}
+	if m.rec == nil {
+		m.rec = obs.Nop
 	}
 	if cfg.Parallel {
 		m.pool = newPool(cfg, m.winner)
@@ -157,16 +176,58 @@ func (m *Machine) Round(reqs []int64, grant []bool) int {
 		panic(fmt.Sprintf("mpc: round slices sized %d/%d, want %d", len(reqs), len(grant), m.cfg.Procs))
 	}
 	var served int
+	var barrierNs int64
+	traced := m.rec.Enabled()
 	if m.cfg.Parallel {
 		if m.pool == nil {
 			panic("mpc: Round on closed machine")
 		}
-		served = m.pool.exec(reqs, grant, m.round)
+		if traced {
+			t0 := time.Now()
+			served = m.pool.exec(reqs, grant, m.round)
+			barrierNs = time.Since(t0).Nanoseconds()
+		} else {
+			served = m.pool.exec(reqs, grant, m.round)
+		}
 	} else {
 		served = m.roundSequential(reqs, grant)
 	}
+	if traced {
+		m.record(reqs, served, barrierNs)
+	}
 	m.round++
 	return served
+}
+
+// record assembles the round's obs.RoundEvent: one sweep tallies per-module
+// loads into the reused scratch, a second sweep over the touched modules
+// builds the contention histogram and zeroes the tallies again.
+func (m *Machine) record(reqs []int64, served int, barrierNs int64) {
+	if m.loads == nil {
+		m.loads = make([]int32, m.cfg.Modules)
+	}
+	ev := obs.RoundEvent{Round: m.round, Granted: served, BarrierNs: barrierNs}
+	touched := m.recTouched[:0]
+	for _, mod := range reqs {
+		if mod == Idle {
+			continue
+		}
+		ev.Requests++
+		if m.loads[mod] == 0 {
+			touched = append(touched, mod)
+		}
+		m.loads[mod]++
+	}
+	for _, mod := range touched {
+		load := int(m.loads[mod])
+		ev.Contention.Observe(load)
+		if load > ev.MaxLoad {
+			ev.MaxLoad = load
+		}
+		m.loads[mod] = 0
+	}
+	m.recTouched = touched
+	m.rec.RecordRound(ev)
 }
 
 func (m *Machine) roundSequential(reqs []int64, grant []bool) int {

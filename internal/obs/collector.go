@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// MaxGauge tracks the maximum value ever observed (a high-water mark).
+type MaxGauge struct{ v atomic.Int64 }
+
+// Observe raises the gauge to n if n exceeds the current maximum.
+func (g *MaxGauge) Observe(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current maximum.
+func (g *MaxGauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a power-of-two-bucketed histogram with atomic buckets (see
+// HistBuckets for the bucket layout). Observe is lock- and allocation-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// Observe counts one positive value; zero and negative values are ignored.
+func (h *Histogram) Observe(v int64) {
+	if v <= 0 {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// AddBucket merges n observations directly into bucket b, accounting their
+// sum at the bucket's 2^b lower bound (used when merging pre-bucketed
+// LoadHists, where exact values are gone; the sum is then a lower bound).
+func (h *Histogram) AddBucket(b int, n int64) {
+	if n <= 0 || b < 0 {
+		return
+	}
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.buckets[b].Add(n)
+	h.count.Add(n)
+	h.sum.Add(n * (int64(1) << b))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values (a lower bound when AddBucket was
+// used).
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Buckets returns a snapshot of the bucket counts.
+func (h *Histogram) Buckets() [HistBuckets]int64 {
+	var out [HistBuckets]int64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Collector aggregates cumulative observability from all three levels of
+// the stack. It implements Recorder (round level, fed by the MPC engines),
+// BatchObserver (batch level, fed by protocol.System), and exposes explicit
+// hooks for the frontend dispatcher (queue depth, flush causes). All
+// methods are safe for concurrent use and allocation-free, so a single
+// process-wide Collector can watch any number of systems and frontends.
+type Collector struct {
+	// Batch level (ObserveBatch, from protocol.Metrics).
+	Batches        Counter   // protocol batches completed
+	Requests       Counter   // requests across batches
+	Rounds         Counter   // Σ Metrics.TotalRounds
+	CopyAccesses   Counter   // Σ Metrics.CopyAccesses
+	GrantedBids    Counter   // Σ Metrics.GrantedBids (incl. cancelled bids)
+	Unfinished     Counter   // requests that missed their quorum
+	MaxPhi         MaxGauge  // largest per-batch Φ
+	RoundsPerBatch Histogram // distribution of Metrics.TotalRounds
+
+	// Round level (RecordRound, from the MPC engines).
+	MPCRounds     Counter   // rounds recorded
+	MPCRequests   Counter   // Σ per-round live requests
+	MPCGranted    Counter   // Σ per-round grants
+	BarrierNs     Counter   // Σ coordinator barrier wait (parallel engine)
+	MaxModuleLoad MaxGauge  // worst per-module congestion ever seen
+	ModuleLoad    Histogram // per-module per-round load distribution
+	Imbalance     Histogram // per-round max-load distribution
+
+	// Frontend level (ObserveQueueDepth / ObserveFlush).
+	QueueDepth    Histogram // submission-queue depth sampled at admission
+	MaxQueueDepth MaxGauge  // deepest queue observed
+	Flushes       [numFlushCauses]Counter
+}
+
+// NewCollector returns a zeroed collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Enabled reports true: a collector always aggregates.
+func (c *Collector) Enabled() bool { return true }
+
+// RecordRound folds one MPC round into the cumulative round-level metrics.
+func (c *Collector) RecordRound(ev RoundEvent) {
+	c.MPCRounds.Inc()
+	c.MPCRequests.Add(int64(ev.Requests))
+	c.MPCGranted.Add(int64(ev.Granted))
+	c.BarrierNs.Add(ev.BarrierNs)
+	c.MaxModuleLoad.Observe(int64(ev.MaxLoad))
+	c.Imbalance.Observe(int64(ev.MaxLoad))
+	for b, n := range ev.Contention {
+		if n != 0 {
+			c.ModuleLoad.AddBucket(b, int64(n))
+		}
+	}
+}
+
+// ObserveBatch folds one protocol batch into the batch-level metrics.
+func (c *Collector) ObserveBatch(ev BatchEvent) {
+	c.Batches.Inc()
+	c.Requests.Add(int64(ev.Requests))
+	c.Rounds.Add(int64(ev.Rounds))
+	c.CopyAccesses.Add(int64(ev.CopyAccesses))
+	c.GrantedBids.Add(int64(ev.GrantedBids))
+	c.Unfinished.Add(int64(ev.Unfinished))
+	c.MaxPhi.Observe(int64(ev.MaxPhi))
+	c.RoundsPerBatch.Observe(int64(ev.Rounds))
+}
+
+// ObserveQueueDepth samples the frontend submission-queue depth at
+// admission.
+func (c *Collector) ObserveQueueDepth(depth int) {
+	c.QueueDepth.Observe(int64(depth))
+	c.MaxQueueDepth.Observe(int64(depth))
+}
+
+// ObserveFlush counts one frontend batch flush by cause.
+func (c *Collector) ObserveFlush(cause FlushCause) {
+	if cause >= 0 && cause < numFlushCauses {
+		c.Flushes[cause].Inc()
+	}
+}
+
+// Snapshot returns every scalar metric by name (histograms contribute their
+// count and sum). The map is freshly allocated; keys are stable and sorted
+// iteration gives a deterministic listing.
+func (c *Collector) Snapshot() map[string]int64 {
+	m := map[string]int64{
+		"batches_total":             c.Batches.Load(),
+		"batch_requests_total":      c.Requests.Load(),
+		"batch_rounds_total":        c.Rounds.Load(),
+		"copy_accesses_total":       c.CopyAccesses.Load(),
+		"granted_bids_total":        c.GrantedBids.Load(),
+		"unfinished_requests_total": c.Unfinished.Load(),
+		"max_phi":                   c.MaxPhi.Load(),
+		"rounds_per_batch_count":    c.RoundsPerBatch.Count(),
+		"rounds_per_batch_sum":      c.RoundsPerBatch.Sum(),
+		"mpc_rounds_total":          c.MPCRounds.Load(),
+		"mpc_requests_total":        c.MPCRequests.Load(),
+		"mpc_granted_total":         c.MPCGranted.Load(),
+		"barrier_wait_ns_total":     c.BarrierNs.Load(),
+		"max_module_load":           c.MaxModuleLoad.Load(),
+		"module_load_count":         c.ModuleLoad.Count(),
+		"module_load_sum":           c.ModuleLoad.Sum(),
+		"round_max_load_count":      c.Imbalance.Count(),
+		"round_max_load_sum":        c.Imbalance.Sum(),
+		"queue_depth_count":         c.QueueDepth.Count(),
+		"queue_depth_sum":           c.QueueDepth.Sum(),
+		"max_queue_depth":           c.MaxQueueDepth.Load(),
+	}
+	for cause := FlushCause(0); cause < numFlushCauses; cause++ {
+		m["flushes_"+cause.String()+"_total"] = c.Flushes[cause].Load()
+	}
+	return m
+}
+
+// PublishExpvar registers the collector under the given expvar name (e.g.
+// "detshmem"), visible at /debug/vars on any server using the default mux.
+// expvar panics on duplicate names, so call it once per process per name.
+func (c *Collector) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return c.Snapshot() }))
+}
+
+// promNamespace prefixes every metric WritePrometheus emits.
+const promNamespace = "detshmem"
+
+// WritePrometheus writes the collector in the Prometheus text exposition
+// format (version 0.0.4): counters, gauges, and cumulative-bucket
+// histograms. The output is deterministic for a given state, which the
+// golden-file test relies on.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	type scalar struct {
+		name, help, typ string
+		value           int64
+	}
+	scalars := []scalar{
+		{"batches_total", "Protocol batches completed.", "counter", c.Batches.Load()},
+		{"batch_requests_total", "Requests across completed batches.", "counter", c.Requests.Load()},
+		{"batch_rounds_total", "MPC rounds consumed by completed batches.", "counter", c.Rounds.Load()},
+		{"copy_accesses_total", "Copies consumed by quorums.", "counter", c.CopyAccesses.Load()},
+		{"granted_bids_total", "Module grants, including cancelled bids.", "counter", c.GrantedBids.Load()},
+		{"unfinished_requests_total", "Requests that missed their quorum.", "counter", c.Unfinished.Load()},
+		{"max_phi", "Largest per-batch phi (max phase iterations).", "gauge", c.MaxPhi.Load()},
+		{"mpc_rounds_total", "MPC rounds recorded.", "counter", c.MPCRounds.Load()},
+		{"mpc_requests_total", "Live requests across recorded rounds.", "counter", c.MPCRequests.Load()},
+		{"mpc_granted_total", "Grants across recorded rounds.", "counter", c.MPCGranted.Load()},
+		{"barrier_wait_ns_total", "Coordinator barrier wait, nanoseconds (parallel engine).", "counter", c.BarrierNs.Load()},
+		{"max_module_load", "Worst per-module congestion observed in any round.", "gauge", c.MaxModuleLoad.Load()},
+		{"max_queue_depth", "Deepest frontend submission queue observed.", "gauge", c.MaxQueueDepth.Load()},
+	}
+	for _, s := range scalars {
+		if err := writeScalar(w, s.name, s.help, s.typ, s.value); err != nil {
+			return err
+		}
+	}
+	type labeled struct {
+		label string
+		value int64
+	}
+	flushes := make([]labeled, 0, int(numFlushCauses))
+	for cause := FlushCause(0); cause < numFlushCauses; cause++ {
+		flushes = append(flushes, labeled{cause.String(), c.Flushes[cause].Load()})
+	}
+	sort.Slice(flushes, func(i, j int) bool { return flushes[i].label < flushes[j].label })
+	name := promNamespace + "_frontend_flushes_total"
+	if _, err := fmt.Fprintf(w, "# HELP %s Frontend batch flushes by cause.\n# TYPE %s counter\n", name, name); err != nil {
+		return err
+	}
+	for _, fl := range flushes {
+		if _, err := fmt.Fprintf(w, "%s{cause=%q} %d\n", name, fl.label, fl.value); err != nil {
+			return err
+		}
+	}
+	hists := []struct {
+		name, help string
+		h          *Histogram
+	}{
+		{"rounds_per_batch", "MPC rounds per protocol batch.", &c.RoundsPerBatch},
+		{"module_load", "Per-module per-round request load (merged lower-bound sum).", &c.ModuleLoad},
+		{"round_max_load", "Per-round maximum module load (imbalance).", &c.Imbalance},
+		{"queue_depth", "Frontend submission-queue depth at admission.", &c.QueueDepth},
+	}
+	for _, hs := range hists {
+		if err := writeHistogram(w, hs.name, hs.help, hs.h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeScalar(w io.Writer, name, help, typ string, v int64) error {
+	full := promNamespace + "_" + name
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", full, help, full, typ, full, v)
+	return err
+}
+
+func writeHistogram(w io.Writer, name, help string, h *Histogram) error {
+	full := promNamespace + "_" + name
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", full, help, full); err != nil {
+		return err
+	}
+	buckets := h.Buckets()
+	cum := int64(0)
+	for b, n := range buckets {
+		cum += n
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", full, BucketUpper(b), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", full, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", full, h.Sum(), full, h.Count())
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"detshmem/internal/core"
+	"detshmem/internal/obs"
 )
 
 // allocSystem builds a compiled-resolver system over the q=2 core scheme for
@@ -51,14 +52,16 @@ func allocSystem(t *testing.T, cfg Config) (*System, []Request) {
 // TestAccessIntoSteadyStateAllocs pins the whole protocol iteration loop —
 // validation, address resolution, the phase loop, metrics — at zero
 // allocations per batch once the scratch buffers are warm, on both MPC
-// engines.
+// engines. The instrumentation hooks are installed explicitly: the no-op
+// recorder on the round path and a live collector on the batch path (whose
+// ObserveBatch is atomics-only) must not cost an allocation.
 func TestAccessIntoSteadyStateAllocs(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		cfg  Config
 	}{
-		{"sequential", Config{}},
-		{"parallel", Config{Parallel: true, Workers: 4}},
+		{"sequential", Config{Recorder: obs.Nop, Observer: obs.NewCollector()}},
+		{"parallel", Config{Parallel: true, Workers: 4, Recorder: obs.Nop, Observer: obs.NewCollector()}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			sys, reqs := allocSystem(t, tc.cfg)

@@ -30,6 +30,7 @@ import (
 
 	"detshmem/internal/core"
 	"detshmem/internal/mpc"
+	"detshmem/internal/obs"
 )
 
 // Op is the kind of memory access.
@@ -58,6 +59,12 @@ type Metrics struct {
 	TotalRounds     int     // Σ PhaseIterations — total MPC time for the batch
 	LiveTrace       [][]int // per phase: live (incomplete) variables after each iteration
 	CopyAccesses    int     // total copies touched (grants consumed by quorums)
+	// GrantedBids counts every module grant the batch's bids won, including
+	// grants to bids already cancelled by a completed quorum (those exceed
+	// CopyAccesses). It equals the MPC's summed served counts over the
+	// batch's rounds, which is what lets a round-level trace (internal/obs)
+	// be cross-checked exactly against these metrics.
+	GrantedBids int
 	// InterconnectCost is the machine's cumulative cost for the batch: equal
 	// to TotalRounds on the plain MPC, the routed link-step total on a
 	// network machine.
@@ -118,6 +125,16 @@ type Config struct {
 	// failed modules); such requests are reported in Metrics.Unfinished and
 	// Access returns ErrIncomplete.
 	MaxIterationsPerPhase int
+	// Recorder, when non-nil, is installed on every interconnect machine
+	// the system builds, capturing one obs.RoundEvent per MPC round (ring-
+	// buffer tracing, contention histograms). The default no-op recorder
+	// keeps the batch loop allocation-free; see internal/obs.
+	Recorder obs.Recorder
+	// Observer, when non-nil, receives one obs.BatchEvent per completed
+	// Access/AccessInto (including incomplete batches under failure
+	// injection) with the batch's cumulative metrics. obs.Collector
+	// implements it.
+	Observer obs.BatchObserver
 	// Resolver supplies a compiled address map (see CompileMapper) for the
 	// system's Mapper. One resolver may be shared by any number of Systems
 	// and frontends; it must have been compiled from a mapper with the
@@ -325,6 +342,7 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 	clusterSize := sys.cfg.ClusterSize
 	numClusters := (len(reqs) + clusterSize - 1) / clusterSize
 	if numClusters == 0 {
+		sys.observeBatch(reqs, res)
 		return nil
 	}
 	procs := numClusters * clusterSize
@@ -400,6 +418,7 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 					}
 					continue
 				}
+				res.Metrics.GrantedBids++
 				if remaining[r] <= 0 {
 					// Granted after the quorum already completed; a
 					// cancelled bid whose result is unused.
@@ -454,6 +473,7 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 	}
 	sys.tasks = tasks[:0]
 	res.Metrics.InterconnectCost = machine.Cost() - sys.machineCost
+	sys.observeBatch(reqs, res)
 	if len(res.Metrics.Unfinished) > 0 {
 		return fmt.Errorf("%w: %d of %d requests could not reach a quorum",
 			ErrIncomplete, len(res.Metrics.Unfinished), len(reqs))
@@ -464,6 +484,24 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 type taskRef struct {
 	proc int32
 	a    assignment
+}
+
+// observeBatch reports the finished batch to the configured observer, if
+// any. The event is assembled by value, so the happy path stays
+// allocation-free.
+func (sys *System) observeBatch(reqs []Request, res *Result) {
+	if sys.cfg.Observer == nil {
+		return
+	}
+	sys.cfg.Observer.ObserveBatch(obs.BatchEvent{
+		Requests:     len(reqs),
+		Phases:       res.Metrics.Phases,
+		Rounds:       res.Metrics.TotalRounds,
+		MaxPhi:       res.Metrics.MaxIterations,
+		CopyAccesses: res.Metrics.CopyAccesses,
+		GrantedBids:  res.Metrics.GrantedBids,
+		Unfinished:   len(res.Metrics.Unfinished),
+	})
 }
 
 // obtainMachine returns a machine sized for procs bidders, reusing the
@@ -483,6 +521,7 @@ func (sys *System) obtainMachine(procs int) (Machine, error) {
 		Seed:     sys.cfg.Seed,
 		Parallel: sys.cfg.Parallel,
 		Workers:  sys.cfg.Workers,
+		Recorder: sys.cfg.Recorder,
 	}
 	var machine Machine
 	var err error

@@ -1,0 +1,155 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// when a benchmark regresses beyond a threshold. It is the CI performance
+// gate: the workflow benches the PR head and the merge base, then runs
+//
+//	benchgate -old base.txt -new head.txt -threshold 1.20 -match 'compiled\+'
+//
+// which exits nonzero if any matching benchmark's median ns/op grew by more
+// than 20%. Benchmarks present in only one file are reported but never
+// fail the gate (renames and additions are not regressions).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gomaxprocsSuffix strips the trailing "-8" CPU count go test appends to
+// benchmark names, so runs on machines with different core counts compare.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads standard `go test -bench` output and returns ns/op
+// samples per benchmark name. Repeated runs (-count=N) yield multiple
+// samples; everything that is not a benchmark result line is ignored.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark<Name>-P  <iters>  <value> ns/op  [more pairs...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op value in %q: %v", sc.Text(), err)
+			}
+			samples[name] = append(samples[name], v)
+			break
+		}
+	}
+	return samples, sc.Err()
+}
+
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// gate compares medians and writes a report to w. It returns the names of
+// benchmarks matching the filter whose new/old ratio exceeds threshold.
+func gate(old, cur map[string][]float64, threshold float64, match *regexp.Regexp, w io.Writer) []string {
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failed []string
+	for _, name := range names {
+		newSamples, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s only in old run (skipped)\n", name)
+			continue
+		}
+		o, n := median(old[name]), median(newSamples)
+		ratio := n / o
+		verdict := "ok"
+		gated := match == nil || match.MatchString(name)
+		if gated && ratio > threshold {
+			verdict = "REGRESSION"
+			failed = append(failed, name)
+		} else if !gated {
+			verdict = "ok (not gated)"
+		}
+		fmt.Fprintf(w, "%-60s old %12.0f ns/op  new %12.0f ns/op  ratio %.3f  %s\n",
+			name, o, n, ratio, verdict)
+	}
+	newOnly := make([]string, 0)
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			newOnly = append(newOnly, name)
+		}
+	}
+	sort.Strings(newOnly)
+	for _, name := range newOnly {
+		fmt.Fprintf(w, "%-60s only in new run (skipped)\n", name)
+	}
+	return failed
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "bench output of the base revision")
+		newPath   = flag.String("new", "", "bench output of the candidate revision")
+		threshold = flag.Float64("threshold", 1.20, "fail when new/old median ns/op exceeds this ratio")
+		matchExpr = flag.String("match", "", "only gate benchmarks whose name matches this regexp (all when empty)")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	var match *regexp.Regexp
+	if *matchExpr != "" {
+		var err error
+		if match, err = regexp.Compile(*matchExpr); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: bad -match: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	oldSamples, err := readFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	newSamples, err := readFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	failed := gate(oldSamples, newSamples, *threshold, match, os.Stdout)
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed beyond %.0f%%: %s\n",
+			len(failed), (*threshold-1)*100, strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: no regressions beyond %.0f%%\n", (*threshold-1)*100)
+}
+
+func readFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const oldRun = `
+goos: linux
+goarch: amd64
+pkg: detshmem
+BenchmarkE6ProtocolScaling/live+seq/n=5-8         	     100	   1000000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkE6ProtocolScaling/compiled+seq/n=5-8     	     200	    500000 ns/op
+BenchmarkE6ProtocolScaling/compiled+seq/n=5-8     	     200	    520000 ns/op
+BenchmarkE6ProtocolScaling/compiled+seq/n=5-8     	     200	    480000 ns/op
+BenchmarkE6ProtocolScaling/compiled+par/n=5-8     	     300	    400000 ns/op
+BenchmarkE15Frontend/compiled+par-8               	     150	    900000 ns/op
+BenchmarkGone-8                                   	     100	    100000 ns/op
+PASS
+`
+
+const newRun = `
+BenchmarkE6ProtocolScaling/live+seq/n=5-16        	     100	   2000000 ns/op
+BenchmarkE6ProtocolScaling/compiled+seq/n=5-16    	     200	    510000 ns/op
+BenchmarkE6ProtocolScaling/compiled+par/n=5-16    	     300	    800000 ns/op
+BenchmarkE15Frontend/compiled+par-16              	     150	    910000 ns/op
+BenchmarkNew-16                                   	     100	    100000 ns/op
+PASS
+`
+
+func parse(t *testing.T, s string) map[string][]float64 {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBench(t *testing.T) {
+	m := parse(t, oldRun)
+	// GOMAXPROCS suffix stripped, repeated counts collected as samples.
+	if got := m["BenchmarkE6ProtocolScaling/compiled+seq/n=5"]; len(got) != 3 {
+		t.Fatalf("want 3 samples for repeated benchmark, got %v", got)
+	}
+	if got := m["BenchmarkE6ProtocolScaling/live+seq/n=5"]; len(got) != 1 || got[0] != 1000000 {
+		t.Fatalf("ns/op not extracted from line with extra -benchmem pairs: %v", got)
+	}
+	if len(m) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %v", len(m), m)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+func TestGateFailsMatchedRegression(t *testing.T) {
+	var buf bytes.Buffer
+	// compiled+par doubled (ratio 2.0); live+seq also doubled but is not
+	// gated by the match filter; compiled+seq moved 2% (within threshold).
+	failed := gate(parse(t, oldRun), parse(t, newRun), 1.20,
+		regexp.MustCompile(`compiled\+`), &buf)
+	if len(failed) != 1 || failed[0] != "BenchmarkE6ProtocolScaling/compiled+par/n=5" {
+		t.Fatalf("failed = %v, want exactly the compiled+par regression\n%s", failed, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "only in old run") || !strings.Contains(out, "only in new run") {
+		t.Fatalf("added/removed benchmarks must be reported, not gated:\n%s", out)
+	}
+	if !strings.Contains(out, "ok (not gated)") {
+		t.Fatalf("unmatched regressions must be reported as not gated:\n%s", out)
+	}
+}
+
+func TestGateNoFilterGatesEverything(t *testing.T) {
+	var buf bytes.Buffer
+	failed := gate(parse(t, oldRun), parse(t, newRun), 1.20, nil, &buf)
+	if len(failed) != 2 {
+		t.Fatalf("nil filter must gate every benchmark; failed = %v", failed)
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	failed := gate(parse(t, oldRun), parse(t, oldRun), 1.20, nil, &buf)
+	if len(failed) != 0 {
+		t.Fatalf("identical runs must pass: %v", failed)
+	}
+}
