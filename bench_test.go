@@ -18,6 +18,7 @@ import (
 	"detshmem/internal/network"
 	"detshmem/internal/pram"
 	"detshmem/internal/protocol"
+	"detshmem/internal/shard"
 	"detshmem/internal/workload"
 )
 
@@ -630,6 +631,97 @@ func BenchmarkE15Frontend(b *testing.B) {
 				}
 				wg.Wait()
 				b.ReportMetric(fe.Stats().CombiningRate(), "combined/op")
+			})
+		}
+	}
+}
+
+// BenchmarkE18ShardedFrontend measures the sharded execution layer at CI
+// scale (n=5): concurrent clients drive async windows against the service
+// and every sub-benchmark name carries "sharded" so the bench-regression
+// gate can track the family. S=1/classic is the single-dispatcher baseline;
+// the pipelined variants are the PR's direct-admission path. E18 is the
+// full-scale (n=7) sweep behind BENCH_PR4.json.
+func BenchmarkE18ShardedFrontend(b *testing.B) {
+	s, idx := mustScheme(b, 1, 5)
+	mapper := protocol.NewCoreMapper(s, idx)
+	res, err := protocol.CompileMapper(mapper, protocol.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := []struct {
+		name     string
+		shards   int
+		pipeline bool
+	}{
+		{"S=1/classic", 1, false},
+		{"S=1/pipelined", 1, true},
+		{"S=4/pipelined", 4, true},
+	}
+	workloads := []struct {
+		name string
+		p    float64
+	}{
+		{"uniform", 0},
+		{"hot-spot", 0.85},
+	}
+	for _, cfg := range configs {
+		for _, wl := range workloads {
+			cfg, wl := cfg, wl
+			b.Run(fmt.Sprintf("sharded/%s/%s", cfg.name, wl.name), func(b *testing.B) {
+				svc, err := shard.New(mapper, shard.Config{
+					Shards:   cfg.shards,
+					Pipeline: cfg.pipeline,
+					Protocol: protocol.Config{Resolver: res, Parallel: true},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Close()
+				const clients, window = 8, 64
+				m := mapper.NumVars()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(c) + 18))
+						stream := workload.HotSpot(rng, m, (b.N+clients-1)/clients, 16, wl.p)
+						pending := make([]*frontend.Future, 0, window)
+						drain := func() {
+							for _, fut := range pending {
+								if _, err := fut.Wait(); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+							pending = pending[:0]
+						}
+						for i, v := range stream {
+							var fut *frontend.Future
+							var err error
+							if i%3 == 0 {
+								fut, err = svc.WriteAsync(v, uint64(i))
+							} else {
+								fut, err = svc.ReadAsync(v)
+							}
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							pending = append(pending, fut)
+							if len(pending) == window {
+								drain()
+							}
+						}
+						drain()
+					}(c)
+				}
+				wg.Wait()
+				st := svc.Stats()
+				b.ReportMetric(st.Total.CombiningRate(), "combined/op")
+				b.ReportMetric(st.Imbalance(), "imbalance")
 			})
 		}
 	}

@@ -1,22 +1,29 @@
-// Command smembench regenerates the experiment tables E1–E17 (the paper's
+// Command smembench regenerates the experiment tables E1–E18 (the paper's
 // analytical claims as measurements, plus the extensions). See DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for recorded results.
 //
 // Usage:
 //
 //	smembench [-exp e1,e4,...] [-quick] [-seed N] [-json] [-jsonout FILE]
-//	          [-trace FILE] [-tracecap N] [-pprof ADDR]
+//	          [-shards S] [-pipeline] [-trace FILE] [-tracecap N] [-pprof ADDR]
 //
 // With no -exp it runs everything in order. -json makes JSON-capable
-// experiments (E16) also write machine-readable results, to BENCH_PR2.json
-// by default (-jsonout overrides the path).
+// experiments also write machine-readable results, each to its own default
+// path (E16 to BENCH_PR2.json, E18 to BENCH_PR4.json); -jsonout overrides
+// the path for all of them.
+//
+// -shards and -pipeline pin E18's sharded sweep to a single configuration
+// (plus its S=1 classic baseline) instead of the full S sweep — the quick
+// way to profile one execution-layer shape.
 //
 // -trace attaches the obs ring-buffer tracer plus the cumulative collector
 // to every experiment system and dumps the per-round trajectory as JSON:
 // round index, live requests, granted copies, the per-module contention
 // histogram, and barrier wait time, alongside the collector's batch-level
-// totals. The dump is self-validating — smembench exits nonzero if the
-// trace totals do not match the summed protocol metrics.
+// totals. Sharded experiments add a per-shard section: each configuration's
+// queue-depth high-water mark and flush-cause breakdown, shard by shard.
+// The dump is self-validating — smembench exits nonzero if the trace totals
+// do not match the summed protocol metrics.
 //
 // -pprof serves net/http/pprof, expvar (/debug/vars), and the Prometheus
 // text format (/metrics) on the given address for the duration of the run.
@@ -34,26 +41,71 @@ import (
 
 	"detshmem/internal/experiments"
 	"detshmem/internal/obs"
+	"detshmem/internal/shard"
 )
 
 // traceDump is the -trace output: the tracer's trajectory and exact totals,
-// the collector's batch-level view of the same run, and the consistency
-// verdict between them.
+// the collector's batch-level view of the same run, the per-shard dispatcher
+// breakdown for any sharded experiment cells, and the consistency verdict
+// between tracer and collector.
 type traceDump struct {
 	Totals     obs.TraceTotals  `json:"totals"`
 	Dropped    uint64           `json:"dropped"`
 	Collector  map[string]int64 `json:"collector"`
+	Shards     []shardTrace     `json:"shards,omitempty"`
 	Consistent bool             `json:"consistent"`
 	Events     []obs.RoundEvent `json:"events"`
 }
 
+// shardTrace is one sharded cell ("S=4/pipelined/zipf") from E18: the
+// service-wide imbalance plus each shard dispatcher's queue-depth high-water
+// mark and flush-cause breakdown.
+type shardTrace struct {
+	Label     string     `json:"label"`
+	Imbalance float64    `json:"imbalance"`
+	PerShard  []shardRow `json:"per_shard"`
+}
+
+type shardRow struct {
+	Shard           int   `json:"shard"`
+	OpsIn           int64 `json:"ops_in"`
+	RequestsOut     int64 `json:"requests_out"`
+	Batches         int   `json:"batches"`
+	MaxQueueDepth   int   `json:"max_queue_depth"`
+	SizeFlushes     int64 `json:"size_flushes"`
+	IdleFlushes     int64 `json:"idle_flushes"`
+	ExplicitFlushes int64 `json:"explicit_flushes"`
+	ConflictFlushes int64 `json:"conflict_flushes"`
+}
+
+// newShardTrace flattens a shard.Stats snapshot into the trace row.
+func newShardTrace(label string, st shard.Stats) shardTrace {
+	tr := shardTrace{Label: label, Imbalance: st.Imbalance()}
+	for i, s := range st.PerShard {
+		tr.PerShard = append(tr.PerShard, shardRow{
+			Shard:           i,
+			OpsIn:           s.OpsIn,
+			RequestsOut:     s.RequestsOut,
+			Batches:         s.Batches,
+			MaxQueueDepth:   s.MaxQueueDepth,
+			SizeFlushes:     s.SizeFlushes,
+			IdleFlushes:     s.IdleFlushes,
+			ExplicitFlushes: s.ExplicitFlushes,
+			ConflictFlushes: s.ConflictFlushes,
+		})
+	}
+	return tr
+}
+
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e17); empty = all")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e18); empty = all")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
 		seed     = flag.Int64("seed", 0, "workload RNG seed (0 = default)")
-		jsonOut  = flag.Bool("json", false, "write machine-readable results where supported (e16)")
-		jsonF    = flag.String("jsonout", "BENCH_PR2.json", "path for -json output")
+		jsonOut  = flag.Bool("json", false, "write machine-readable results where supported (e16, e18)")
+		jsonF    = flag.String("jsonout", "", "override the per-experiment -json output path")
+		shards   = flag.Int("shards", 0, "pin e18 to one shard count S (0 = full sweep)")
+		pipeline = flag.Bool("pipeline", false, "with -shards, use the pipelined dispatcher")
 		traceF   = flag.String("trace", "", "capture per-round MPC events and write the JSON trajectory here")
 		traceCap = flag.Int("tracecap", obs.DefaultTraceCap, "ring capacity for -trace (oldest events drop beyond it)")
 		pprofA   = flag.String("pprof", "", "serve pprof + expvar + Prometheus /metrics on this address (e.g. :6060)")
@@ -66,17 +118,25 @@ func main() {
 			want[strings.TrimSpace(strings.ToLower(id))] = true
 		}
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
-	if *jsonOut {
-		opts.JSONPath = *jsonF
+	opts := experiments.Options{
+		Quick:    *quick,
+		Seed:     *seed,
+		JSON:     *jsonOut,
+		JSONPath: *jsonF,
+		Shards:   *shards,
+		Pipeline: *pipeline,
 	}
 
 	collector := obs.NewCollector()
 	var tracer *obs.Tracer
+	var shardTraces []shardTrace
 	if *traceF != "" {
 		tracer = obs.NewTracer(*traceCap)
 		opts.Recorder = obs.Multi(tracer, collector)
 		opts.Observer = collector
+		opts.ShardStats = func(label string, st shard.Stats) {
+			shardTraces = append(shardTraces, newShardTrace(label, st))
+		}
 	}
 	if *pprofA != "" {
 		if opts.Observer == nil {
@@ -123,7 +183,7 @@ func main() {
 	}
 
 	if tracer != nil {
-		if err := writeTrace(*traceF, tracer, collector); err != nil {
+		if err := writeTrace(*traceF, tracer, collector, shardTraces); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -135,12 +195,13 @@ func main() {
 // tracer must be a round some batch's Metrics.TotalRounds accounted for,
 // and every grant a Metrics.GrantedBids bid (instrumented systems install
 // tracer and collector together, so the two views describe the same runs).
-func writeTrace(path string, tracer *obs.Tracer, collector *obs.Collector) error {
+func writeTrace(path string, tracer *obs.Tracer, collector *obs.Collector, shards []shardTrace) error {
 	totals := tracer.Totals()
 	dump := traceDump{
 		Totals:    totals,
 		Dropped:   tracer.Dropped(),
 		Collector: collector.Snapshot(),
+		Shards:    shards,
 		Consistent: totals.Rounds == uint64(collector.Rounds.Load()) &&
 			totals.Granted == uint64(collector.GrantedBids.Load()),
 		Events: tracer.Events(),

@@ -248,10 +248,13 @@ func TestAdversarialCongestion(t *testing.T) {
 	}
 	wb := mv.WorstWriteBatch(40)
 	vals := make([]uint64, len(wb))
-	wmet, err := msys.WriteBatch(wb, vals)
+	wmetp, err := msys.WriteBatch(wb, vals)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// WriteBatch reuses its Metrics across calls on the same system; snapshot
+	// before issuing the read batch below.
+	wmet := *wmetp
 	if wmet.TotalRounds < 40 {
 		t.Fatalf("MV adversarial write batch finished in %d rounds; expected >= 40", wmet.TotalRounds)
 	}

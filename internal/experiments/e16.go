@@ -182,15 +182,15 @@ func E16(w io.Writer, o Options) error {
 	fprintf(w, "   goroutines' futures, which dominate once the dispatcher itself is\n")
 	fprintf(w, "   allocation-free.)\n\n")
 
-	if o.JSONPath != "" {
+	if path := o.jsonPath("BENCH_PR2.json"); path != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(o.JSONPath, append(blob, '\n'), 0o644); err != nil {
-			return fmt.Errorf("e16: writing %s: %w", o.JSONPath, err)
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("e16: writing %s: %w", path, err)
 		}
-		fprintf(w, "  (wrote %s)\n\n", o.JSONPath)
+		fprintf(w, "  (wrote %s)\n\n", path)
 	}
 	return nil
 }

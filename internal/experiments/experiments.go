@@ -17,15 +17,30 @@ import (
 	"detshmem/internal/core"
 	"detshmem/internal/obs"
 	"detshmem/internal/protocol"
+	"detshmem/internal/shard"
 )
 
 // Options tunes experiment scale.
 type Options struct {
 	Quick bool  // shrink sweeps for fast runs
 	Seed  int64 // randomness seed (workloads only; schemes are deterministic)
-	// JSONPath, when non-empty, makes experiments that support machine-
-	// readable output (currently E16) also write their results there.
+	// JSON makes experiments that support machine-readable output (E16, E18)
+	// write their results to their per-experiment default path
+	// (BENCH_PR2.json for E16, BENCH_PR4.json for E18).
+	JSON bool
+	// JSONPath overrides the default JSON path. Setting it implies JSON
+	// output for every JSON-capable experiment in the run, so select a
+	// single experiment when using an explicit path.
 	JSONPath string
+	// Shards and Pipeline, when Shards > 0, pin E18 to a single sharded
+	// configuration (plus its unsharded baseline) instead of the full sweep
+	// (smembench -shards / -pipeline).
+	Shards   int
+	Pipeline bool
+	// ShardStats, when non-nil, receives each measured sharded service's
+	// per-shard statistics, labelled "<config>/<workload>" (smembench -trace
+	// wires its dump here for queue-depth and flush-cause breakdowns).
+	ShardStats func(label string, st shard.Stats)
 	// Recorder, when non-nil, is installed on every protocol system built
 	// through the shared constructor, capturing one event per MPC round
 	// (smembench -trace wires a ring-buffer tracer here).
@@ -45,6 +60,19 @@ func (o Options) instrument(cfg protocol.Config) protocol.Config {
 		cfg.Observer = o.Observer
 	}
 	return cfg
+}
+
+// jsonPath resolves where a JSON-capable experiment should write its
+// machine-readable results: the explicit override, the experiment's default
+// when JSON output was requested, or "" for no JSON.
+func (o Options) jsonPath(def string) string {
+	if o.JSONPath != "" {
+		return o.JSONPath
+	}
+	if o.JSON {
+		return def
+	}
+	return ""
 }
 
 // Rng returns the experiment RNG.
@@ -91,6 +119,7 @@ func All() []Runner {
 		{"e15", "Extension: combining frontend under concurrent clients", E15},
 		{"e16", "Hot path: compiled resolution + persistent-pool engine", E16},
 		{"e17", "Observability: round trajectory, contention, Theorem 6 shape", E17},
+		{"e18", "Scaling out: sharded, pipelined frontend throughput vs S", E18},
 	}
 }
 

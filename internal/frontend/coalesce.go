@@ -1,0 +1,302 @@
+package frontend
+
+import (
+	"errors"
+
+	"detshmem/internal/obs"
+	"detshmem/internal/protocol"
+)
+
+// This file is the combining core, factored out of the dispatcher loop so
+// alternative dispatchers — the channel loop below and the sharded
+// direct-admission dispatcher in internal/shard — share one implementation
+// of the coalescing rules, the result fan-out, and the stats accounting.
+// The rules themselves are documented on the package.
+
+// entry is a pending batch's state for one distinct variable.
+type entry struct {
+	write     bool   // a protocol Write will be issued for this variable
+	val       uint64 // latest coalesced write value
+	readFuts  []*Future
+	writeFuts []*Future
+	fwd       []*Future // read-after-write forwarded reads
+	fwdVals   []uint64  // value each forwarded read observes
+}
+
+// Pending is one batch under construction: the coalesced view of every
+// operation admitted since the last flush. It is not safe for concurrent
+// use; callers serialize admission (the Frontend through its dispatcher
+// goroutine, the shard dispatcher under its admission mutex) — that
+// serialization is what makes admission order the commit order.
+//
+// A Pending recycles its per-variable entries across Reset cycles, so a
+// dispatcher that reuses one (or a small pool) admits and flushes without
+// allocating in steady state.
+type Pending struct {
+	entries map[uint64]*entry
+	order   []uint64
+	ops     int      // operations admitted (≥ len(order) once combining bites)
+	free    []*entry // recycled entries
+}
+
+// NewPending returns an empty batch sized for about capacity distinct
+// variables.
+func NewPending(capacity int) *Pending {
+	return &Pending{entries: make(map[uint64]*entry, capacity)}
+}
+
+// Distinct is the number of distinct variables in the batch — the size of
+// the protocol batch a flush would issue.
+func (p *Pending) Distinct() int { return len(p.order) }
+
+// Ops is the number of client operations admitted into the batch.
+func (p *Pending) Ops() int { return p.ops }
+
+// WriteConflicts reports whether admitting a write to v would break the
+// batch's EREW shape: v already carries an issued read, so the write would
+// either reorder that read after itself or duplicate the variable. The
+// caller must flush the batch before admitting such a write.
+func (p *Pending) WriteConflicts(v uint64) bool {
+	e := p.entries[v]
+	return e != nil && !e.write
+}
+
+// newEntry installs a fresh (or recycled) entry for v.
+func (p *Pending) newEntry(v uint64) *entry {
+	var e *entry
+	if n := len(p.free); n > 0 {
+		e = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		e = &entry{}
+	}
+	p.entries[v] = e
+	p.order = append(p.order, v)
+	return e
+}
+
+// Read admits one read with commit sequence seq, combining it with an
+// already-issued read or forwarding a pending write's value.
+func (p *Pending) Read(seq, v uint64, fut *Future) {
+	fut.seq = seq
+	e := p.entries[v]
+	switch {
+	case e == nil:
+		e = p.newEntry(v)
+		e.readFuts = append(e.readFuts, fut)
+	case e.write: // read after pending write: forward its value
+		e.fwd = append(e.fwd, fut)
+		e.fwdVals = append(e.fwdVals, e.val)
+	default: // read joining an issued read
+		e.readFuts = append(e.readFuts, fut)
+	}
+	p.ops++
+}
+
+// Write admits one write with commit sequence seq, coalescing with an
+// earlier write (last writer wins). Admitting a write that WriteConflicts
+// panics: the dispatcher must flush first, and the two dispatchers enforce
+// that at distinct spots (channel loop vs admission mutex), so a miss here
+// is a dispatcher bug, not a client error.
+func (p *Pending) Write(seq, v, val uint64, fut *Future) {
+	fut.seq = seq
+	e := p.entries[v]
+	if e == nil {
+		e = p.newEntry(v)
+		e.write = true
+	} else if !e.write {
+		panic("frontend: write admitted over an issued read; flush the batch first")
+	}
+	e.val = val
+	e.writeFuts = append(e.writeFuts, fut)
+	p.ops++
+}
+
+// Requests serializes the batch into protocol requests in admission order,
+// reusing buf's backing array when it is large enough (the zero-alloc flush
+// path hands the same buffer back every flush).
+func (p *Pending) Requests(buf []protocol.Request) []protocol.Request {
+	if cap(buf) < len(p.order) {
+		buf = make([]protocol.Request, 0, len(p.order))
+	}
+	buf = buf[:0]
+	for _, v := range p.order {
+		e := p.entries[v]
+		if e.write {
+			buf = append(buf, protocol.Request{Var: v, Op: protocol.Write, Value: e.val})
+		} else {
+			buf = append(buf, protocol.Request{Var: v, Op: protocol.Read})
+		}
+	}
+	return buf
+}
+
+// Complete fans the backend's result (or error) out to every combined
+// waiter. res holds the values for the request order Requests produced; on
+// a whole-batch error res may be nil. An ErrIncomplete err with a non-nil
+// res fails only the requests that missed their quorum and completes the
+// rest normally.
+func (p *Pending) Complete(res *protocol.Result, err error) {
+	incomplete := err != nil && errors.Is(err, protocol.ErrIncomplete) && res != nil
+	var unfinished map[int]bool // nil on the happy path; lookups on nil are fine
+	if incomplete {
+		unfinished = make(map[int]bool, len(res.Metrics.Unfinished))
+		for _, r := range res.Metrics.Unfinished {
+			unfinished[r] = true
+		}
+	}
+	for i, v := range p.order {
+		e := p.entries[v]
+		switch {
+		case err != nil && (!incomplete || unfinished[i]):
+			// Whole-batch failure, or this request missed its quorum: every
+			// waiter on the variable (including forwarded reads riding a
+			// failed write) learns the error.
+			for _, fut := range e.readFuts {
+				fut.complete(0, err)
+			}
+			for _, fut := range e.writeFuts {
+				fut.complete(0, err)
+			}
+			for _, fut := range e.fwd {
+				fut.complete(0, err)
+			}
+		case e.write:
+			for _, fut := range e.writeFuts {
+				fut.complete(0, nil)
+			}
+			for j, fut := range e.fwd {
+				fut.complete(e.fwdVals[j], nil)
+			}
+		default:
+			for _, fut := range e.readFuts {
+				fut.complete(res.Values[i], nil)
+			}
+		}
+	}
+}
+
+// Reset clears the batch for reuse, recycling its entries. Future
+// references are dropped so completed futures stay collectable.
+func (p *Pending) Reset() {
+	for _, v := range p.order {
+		e := p.entries[v]
+		clear(e.readFuts)
+		clear(e.writeFuts)
+		clear(e.fwd)
+		e.readFuts = e.readFuts[:0]
+		e.writeFuts = e.writeFuts[:0]
+		e.fwd = e.fwd[:0]
+		e.fwdVals = e.fwdVals[:0]
+		e.write = false
+		p.free = append(p.free, e)
+		delete(p.entries, v)
+	}
+	p.order = p.order[:0]
+	p.ops = 0
+}
+
+// NewFuture returns an unresolved future for an external dispatcher to
+// admit into a Pending. The Frontend mints its own futures; only
+// alternative dispatchers (internal/shard) need this.
+func NewFuture() *Future { return &Future{} }
+
+// Stats aggregates combining metrics over every flushed batch. They extend
+// the per-batch protocol.Metrics with the combining view: how many client
+// operations entered versus how many protocol requests left.
+type Stats struct {
+	Batches         int   // batches flushed
+	OpsIn           int64 // client operations admitted into flushed batches
+	RequestsOut     int64 // protocol requests issued
+	CombinedReads   int64 // reads that shared an already-issued read
+	CoalescedWrites int64 // writes absorbed by a later write to the same var
+	ForwardedReads  int64 // reads served from a pending write, no request
+	SizeFlushes     int64 // batches flushed at MaxBatch distinct variables
+	IdleFlushes     int64 // batches flushed because the queue ran dry
+	ExplicitFlushes int64 // batches flushed by Flush or Close
+	ConflictFlushes int64 // batches flushed by a write-after-read conflict
+	MaxQueueDepth   int   // deepest submission queue observed at admission
+	TotalRounds     int64 // protocol MPC rounds consumed by flushed batches
+	CopyAccesses    int64 // protocol copy accesses across flushed batches
+	MaxPhi          int   // largest per-batch Φ (max phase iterations)
+	Unfinished      int64 // requests that missed their quorum (failures)
+	FailedBatches   int   // batches rejected by the backend outright
+}
+
+// Account folds one flushed batch into the stats. Dispatchers must call it
+// under the same lock their Stats snapshot takes, and before the batch's
+// futures complete: completing first opens a torn-read window where a
+// client whose Wait returned cannot find its own committed operation in a
+// snapshot (read-your-ops consistency).
+func (s *Stats) Account(p *Pending, requestsOut int, res *protocol.Result, err error, cause obs.FlushCause) {
+	s.Batches++
+	s.OpsIn += int64(p.ops)
+	s.RequestsOut += int64(requestsOut)
+	for _, v := range p.order {
+		e := p.entries[v]
+		s.ForwardedReads += int64(len(e.fwd))
+		if !e.write && len(e.readFuts) > 1 {
+			s.CombinedReads += int64(len(e.readFuts) - 1)
+		}
+		if e.write && len(e.writeFuts) > 1 {
+			s.CoalescedWrites += int64(len(e.writeFuts) - 1)
+		}
+	}
+	switch cause {
+	case obs.FlushIdle:
+		s.IdleFlushes++
+	case obs.FlushExplicit:
+		s.ExplicitFlushes++
+	case obs.FlushConflict:
+		s.ConflictFlushes++
+	default:
+		s.SizeFlushes++
+	}
+	if res != nil {
+		s.TotalRounds += int64(res.Metrics.TotalRounds)
+		s.CopyAccesses += int64(res.Metrics.CopyAccesses)
+		if res.Metrics.MaxIterations > s.MaxPhi {
+			s.MaxPhi = res.Metrics.MaxIterations
+		}
+		s.Unfinished += int64(len(res.Metrics.Unfinished))
+	}
+	if err != nil && !(errors.Is(err, protocol.ErrIncomplete) && res != nil) {
+		s.FailedBatches++
+	}
+}
+
+// Merge folds o into s: counters add, high-water marks take the max. The
+// shard layer uses it to aggregate per-shard dispatcher stats into a
+// service-wide view.
+func (s *Stats) Merge(o Stats) {
+	s.Batches += o.Batches
+	s.OpsIn += o.OpsIn
+	s.RequestsOut += o.RequestsOut
+	s.CombinedReads += o.CombinedReads
+	s.CoalescedWrites += o.CoalescedWrites
+	s.ForwardedReads += o.ForwardedReads
+	s.SizeFlushes += o.SizeFlushes
+	s.IdleFlushes += o.IdleFlushes
+	s.ExplicitFlushes += o.ExplicitFlushes
+	s.ConflictFlushes += o.ConflictFlushes
+	if o.MaxQueueDepth > s.MaxQueueDepth {
+		s.MaxQueueDepth = o.MaxQueueDepth
+	}
+	s.TotalRounds += o.TotalRounds
+	s.CopyAccesses += o.CopyAccesses
+	if o.MaxPhi > s.MaxPhi {
+		s.MaxPhi = o.MaxPhi
+	}
+	s.Unfinished += o.Unfinished
+	s.FailedBatches += o.FailedBatches
+}
+
+// CombiningRate is the fraction of operations that did not become protocol
+// requests: 1 − RequestsOut/OpsIn. Zero when nothing combined (or nothing
+// ran).
+func (s Stats) CombiningRate() float64 {
+	if s.OpsIn == 0 {
+		return 0
+	}
+	return 1 - float64(s.RequestsOut)/float64(s.OpsIn)
+}

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"detshmem/internal/obs"
 	"detshmem/internal/protocol"
@@ -101,16 +102,24 @@ type Frontend struct {
 // Future is the handle for one submitted operation. Wait blocks until the
 // operation's batch has committed (or failed) and returns the read value
 // (zero for writes) and any error.
+//
+// The completion channel is created lazily, and only by a waiter that
+// arrives while the operation is still in flight. Windowed clients wait on
+// their futures after the whole window is submitted, so most futures
+// complete before anyone waits and never allocate a channel — on the hot
+// path that halves the allocations per operation.
 type Future struct {
-	done chan struct{}
-	val  uint64
-	err  error
-	seq  uint64
+	state atomic.Uint32 // 0 = pending, 1 = complete
+	mu    sync.Mutex    // guards lazy done creation against complete
+	done  chan struct{}
+	val   uint64
+	err   error
+	seq   uint64
 }
 
 // Wait blocks until the operation committed.
 func (f *Future) Wait() (uint64, error) {
-	<-f.done
+	f.wait()
 	return f.val, f.err
 }
 
@@ -118,13 +127,38 @@ func (f *Future) Wait() (uint64, error) {
 // admission. It is valid only after Wait returns: operations with smaller
 // Seq committed before operations with larger Seq.
 func (f *Future) Seq() uint64 {
-	<-f.done
+	f.wait()
 	return f.seq
+}
+
+func (f *Future) wait() {
+	if f.state.Load() == 1 {
+		return
+	}
+	f.mu.Lock()
+	if f.state.Load() == 1 {
+		f.mu.Unlock()
+		return
+	}
+	if f.done == nil {
+		f.done = make(chan struct{})
+	}
+	ch := f.done
+	f.mu.Unlock()
+	<-ch
 }
 
 func (f *Future) complete(val uint64, err error) {
 	f.val, f.err = val, err
-	close(f.done)
+	// The store is ordered after the payload writes; a waiter's fast-path
+	// Load therefore observes them. The mutex pairs the store with any
+	// concurrent lazy channel creation so no waiter parks unseen.
+	f.mu.Lock()
+	f.state.Store(1)
+	if f.done != nil {
+		close(f.done)
+	}
+	f.mu.Unlock()
 }
 
 type opKind uint8
@@ -199,7 +233,7 @@ func (f *Frontend) Write(v, val uint64) error {
 
 // ReadAsync submits a read and returns immediately with its future.
 func (f *Frontend) ReadAsync(v uint64) (*Future, error) {
-	fut := &Future{done: make(chan struct{})}
+	fut := &Future{}
 	if err := f.submit(op{kind: opRead, v: v, fut: fut}); err != nil {
 		return nil, err
 	}
@@ -208,7 +242,7 @@ func (f *Frontend) ReadAsync(v uint64) (*Future, error) {
 
 // WriteAsync submits a write and returns immediately with its future.
 func (f *Frontend) WriteAsync(v, val uint64) (*Future, error) {
-	fut := &Future{done: make(chan struct{})}
+	fut := &Future{}
 	if err := f.submit(op{kind: opWrite, v: v, val: val, fut: fut}); err != nil {
 		return nil, err
 	}
@@ -262,32 +296,13 @@ func (f *Frontend) Stats() Stats {
 	return f.stats
 }
 
-// entry is the pending batch's state for one distinct variable.
-type entry struct {
-	write     bool   // a protocol Write will be issued for this variable
-	val       uint64 // latest coalesced write value
-	readFuts  []*Future
-	writeFuts []*Future
-	fwd       []*Future // read-after-write forwarded reads
-	fwdVals   []uint64  // value each forwarded read observes
-}
-
-// pending is the batch under construction.
-type pending struct {
-	entries map[uint64]*entry
-	order   []uint64
-	ops     int // operations admitted (≥ len(order) once combining bites)
-}
-
-func newPending(capacity int) *pending {
-	return &pending{entries: make(map[uint64]*entry, capacity)}
-}
-
 // dispatch is the single combining loop: admit in arrival order, flush on
-// size, conflict, idleness, or explicit request.
+// size, conflict, idleness, or explicit request. The coalescing rules and
+// fan-out live in Pending (coalesce.go), shared with the shard dispatcher;
+// flushes here are synchronous, so one Pending is reset and reused.
 func (f *Frontend) dispatch() {
 	defer close(f.done)
-	p := newPending(f.cfg.MaxBatch)
+	p := NewPending(f.cfg.MaxBatch)
 	var seq uint64
 	for {
 		var o op
@@ -296,27 +311,36 @@ func (f *Frontend) dispatch() {
 		default:
 			// Queue drained: commit what we have before blocking so no
 			// client waits on an idle dispatcher.
-			if len(p.order) > 0 {
-				f.flush(p, flushIdle)
-				p = newPending(f.cfg.MaxBatch)
+			if p.Distinct() > 0 {
+				f.flush(p, obs.FlushIdle)
 			}
 			o = <-f.ops
 		}
 		switch o.kind {
 		case opRead, opWrite:
 			seq++
-			o.fut.seq = seq
 			f.noteQueueDepth(len(f.ops))
-			p = f.admit(p, o)
+			if o.kind == opWrite {
+				if p.WriteConflicts(o.v) {
+					// The variable already carries an issued read: commit the
+					// batch; the write opens the next one.
+					f.flush(p, obs.FlushConflict)
+				}
+				p.Write(seq, o.v, o.val, o.fut)
+			} else {
+				p.Read(seq, o.v, o.fut)
+			}
+			if p.Distinct() >= f.cfg.MaxBatch {
+				f.flush(p, obs.FlushSize)
+			}
 		case opFlush:
-			if len(p.order) > 0 {
-				f.flush(p, flushExplicit)
-				p = newPending(f.cfg.MaxBatch)
+			if p.Distinct() > 0 {
+				f.flush(p, obs.FlushExplicit)
 			}
 			close(o.ack)
 		case opClose:
-			if len(p.order) > 0 {
-				f.flush(p, flushExplicit)
+			if p.Distinct() > 0 {
+				f.flush(p, obs.FlushExplicit)
 			}
 			close(o.ack)
 			return
@@ -324,193 +348,31 @@ func (f *Frontend) dispatch() {
 	}
 }
 
-// admit folds one operation into the pending batch, flushing first when the
-// op conflicts (write after issued read of the same variable) and after
-// when the batch reached MaxBatch distinct variables. It returns the batch
-// to keep building.
-func (f *Frontend) admit(p *pending, o op) *pending {
-	e := p.entries[o.v]
-	if o.kind == opWrite && e != nil && !e.write {
-		// The variable already carries an issued read: adding a write would
-		// either reorder the read after the write or duplicate the variable
-		// in the batch. Commit the batch; the write opens the next one.
-		f.flush(p, flushConflict)
-		p = newPending(f.cfg.MaxBatch)
-		e = nil
-	}
-	if e == nil {
-		e = &entry{}
-		p.entries[o.v] = e
-		p.order = append(p.order, o.v)
-		if o.kind == opWrite {
-			e.write = true
-			e.val = o.val
-			e.writeFuts = append(e.writeFuts, o.fut)
-		} else {
-			e.readFuts = append(e.readFuts, o.fut)
-		}
-	} else {
-		switch {
-		case o.kind == opWrite: // e.write: last writer wins
-			e.val = o.val
-			e.writeFuts = append(e.writeFuts, o.fut)
-		case e.write: // read after pending write: forward its value
-			e.fwd = append(e.fwd, o.fut)
-			e.fwdVals = append(e.fwdVals, e.val)
-		default: // read joining an issued read
-			e.readFuts = append(e.readFuts, o.fut)
-		}
-	}
-	p.ops++
-	if len(p.order) >= f.cfg.MaxBatch {
-		f.flush(p, flushSize)
-		p = newPending(f.cfg.MaxBatch)
-	}
-	return p
-}
-
-type flushCause int
-
-const (
-	flushSize flushCause = iota
-	flushIdle
-	flushExplicit
-	flushConflict
-)
-
-// flush issues the batch's requests to the backend and fans results (or the
-// error) back out to every combined waiter.
-func (f *Frontend) flush(p *pending, cause flushCause) {
-	if cap(f.reqs) < len(p.order) {
-		f.reqs = make([]protocol.Request, len(p.order))
-	}
-	reqs := f.reqs[:len(p.order)]
-	for i, v := range p.order {
-		e := p.entries[v]
-		if e.write {
-			reqs[i] = protocol.Request{Var: v, Op: protocol.Write, Value: e.val}
-		} else {
-			reqs[i] = protocol.Request{Var: v, Op: protocol.Read}
-		}
-	}
+// flush issues the batch's requests to the backend, accounts the batch
+// (before any future completes — see Stats.Account), fans results out, and
+// resets the batch for reuse.
+func (f *Frontend) flush(p *Pending, cause obs.FlushCause) {
+	f.reqs = p.Requests(f.reqs)
 	var res *protocol.Result
 	var err error
 	if f.batch != nil {
-		err = f.batch.AccessInto(reqs, &f.res)
+		err = f.batch.AccessInto(f.reqs, &f.res)
 		if err == nil || errors.Is(err, protocol.ErrIncomplete) {
 			res = &f.res
 		}
 	} else {
-		res, err = f.backend.Access(reqs)
+		res, err = f.backend.Access(f.reqs)
 	}
 
-	incomplete := err != nil && errors.Is(err, protocol.ErrIncomplete) && res != nil
-	var unfinished map[int]bool // nil on the happy path; lookups on nil are fine
-	if incomplete {
-		unfinished = make(map[int]bool, len(res.Metrics.Unfinished))
-		for _, r := range res.Metrics.Unfinished {
-			unfinished[r] = true
-		}
-	}
-
-	// Account the batch BEFORE any future completes. Completing first opened
-	// a torn-read window: a client whose Wait had returned could call Stats
-	// and not find its own committed operation in the snapshot (the
-	// dispatcher was mid-flush, holding the update for after the fan-out).
-	// Updating under statsMu first — the same lock Stats snapshots under —
-	// makes the snapshot read-your-ops consistent for every waiter.
-	f.accountFlush(p, reqs, res, err, incomplete, cause)
-
-	for i, v := range p.order {
-		e := p.entries[v]
-		switch {
-		case err != nil && (!incomplete || unfinished[i]):
-			// Whole-batch failure, or this request missed its quorum: every
-			// waiter on the variable (including forwarded reads riding a
-			// failed write) learns the error.
-			for _, fut := range e.readFuts {
-				fut.complete(0, err)
-			}
-			for _, fut := range e.writeFuts {
-				fut.complete(0, err)
-			}
-			for _, fut := range e.fwd {
-				fut.complete(0, err)
-			}
-		case e.write:
-			for _, fut := range e.writeFuts {
-				fut.complete(0, nil)
-			}
-			for j, fut := range e.fwd {
-				fut.complete(e.fwdVals[j], nil)
-			}
-		default:
-			for _, fut := range e.readFuts {
-				fut.complete(res.Values[i], nil)
-			}
-		}
-	}
-}
-
-// accountFlush folds one flushed batch into Stats (under statsMu, the lock
-// Stats snapshots under) and into the optional obs collector. It must run
-// before the batch's futures complete; see the call site in flush.
-func (f *Frontend) accountFlush(p *pending, reqs []protocol.Request, res *protocol.Result, err error, incomplete bool, cause flushCause) {
 	f.statsMu.Lock()
-	s := &f.stats
-	s.Batches++
-	s.OpsIn += int64(p.ops)
-	s.RequestsOut += int64(len(reqs))
-	for _, v := range p.order {
-		e := p.entries[v]
-		s.ForwardedReads += int64(len(e.fwd))
-		if !e.write && len(e.readFuts) > 1 {
-			s.CombinedReads += int64(len(e.readFuts) - 1)
-		}
-		if e.write && len(e.writeFuts) > 1 {
-			s.CoalescedWrites += int64(len(e.writeFuts) - 1)
-		}
-	}
-	switch cause {
-	case flushSize:
-		s.SizeFlushes++
-	case flushIdle:
-		s.IdleFlushes++
-	case flushExplicit:
-		s.ExplicitFlushes++
-	case flushConflict:
-		s.ConflictFlushes++
-	}
-	if res != nil {
-		s.TotalRounds += int64(res.Metrics.TotalRounds)
-		s.CopyAccesses += int64(res.Metrics.CopyAccesses)
-		if res.Metrics.MaxIterations > s.MaxPhi {
-			s.MaxPhi = res.Metrics.MaxIterations
-		}
-		s.Unfinished += int64(len(res.Metrics.Unfinished))
-	}
-	if err != nil && !incomplete {
-		s.FailedBatches++
-	}
+	f.stats.Account(p, len(f.reqs), res, err, cause)
 	f.statsMu.Unlock()
-
 	if c := f.cfg.Collector; c != nil {
-		c.ObserveFlush(flushCauseObs(cause))
+		c.ObserveFlush(cause)
 	}
-}
 
-// flushCauseObs maps the dispatcher's internal cause to the obs label.
-func flushCauseObs(cause flushCause) obs.FlushCause {
-	switch cause {
-	case flushIdle:
-		return obs.FlushIdle
-	case flushExplicit:
-		return obs.FlushExplicit
-	case flushConflict:
-		return obs.FlushConflict
-	default:
-		return obs.FlushSize
-	}
+	p.Complete(res, err)
+	p.Reset()
 }
 
 func (f *Frontend) noteQueueDepth(depth int) {
@@ -522,36 +384,4 @@ func (f *Frontend) noteQueueDepth(depth int) {
 	if c := f.cfg.Collector; c != nil {
 		c.ObserveQueueDepth(depth)
 	}
-}
-
-// Stats aggregates combining metrics over every flushed batch. They extend
-// the per-batch protocol.Metrics with the combining view: how many client
-// operations entered versus how many protocol requests left.
-type Stats struct {
-	Batches         int   // batches flushed
-	OpsIn           int64 // client operations admitted into flushed batches
-	RequestsOut     int64 // protocol requests issued
-	CombinedReads   int64 // reads that shared an already-issued read
-	CoalescedWrites int64 // writes absorbed by a later write to the same var
-	ForwardedReads  int64 // reads served from a pending write, no request
-	SizeFlushes     int64 // batches flushed at MaxBatch distinct variables
-	IdleFlushes     int64 // batches flushed because the queue ran dry
-	ExplicitFlushes int64 // batches flushed by Flush or Close
-	ConflictFlushes int64 // batches flushed by a write-after-read conflict
-	MaxQueueDepth   int   // deepest submission queue observed at admission
-	TotalRounds     int64 // protocol MPC rounds consumed by flushed batches
-	CopyAccesses    int64 // protocol copy accesses across flushed batches
-	MaxPhi          int   // largest per-batch Φ (max phase iterations)
-	Unfinished      int64 // requests that missed their quorum (failures)
-	FailedBatches   int   // batches rejected by the backend outright
-}
-
-// CombiningRate is the fraction of operations that did not become protocol
-// requests: 1 − RequestsOut/OpsIn. Zero when nothing combined (or nothing
-// ran).
-func (s Stats) CombiningRate() float64 {
-	if s.OpsIn == 0 {
-		return 0
-	}
-	return 1 - float64(s.RequestsOut)/float64(s.OpsIn)
 }

@@ -168,6 +168,16 @@ func (c *Collector) ObserveFlush(cause FlushCause) {
 // count and sum). The map is freshly allocated; keys are stable and sorted
 // iteration gives a deterministic listing.
 func (c *Collector) Snapshot() map[string]int64 {
+	m := make(map[string]int64, 22+int(numFlushCauses))
+	c.SnapshotInto("", m)
+	return m
+}
+
+// SnapshotInto writes the Snapshot metrics into dst with every key prefixed
+// by label. The shard layer uses it to merge per-shard collectors into one
+// labeled map ("shard3_batches_total", …) without allocating a map per
+// shard.
+func (c *Collector) SnapshotInto(label string, dst map[string]int64) {
 	m := map[string]int64{
 		"batches_total":             c.Batches.Load(),
 		"batch_requests_total":      c.Requests.Load(),
@@ -194,7 +204,9 @@ func (c *Collector) Snapshot() map[string]int64 {
 	for cause := FlushCause(0); cause < numFlushCauses; cause++ {
 		m["flushes_"+cause.String()+"_total"] = c.Flushes[cause].Load()
 	}
-	return m
+	for k, v := range m {
+		dst[label+k] = v
+	}
 }
 
 // PublishExpvar registers the collector under the given expvar name (e.g.

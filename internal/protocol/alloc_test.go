@@ -80,6 +80,49 @@ func TestAccessIntoSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestBatchWrappersSteadyStateAllocs pins the ReadBatch/WriteBatch
+// convenience wrappers at zero allocations per call once their scratch
+// (request conversion buffer plus the shared Result) is warm: the wrappers
+// route through AccessInto with reused buffers instead of allocating a
+// request slice and Result per call.
+func TestBatchWrappersSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"sequential", Config{Recorder: obs.Nop, Observer: obs.NewCollector()}},
+		{"parallel", Config{Parallel: true, Workers: 4, Recorder: obs.Nop, Observer: obs.NewCollector()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, reqs := allocSystem(t, tc.cfg)
+			vars := make([]uint64, len(reqs))
+			vals := make([]uint64, len(reqs))
+			for i, rq := range reqs {
+				vars[i] = rq.Var
+				vals[i] = uint64(100 + i)
+			}
+			if _, err := sys.WriteBatch(vars, vals); err != nil { // warm-up
+				t.Fatal(err)
+			}
+			if _, _, err := sys.ReadBatch(vars); err != nil {
+				t.Fatal(err)
+			}
+			if avg := testing.AllocsPerRun(50, func() {
+				if _, err := sys.WriteBatch(vars, vals); err != nil {
+					t.Fatal(err)
+				}
+				if got, _, err := sys.ReadBatch(vars); err != nil {
+					t.Fatal(err)
+				} else if got[0] != vals[0] {
+					t.Fatalf("readback %d, want %d", got[0], vals[0])
+				}
+			}); avg != 0 {
+				t.Fatalf("batch wrappers allocate %.2f per write+read in steady state, want 0", avg)
+			}
+		})
+	}
+}
+
 // TestAccessMatchesAccessInto checks the allocating wrapper and the reuse
 // path return identical values and metrics.
 func TestAccessMatchesAccessInto(t *testing.T) {

@@ -51,21 +51,26 @@ func TestMachineReuseCostDelta(t *testing.T) {
 	sys := newSystem(t, 1, 3, Config{})
 	vars := []uint64{1, 2, 3, 4, 5, 6}
 	vals := make([]uint64, len(vars))
-	m1, err := sys.WriteBatch(vars, vals)
+	m1p, err := sys.WriteBatch(vars, vals)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := sys.WriteBatch(vars, vals)
+	// WriteBatch reuses its Metrics across calls on the same system; snapshot
+	// each batch's metrics before issuing the next.
+	m1 := *m1p
+	m2p, err := sys.WriteBatch(vars, vals)
 	if err != nil {
 		t.Fatal(err)
 	}
+	m2 := *m2p
 	if m1.InterconnectCost != uint64(m1.TotalRounds) {
 		t.Fatalf("first batch cost %d != rounds %d", m1.InterconnectCost, m1.TotalRounds)
 	}
 	if m2.InterconnectCost != uint64(m2.TotalRounds) {
 		t.Fatalf("second batch cost %d != rounds %d (cumulative leak?)", m2.InterconnectCost, m2.TotalRounds)
 	}
-	// Different batch size forces a fresh machine; the delta must survive.
+	// A smaller batch reuses the machine with idle tail processors; the
+	// delta must survive the geometry mismatch.
 	m3, err := sys.WriteBatch(vars[:3], vals[:3])
 	if err != nil {
 		t.Fatal(err)

@@ -184,6 +184,11 @@ type System struct {
 	mreqs     []int64
 	grant     []bool
 	tasks     []taskRef
+
+	// Convenience-wrapper scratch (ReadBatch/WriteBatch), reused across
+	// calls so the wrappers stay allocation-free too.
+	convReqs []Request
+	convRes  Result
 }
 
 // NewSystem builds a protocol system for the Pietracaprina–Preparata scheme.
@@ -347,7 +352,7 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 	}
 	procs := numClusters * clusterSize
 
-	machine, err := sys.obtainMachine(procs)
+	machine, geo, err := sys.obtainMachine(procs)
 	if err != nil {
 		return err
 	}
@@ -367,8 +372,8 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 	bestVal := grow(sys.bestVal, len(reqs))
 	sys.remaining, sys.bestTS, sys.bestVal = remaining, bestTS, bestVal
 
-	mreqs := grow(sys.mreqs, procs)
-	grant := grow(sys.grant, procs)
+	mreqs := grow(sys.mreqs, geo)
+	grant := grow(sys.grant, geo)
 	sys.mreqs, sys.grant = mreqs, grant
 	for p := range mreqs {
 		mreqs[p] = mpc.Idle
@@ -504,18 +509,38 @@ func (sys *System) observeBatch(reqs []Request, res *Result) {
 	})
 }
 
-// obtainMachine returns a machine sized for procs bidders, reusing the
-// previous batch's machine when the geometry matches (interconnect state —
-// round counters, network queues — carries over; per-batch cost is taken as
-// a delta against machineCost). A replaced machine is closed so its worker
-// pool, if any, is released deterministically.
-func (sys *System) obtainMachine(procs int) (Machine, error) {
-	if sys.machine != nil && sys.machineProcs == procs {
+// obtainMachine returns a machine with room for at least procs bidders,
+// reusing the previous batch's machine whenever its geometry is large
+// enough: a batch smaller than the machine simply leaves the tail
+// processors idle. Variable-size batch streams — the frontend flushes a
+// different distinct-variable count every time — would otherwise rebuild
+// the machine (an O(N) winner table plus, for the parallel engine, a worker
+// pool) on every flush, which dominates the per-batch cost for small
+// batches. When the machine must grow, the geometry is rounded up to the
+// next power of two (capped at the full-batch maximum) so a stream of
+// creeping batch sizes settles after O(log N) rebuilds. Interconnect state —
+// round counters, network queues — carries over across reuse; per-batch
+// cost is taken as a delta against machineCost. A replaced machine is
+// closed so its worker pool, if any, is released deterministically.
+func (sys *System) obtainMachine(procs int) (Machine, int, error) {
+	if sys.machine != nil && sys.machineProcs >= procs {
 		sys.machineCost = sys.machine.Cost()
-		return sys.machine, nil
+		return sys.machine, sys.machineProcs, nil
+	}
+	cluster := sys.cfg.ClusterSize
+	maxProcs := (int(sys.Mapper.NumModules()) + cluster - 1) / cluster * cluster
+	geo := 1
+	for geo < procs {
+		geo <<= 1
+	}
+	if geo > maxProcs {
+		geo = maxProcs
+	}
+	if geo < procs {
+		geo = procs
 	}
 	mcfg := mpc.Config{
-		Procs:    procs,
+		Procs:    geo,
 		Modules:  int(sys.Mapper.NumModules()),
 		Arb:      sys.cfg.Arb,
 		Seed:     sys.cfg.Seed,
@@ -531,15 +556,15 @@ func (sys *System) obtainMachine(procs int) (Machine, error) {
 		machine, err = mpc.New(mcfg)
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if c, ok := sys.machine.(interface{ Close() }); ok {
 		c.Close()
 	}
 	sys.machine = machine
-	sys.machineProcs = procs
+	sys.machineProcs = geo
 	sys.machineCost = machine.Cost()
-	return machine, nil
+	return machine, geo, nil
 }
 
 // resolveCopies computes the (module, address) of every copy of every
@@ -585,34 +610,50 @@ func (sys *System) touch(req Request, a assignment, r int32, bestTS, bestVal []u
 	}
 }
 
-// ReadBatch is a convenience wrapper issuing a read-only batch. On
-// ErrIncomplete the partial values and metrics are still returned.
-func (sys *System) ReadBatch(vars []uint64) ([]uint64, *Metrics, error) {
-	reqs := make([]Request, len(vars))
+// convert builds the wrapper scratch request slice for vars. vals is nil
+// for reads.
+func (sys *System) convert(vars []uint64, vals []uint64, op Op) []Request {
+	reqs := grow(sys.convReqs, len(vars))
+	sys.convReqs = reqs
 	for i, v := range vars {
-		reqs[i] = Request{Var: v, Op: Read}
+		r := Request{Var: v, Op: op}
+		if vals != nil {
+			r.Value = vals[i]
+		}
+		reqs[i] = r
 	}
-	res, err := sys.Access(reqs)
-	if res == nil {
-		return nil, nil, err
-	}
-	return res.Values, &res.Metrics, err
+	return reqs
 }
 
-// WriteBatch is a convenience wrapper issuing a write-only batch.
+// ReadBatch is a convenience wrapper issuing a read-only batch through the
+// allocation-free AccessInto path. On ErrIncomplete the partial values and
+// metrics are still returned.
+//
+// The returned values and metrics alias buffers the system reuses: they are
+// valid until the next batch call (Access, AccessInto, ReadBatch,
+// WriteBatch) on this system. Copy them to hold them longer.
+func (sys *System) ReadBatch(vars []uint64) ([]uint64, *Metrics, error) {
+	reqs := sys.convert(vars, nil, Read)
+	err := sys.AccessInto(reqs, &sys.convRes)
+	if err != nil && !errors.Is(err, ErrIncomplete) {
+		return nil, nil, err
+	}
+	return sys.convRes.Values, &sys.convRes.Metrics, err
+}
+
+// WriteBatch is a convenience wrapper issuing a write-only batch through
+// the allocation-free AccessInto path. The returned metrics alias a reused
+// buffer: valid until the next batch call on this system.
 func (sys *System) WriteBatch(vars []uint64, vals []uint64) (*Metrics, error) {
 	if len(vars) != len(vals) {
 		return nil, fmt.Errorf("protocol: %d vars but %d values", len(vars), len(vals))
 	}
-	reqs := make([]Request, len(vars))
-	for i, v := range vars {
-		reqs[i] = Request{Var: v, Op: Write, Value: vals[i]}
-	}
-	res, err := sys.Access(reqs)
-	if res == nil {
+	reqs := sys.convert(vars, vals, Write)
+	err := sys.AccessInto(reqs, &sys.convRes)
+	if err != nil && !errors.Is(err, ErrIncomplete) {
 		return nil, err
 	}
-	return &res.Metrics, err
+	return &sys.convRes.Metrics, err
 }
 
 // CopyState reports, for invariant tests, the timestamps of all copies of a

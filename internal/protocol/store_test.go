@@ -109,10 +109,14 @@ func TestReadIdempotence(t *testing.T) {
 	if _, err := sys.WriteBatch(vars, []uint64{10, 20, 30, 40, 50}); err != nil {
 		t.Fatal(err)
 	}
-	v1, m1, err := sys.ReadBatch(vars)
+	v1raw, m1raw, err := sys.ReadBatch(vars)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// ReadBatch reuses its buffers across calls on the same system; snapshot
+	// the first result before issuing the second read.
+	v1 := append([]uint64(nil), v1raw...)
+	m1 := *m1raw
 	v2, m2, err := sys.ReadBatch(vars)
 	if err != nil {
 		t.Fatal(err)

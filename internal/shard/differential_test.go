@@ -1,0 +1,163 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"detshmem/internal/frontend"
+	"detshmem/internal/workload"
+)
+
+// The sharded differential oracle. The service promises per-variable
+// linearizability with a per-shard commit order: every operation's
+// Future.Seq orders it within its variable's shard, and there is no
+// cross-shard order. So the oracle groups committed operations by
+// Route(v), sorts each shard's group by sequence number, replays each
+// group independently against a plain map, and demands identical read
+// values. Any lost write, reordering within a shard, or cross-shard
+// routing leak (two shards serving one variable) fails the replay.
+
+type record struct {
+	v     uint64
+	val   uint64
+	write bool
+	seq   uint64
+	got   uint64
+}
+
+// runShardClients hammers the service from `clients` goroutines with
+// windowed async hot-spot traffic (40% writes over a small hot set so
+// combining, coalescing, conflicts, and cross-shard interleaving all
+// trigger), then collects each op's committed sequence number and value.
+func runShardClients(t *testing.T, svc *Service, clients, opsPer int, seed int64) []record {
+	t.Helper()
+	const window = 32
+	var mu sync.Mutex
+	var all []record
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := workload.ClientRNG(seed, c)
+			stream := workload.HotSpot(rng, 64, opsPer, 8, 0.7)
+			recs := make([]record, 0, opsPer)
+			futs := make([]*frontend.Future, 0, window)
+			drain := func() bool {
+				for i, fut := range futs {
+					k := len(recs) - len(futs) + i
+					got, err := fut.Wait()
+					if err != nil {
+						errs <- err
+						return false
+					}
+					recs[k].seq = fut.Seq()
+					recs[k].got = got
+				}
+				futs = futs[:0]
+				return true
+			}
+			for i, v := range stream {
+				var fut *frontend.Future
+				var err error
+				if rng.Intn(100) < 40 {
+					val := uint64(c+1)<<32 | uint64(i)
+					recs = append(recs, record{v: v, val: val, write: true})
+					fut, err = svc.WriteAsync(v, val)
+				} else {
+					recs = append(recs, record{v: v})
+					fut, err = svc.ReadAsync(v)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				futs = append(futs, fut)
+				if len(futs) == window && !drain() {
+					return
+				}
+			}
+			if !drain() {
+				return
+			}
+			mu.Lock()
+			all = append(all, recs...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	return all
+}
+
+// checkShardOracle replays each shard's commit sequence independently.
+func checkShardOracle(t *testing.T, svc *Service, recs []record) {
+	t.Helper()
+	groups := make([][]record, svc.Shards())
+	for _, r := range recs {
+		s := svc.Route(r.v)
+		groups[s] = append(groups[s], r)
+	}
+	for s, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i].seq < g[j].seq })
+		store := map[uint64]uint64{}
+		for i, r := range g {
+			if i > 0 && g[i-1].seq == r.seq {
+				t.Fatalf("shard %d: duplicate sequence %d", s, r.seq)
+			}
+			if r.write {
+				store[r.v] = r.val
+				continue
+			}
+			if want := store[r.v]; r.got != want {
+				t.Fatalf("shard %d seq %d: read var %d = %d, replay says %d",
+					s, r.seq, r.v, r.got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialOracle is the matrix: both dispatchers × shard counts ×
+// client counts, ≥1e5 ops at full scale (-short shrinks it for the race
+// detector, which runs this very test in CI).
+func TestDifferentialOracle(t *testing.T) {
+	opsPer := 2000
+	clientCounts := []int{1, 8, 64}
+	if testing.Short() {
+		opsPer = 300
+		clientCounts = []int{1, 8}
+	}
+	for _, cfg := range []Config{
+		{Shards: 1, Pipeline: true},
+		{Shards: 4, Pipeline: true},
+		{Shards: 4, Pipeline: true, MaxBatch: 3, MaxPending: 1},
+		{Shards: 4, Pipeline: false},
+		{Shards: 7, Pipeline: true, Observe: true},
+	} {
+		cfg := cfg
+		for _, clients := range clientCounts {
+			clients := clients
+			t.Run(cfg.name()+"/c"+string(rune('0'+clients/10))+string(rune('0'+clients%10)), func(t *testing.T) {
+				t.Parallel()
+				svc := newService(t, 5, cfg)
+				recs := runShardClients(t, svc, clients, opsPer, int64(42+clients))
+				if err := svc.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				checkShardOracle(t, svc, recs)
+				st := svc.Stats()
+				if st.Total.OpsIn != int64(clients*opsPer) {
+					t.Fatalf("ops in = %d, want %d", st.Total.OpsIn, clients*opsPer)
+				}
+				if st.Total.FailedBatches != 0 || st.Total.Unfinished != 0 {
+					t.Fatalf("failures during hammer: %+v", st.Total)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package shard
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"detshmem/internal/frontend"
+	"detshmem/internal/obs"
+	"detshmem/internal/protocol"
+)
+
+// pipeDispatcher is the pipelined per-shard dispatcher. Where the classic
+// frontend funnels every operation through a channel into one dispatcher
+// goroutine that both coalesces and flushes, here the submitting goroutines
+// do the coalescing themselves: each op takes the shard's admission mutex,
+// receives its commit sequence number, and folds straight into the
+// accumulating frontend.Pending. A dedicated flusher goroutine drains
+// sealed batches FIFO and — when the backend is free and nothing is
+// sealed — grabs the accumulating batch directly (the channel dispatcher's
+// "queue ran dry" rule, without timers). Admission of batch k+1 therefore
+// proceeds under the mutex while the flusher holds batch k inside
+// AccessInto: double buffering with the batch seal as the only
+// synchronization point.
+//
+// Linearizability per variable is preserved by construction: sequence
+// numbers are assigned under the same mutex that admits the op into the
+// current batch, batches are sealed in sequence order, and the flusher
+// commits them FIFO — so ops in an earlier batch all carry smaller
+// sequence numbers than ops in a later one, and admission order remains
+// commit order shard-wide (a stronger guarantee than the per-variable
+// contract requires).
+//
+// Backpressure: admission blocks while maxPending batches are sealed and
+// unflushed, bounding memory the way the classic dispatcher's bounded
+// channel does.
+type pipeDispatcher struct {
+	sys *protocol.System
+	col *obs.Collector // nil when not observing
+
+	maxBatch   int
+	maxPending int
+
+	mu       sync.Mutex
+	cond     *sync.Cond // admission backpressure + Flush/Close waiters
+	cur      *frontend.Pending
+	seq      uint64
+	ready    []sealedBatch // FIFO, length ≤ maxPending
+	sealed   int64         // batches sealed so far (monotonic)
+	flushed  int64         // batches flushed so far (monotonic)
+	inflight int           // ops admitted but not yet committed
+	maxDepth int           // high-water inflight, for Stats.MaxQueueDepth
+	closed   bool
+
+	idle bool          // flusher is parked on kick
+	kick chan struct{} // cap 1, wakes the parked flusher
+
+	free []*frontend.Pending // recycled batches
+
+	// Flusher-owned flush scratch, reused across batches: the zero-alloc
+	// AccessInto path.
+	reqs []protocol.Request
+	res  protocol.Result
+
+	statsMu sync.Mutex
+	stats   frontend.Stats
+
+	done chan struct{} // flusher exited
+}
+
+type sealedBatch struct {
+	p     *frontend.Pending
+	cause obs.FlushCause
+}
+
+func newPipeDispatcher(sys *protocol.System, maxBatch, maxPending int, col *obs.Collector) *pipeDispatcher {
+	d := &pipeDispatcher{
+		sys:        sys,
+		col:        col,
+		maxBatch:   maxBatch,
+		maxPending: maxPending,
+		cur:        frontend.NewPending(maxBatch),
+		ready:      make([]sealedBatch, 0, maxPending+1),
+		kick:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	go d.run()
+	return d
+}
+
+// ReadAsync admits a read into the accumulating batch.
+func (d *pipeDispatcher) ReadAsync(v uint64) (*frontend.Future, error) {
+	return d.submit(false, v, 0)
+}
+
+// WriteAsync admits a write into the accumulating batch.
+func (d *pipeDispatcher) WriteAsync(v, val uint64) (*frontend.Future, error) {
+	return d.submit(true, v, val)
+}
+
+func (d *pipeDispatcher) submit(write bool, v, val uint64) (*frontend.Future, error) {
+	fut := frontend.NewFuture()
+	d.mu.Lock()
+	for !d.closed && len(d.ready) >= d.maxPending {
+		d.cond.Wait()
+	}
+	if d.closed {
+		d.mu.Unlock()
+		return nil, frontend.ErrClosed
+	}
+	if write && d.cur.WriteConflicts(v) {
+		// The variable carries an issued read: seal the batch; the write
+		// opens the next one. Sealing may momentarily exceed maxPending;
+		// the next submitter blocks, this op was already ordered behind
+		// the seal.
+		d.seal(obs.FlushConflict)
+	}
+	d.seq++
+	if write {
+		d.cur.Write(d.seq, v, val, fut)
+	} else {
+		d.cur.Read(d.seq, v, fut)
+	}
+	d.inflight++
+	depth := d.inflight
+	if depth > d.maxDepth {
+		d.maxDepth = depth
+	}
+	if d.cur.Distinct() >= d.maxBatch {
+		d.seal(obs.FlushSize)
+	}
+	d.wake()
+	d.mu.Unlock()
+	if d.col != nil {
+		d.col.ObserveQueueDepth(depth)
+	}
+	return fut, nil
+}
+
+// seal moves the accumulating batch onto the ready queue (no-op when
+// empty). Caller holds mu.
+func (d *pipeDispatcher) seal(cause obs.FlushCause) {
+	if d.cur.Ops() == 0 {
+		return
+	}
+	d.ready = append(d.ready, sealedBatch{d.cur, cause})
+	d.sealed++
+	d.cur = d.take()
+}
+
+// take returns a recycled (or fresh) empty batch. Caller holds mu.
+func (d *pipeDispatcher) take() *frontend.Pending {
+	if n := len(d.free); n > 0 {
+		p := d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		return p
+	}
+	return frontend.NewPending(d.maxBatch)
+}
+
+// wake kicks the flusher if it is parked. Caller holds mu.
+func (d *pipeDispatcher) wake() {
+	if d.idle {
+		d.idle = false
+		select {
+		case d.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run is the flusher: pop sealed batches FIFO; with none sealed and the
+// backend free, grab the accumulating batch (idle flush); with nothing at
+// all, park until an admission kicks.
+func (d *pipeDispatcher) run() {
+	defer close(d.done)
+	// yielded implements the idle grab's one-shot backoff: the flusher is
+	// kicked by the first admission into an empty batch, so grabbing
+	// immediately would flush a batch of whatever one submitter managed to
+	// admit before its first block. One scheduler yield lets every currently
+	// runnable submitter fold its window into the batch first — on a loaded
+	// single-core host this turns per-client-window batches into
+	// all-runnable-clients batches, amortizing the per-batch protocol cost
+	// over several times more ops — while costing an idle submitter nothing
+	// (Gosched returns immediately when nothing else is runnable).
+	yielded := false
+	for {
+		d.mu.Lock()
+		var p *frontend.Pending
+		var cause obs.FlushCause
+		switch {
+		case len(d.ready) > 0:
+			p, cause = d.ready[0].p, d.ready[0].cause
+			// Copy down instead of re-slicing so the backing array (sized
+			// maxPending+1 once) never creeps or reallocates.
+			copy(d.ready, d.ready[1:])
+			d.ready[len(d.ready)-1] = sealedBatch{}
+			d.ready = d.ready[:len(d.ready)-1]
+			d.cond.Broadcast() // an admission slot freed up
+		case d.cur.Ops() > 0:
+			if !yielded {
+				yielded = true
+				d.mu.Unlock()
+				runtime.Gosched()
+				continue
+			}
+			p, cause = d.cur, obs.FlushIdle
+			d.sealed++
+			d.cur = d.take()
+		case d.closed:
+			d.mu.Unlock()
+			return
+		default:
+			d.idle = true
+			d.mu.Unlock()
+			<-d.kick
+			continue
+		}
+		yielded = false
+		d.mu.Unlock()
+
+		d.flushOne(p, cause)
+
+		ops := p.Ops()
+		p.Reset()
+		d.mu.Lock()
+		d.flushed++
+		d.inflight -= ops
+		d.free = append(d.free, p)
+		d.cond.Broadcast() // Flush waiters + admission backpressure
+		d.mu.Unlock()
+	}
+}
+
+// flushOne drives one batch through the backend's allocation-free path,
+// accounts it (before any future completes — see frontend.Stats.Account),
+// and fans the results out. Runs on the flusher goroutine only, so the
+// reqs/res scratch needs no lock.
+func (d *pipeDispatcher) flushOne(p *frontend.Pending, cause obs.FlushCause) {
+	d.reqs = p.Requests(d.reqs)
+	var res *protocol.Result
+	err := d.sys.AccessInto(d.reqs, &d.res)
+	if err == nil || errors.Is(err, protocol.ErrIncomplete) {
+		res = &d.res
+	}
+	d.statsMu.Lock()
+	d.stats.Account(p, len(d.reqs), res, err, cause)
+	d.statsMu.Unlock()
+	if d.col != nil {
+		d.col.ObserveFlush(cause)
+	}
+	p.Complete(res, err)
+}
+
+// Flush seals the accumulating batch and blocks until every batch sealed so
+// far has committed.
+func (d *pipeDispatcher) Flush() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return frontend.ErrClosed
+	}
+	d.seal(obs.FlushExplicit)
+	target := d.sealed
+	d.wake()
+	// Batches sealed before a concurrent Close still flush (the flusher
+	// drains the ready queue before exiting), so waiting on the count alone
+	// is safe even if closed flips while we wait.
+	for d.flushed < target {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Close flushes pending work, stops the flusher, and fails later
+// submissions with frontend.ErrClosed.
+func (d *pipeDispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return frontend.ErrClosed
+	}
+	d.seal(obs.FlushExplicit)
+	d.closed = true
+	d.wake()
+	d.cond.Broadcast() // release blocked admitters into ErrClosed
+	d.mu.Unlock()
+	<-d.done
+	return nil
+}
+
+// Stats snapshots the dispatcher's cumulative combining metrics.
+func (d *pipeDispatcher) Stats() frontend.Stats {
+	d.statsMu.Lock()
+	s := d.stats
+	d.statsMu.Unlock()
+	d.mu.Lock()
+	if d.maxDepth > s.MaxQueueDepth {
+		s.MaxQueueDepth = d.maxDepth
+	}
+	d.mu.Unlock()
+	return s
+}

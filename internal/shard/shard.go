@@ -1,0 +1,309 @@
+// Package shard scales the combining frontend past the single-dispatcher
+// ceiling. PP93's scheme is embarrassingly parallel across disjoint
+// variable sets — any partition of the M variables can be served by
+// independent MPC instances — so the Service partitions the variable space
+// over S independent protocol.System instances (each with its own
+// persistent-worker engine, all sharing one compiled resolver) behind a
+// stateless router: every operation on variable v goes to shard Route(v).
+//
+// # Consistency contract
+//
+// The Service is linearizable per variable, not across variables. All
+// operations on one variable land on the same shard, whose dispatcher
+// serializes them — admission order is commit order, exactly as in
+// internal/frontend — so a read always observes the latest committed write
+// of the same variable, and Future.Seq orders operations within a shard.
+// Operations on different variables that route to different shards have no
+// mutual order: there is no cross-shard commit sequence, which is the price
+// of scaling. Programs needing a cross-variable happens-before must either
+// keep the variables on one shard (S=1) or synchronize externally. The
+// differential oracle test replays each shard's commit sequence
+// independently.
+//
+// # Pipelined dispatch
+//
+// With Config.Pipeline, each shard runs the direct-admission dispatcher
+// (dispatch.go): clients coalesce their operations straight into the
+// accumulating batch under the shard's admission mutex, while the shard's
+// flusher goroutine drives sealed batches through the backend's
+// allocation-free AccessInto path. Batch k+1 admits and combines while
+// batch k is still in the memory — double buffering — and the per-op
+// channel hop through a dispatcher goroutine is gone. Without Pipeline,
+// each shard wraps a classic channel-dispatcher frontend.Frontend, kept as
+// the measured baseline.
+package shard
+
+import (
+	"fmt"
+
+	"detshmem/internal/frontend"
+	"detshmem/internal/obs"
+	"detshmem/internal/protocol"
+)
+
+// Config tunes the sharded service.
+type Config struct {
+	// Shards is S, the number of independent protocol systems. 0 defaults
+	// to 1.
+	Shards int
+	// Pipeline selects the direct-admission double-buffered dispatcher per
+	// shard; false wraps a classic frontend.Frontend per shard.
+	Pipeline bool
+	// MaxBatch is the per-shard flush threshold in distinct variables.
+	// 0 defaults to the mapper's module count N (the largest batch the
+	// protocol accepts).
+	MaxBatch int
+	// QueueCap bounds each shard's submission queue (channel dispatcher
+	// only). 0 defaults to frontend's 4×MaxBatch.
+	QueueCap int
+	// MaxPending bounds sealed-but-unflushed batches per shard (pipelined
+	// dispatcher only); admission blocks beyond it. 0 defaults to 2 —
+	// one flushing, one sealed, one accumulating.
+	MaxPending int
+	// Protocol is the template for every shard's system. If its Resolver is
+	// nil one compiled resolver is built from the mapper and shared by all
+	// shards; Observer/Recorder hooks are preserved (per-shard collectors
+	// are chained after them when Observe is set).
+	Protocol protocol.Config
+	// Observe attaches a per-shard obs.Collector to each shard's dispatcher
+	// and system, exposed via Collector and Snapshot.
+	Observe bool
+}
+
+// Service is the sharded frontend. All methods are safe for concurrent use.
+type Service struct {
+	shards []*shardState
+}
+
+// dispatcher is the per-shard admission surface; *frontend.Frontend and
+// *pipeDispatcher both implement it.
+type dispatcher interface {
+	ReadAsync(v uint64) (*frontend.Future, error)
+	WriteAsync(v, val uint64) (*frontend.Future, error)
+	Flush() error
+	Close() error
+	Stats() frontend.Stats
+}
+
+type shardState struct {
+	sys *protocol.System
+	col *obs.Collector // nil unless Config.Observe
+	d   dispatcher
+}
+
+// New builds a sharded service over one memory organization. Every shard
+// gets its own protocol.System (own store, own MPC engine) over the same
+// mapper; with cfg.Protocol.Resolver nil, one resolver is compiled here and
+// shared by all shards, so the address table is built (and held) once.
+func New(m protocol.Mapper, cfg Config) (*Service, error) {
+	if m == nil {
+		return nil, fmt.Errorf("shard: nil mapper")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 || cfg.Shards > 4096 {
+		return nil, fmt.Errorf("shard: Shards %d out of range [1, 4096]", cfg.Shards)
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = int(m.NumModules())
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("shard: MaxBatch %d must be positive", cfg.MaxBatch)
+	}
+	if cfg.MaxPending < 0 {
+		return nil, fmt.Errorf("shard: MaxPending %d must be positive", cfg.MaxPending)
+	}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = 2
+	}
+	pcfg := cfg.Protocol
+	if pcfg.Resolver == nil {
+		if r, ok := m.(*protocol.CompiledResolver); ok {
+			pcfg.Resolver = r
+		} else {
+			r, err := protocol.CompileMapper(m, protocol.CompileOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("shard: compiling resolver: %w", err)
+			}
+			pcfg.Resolver = r
+		}
+	}
+	s := &Service{shards: make([]*shardState, cfg.Shards)}
+	fail := func(i int, err error) (*Service, error) {
+		for j := 0; j < i; j++ {
+			_ = s.shards[j].d.Close()
+			s.shards[j].sys.Close()
+		}
+		return nil, err
+	}
+	for i := range s.shards {
+		scfg := pcfg
+		st := &shardState{}
+		if cfg.Observe {
+			st.col = obs.NewCollector()
+			scfg.Observer = obs.MultiBatch(pcfg.Observer, st.col)
+			scfg.Recorder = obs.Multi(pcfg.Recorder, st.col)
+		}
+		sys, err := protocol.NewGenericSystem(m, scfg)
+		if err != nil {
+			return fail(i, fmt.Errorf("shard %d: %w", i, err))
+		}
+		st.sys = sys
+		if cfg.Pipeline {
+			st.d = newPipeDispatcher(sys, cfg.MaxBatch, cfg.MaxPending, st.col)
+		} else {
+			fe, err := frontend.New(sys, frontend.Config{
+				MaxBatch:  cfg.MaxBatch,
+				QueueCap:  cfg.QueueCap,
+				Collector: st.col,
+			})
+			if err != nil {
+				sys.Close()
+				return fail(i, fmt.Errorf("shard %d: %w", i, err))
+			}
+			st.d = fe
+		}
+		s.shards[i] = st
+	}
+	return s, nil
+}
+
+// Shards returns S.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// Route maps a variable to its shard. The mix is the splitmix64 finalizer —
+// a fixed bijective mixer, so routing is deterministic, identical across
+// processes and runs, and trivially stable (same v, same shard) — reduced
+// mod S. Hashing rather than taking v mod S directly keeps structured
+// variable patterns (strides, hot prefixes) from piling onto one shard.
+func (s *Service) Route(v uint64) int {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return int(v % uint64(len(s.shards)))
+}
+
+// ReadAsync submits a read to the variable's shard.
+func (s *Service) ReadAsync(v uint64) (*frontend.Future, error) {
+	return s.shards[s.Route(v)].d.ReadAsync(v)
+}
+
+// WriteAsync submits a write to the variable's shard.
+func (s *Service) WriteAsync(v, val uint64) (*frontend.Future, error) {
+	return s.shards[s.Route(v)].d.WriteAsync(v, val)
+}
+
+// Read submits a read and blocks until its batch commits.
+func (s *Service) Read(v uint64) (uint64, error) {
+	fut, err := s.ReadAsync(v)
+	if err != nil {
+		return 0, err
+	}
+	return fut.Wait()
+}
+
+// Write submits a write and blocks until its batch commits.
+func (s *Service) Write(v, val uint64) error {
+	fut, err := s.WriteAsync(v, val)
+	if err != nil {
+		return err
+	}
+	_, err = fut.Wait()
+	return err
+}
+
+// Flush forces every shard's pending batch out and blocks until all have
+// committed.
+func (s *Service) Flush() error {
+	var first error
+	for _, st := range s.shards {
+		if err := st.d.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close flushes pending work on every shard, stops the dispatchers, and
+// releases the shards' MPC engines. Later submissions fail with
+// frontend.ErrClosed.
+func (s *Service) Close() error {
+	var first error
+	for _, st := range s.shards {
+		if err := st.d.Close(); err != nil && first == nil {
+			first = err
+		}
+		st.sys.Close()
+	}
+	return first
+}
+
+// Stats is the sharded service's combining view: each shard's dispatcher
+// stats plus their merge.
+type Stats struct {
+	PerShard []frontend.Stats
+	Total    frontend.Stats
+}
+
+// Imbalance is max/mean of per-shard committed operations — 1.0 is a
+// perfectly even partition; S means everything landed on one shard. Zero
+// when nothing committed.
+func (st Stats) Imbalance() float64 {
+	var sum, max int64
+	for _, s := range st.PerShard {
+		sum += s.OpsIn
+		if s.OpsIn > max {
+			max = s.OpsIn
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(st.PerShard))
+	return float64(max) / mean
+}
+
+// Stats snapshots every shard's dispatcher.
+func (s *Service) Stats() Stats {
+	out := Stats{PerShard: make([]frontend.Stats, len(s.shards))}
+	for i, st := range s.shards {
+		out.PerShard[i] = st.d.Stats()
+		out.Total.Merge(out.PerShard[i])
+	}
+	return out
+}
+
+// System returns shard i's protocol system (for tests and tools).
+func (s *Service) System(i int) *protocol.System { return s.shards[i].sys }
+
+// Collector returns shard i's collector, nil unless Config.Observe.
+func (s *Service) Collector(i int) *obs.Collector { return s.shards[i].col }
+
+// Snapshot merges every shard's collector into one labeled map
+// ("shard0_batches_total", …) plus service-level aggregates: per-shard
+// committed ops ("shardN_ops_committed"), the max/mean imbalance ratio
+// ×1000 ("shard_imbalance_milli"), and a histogram of the per-shard op
+// counts ("shard_ops_count"/"shard_ops_sum") so skew is visible without
+// Prometheus. Empty without Config.Observe.
+func (s *Service) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	st := s.Stats()
+	var hist obs.Histogram
+	for i, sh := range s.shards {
+		if sh.col != nil {
+			sh.col.SnapshotInto(fmt.Sprintf("shard%d_", i), out)
+		}
+		out[fmt.Sprintf("shard%d_ops_committed", i)] = st.PerShard[i].OpsIn
+		hist.Observe(st.PerShard[i].OpsIn)
+	}
+	if len(out) == 0 {
+		return out
+	}
+	out["shard_imbalance_milli"] = int64(st.Imbalance() * 1000)
+	out["shard_ops_count"] = hist.Count()
+	out["shard_ops_sum"] = hist.Sum()
+	return out
+}

@@ -1,0 +1,391 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"detshmem/internal/core"
+	"detshmem/internal/frontend"
+	"detshmem/internal/protocol"
+)
+
+// testMapper builds the q=2 core mapper for degree n.
+func testMapper(t testing.TB, n int) protocol.Mapper {
+	t.Helper()
+	s, err := core.New(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return protocol.NewCoreMapper(s, idx)
+}
+
+func newService(t testing.TB, n int, cfg Config) *Service {
+	t.Helper()
+	svc, err := New(testMapper(t, n), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Close() })
+	return svc
+}
+
+// configs is the dispatcher × shard-count matrix every semantic test runs
+// over.
+func configs() []Config {
+	return []Config{
+		{Shards: 1, Pipeline: false},
+		{Shards: 1, Pipeline: true},
+		{Shards: 4, Pipeline: false},
+		{Shards: 4, Pipeline: true},
+		{Shards: 3, Pipeline: true, MaxBatch: 2, MaxPending: 1},
+	}
+}
+
+func (c Config) name() string {
+	pipe := "classic"
+	if c.Pipeline {
+		pipe = "pipelined"
+	}
+	return pipe + "/" + string(rune('0'+c.Shards))
+}
+
+// TestRoundTrip: writes then reads through every dispatcher/shard
+// combination, including cross-batch visibility and unwritten reads.
+func TestRoundTrip(t *testing.T) {
+	for _, cfg := range configs() {
+		cfg := cfg
+		t.Run(cfg.name(), func(t *testing.T) {
+			svc := newService(t, 3, cfg)
+			for v := uint64(0); v < 30; v++ {
+				if err := svc.Write(v, v*7+1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for v := uint64(0); v < 30; v++ {
+				got, err := svc.Read(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != v*7+1 {
+					t.Fatalf("read %d = %d, want %d", v, got, v*7+1)
+				}
+			}
+			if got, err := svc.Read(40); err != nil || got != 0 {
+				t.Fatalf("unwritten read = %d, %v", got, err)
+			}
+			st := svc.Stats()
+			if st.Total.OpsIn != 61 {
+				t.Fatalf("total ops in = %d, want 61", st.Total.OpsIn)
+			}
+			if len(st.PerShard) != cfg.Shards && !(cfg.Shards == 0 && len(st.PerShard) == 1) {
+				t.Fatalf("per-shard stats = %d entries", len(st.PerShard))
+			}
+		})
+	}
+}
+
+// TestAsyncPipelining drives windowed async traffic so pipelined shards
+// genuinely overlap admission with flushing, then checks every future.
+func TestAsyncPipelining(t *testing.T) {
+	for _, cfg := range configs() {
+		cfg := cfg
+		t.Run(cfg.name(), func(t *testing.T) {
+			svc := newService(t, 3, cfg)
+			const ops = 400
+			futs := make([]*frontend.Future, 0, ops)
+			last := map[uint64]uint64{}
+			for i := 0; i < ops; i++ {
+				v := uint64(i % 17)
+				if i%3 == 0 {
+					fut, err := svc.WriteAsync(v, uint64(i)+1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					last[v] = uint64(i) + 1
+					futs = append(futs, fut)
+				} else {
+					fut, err := svc.ReadAsync(v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					futs = append(futs, fut)
+				}
+			}
+			if err := svc.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			for i, fut := range futs {
+				if _, err := fut.Wait(); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+			// Single submitter: the final read of every variable must see
+			// the last write (per-variable linearizability).
+			for v, want := range last {
+				got, err := svc.Read(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("var %d = %d, want %d", v, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCloseSemantics: Close flushes pending work; later submissions and a
+// second Close return frontend.ErrClosed.
+func TestCloseSemantics(t *testing.T) {
+	for _, cfg := range configs() {
+		cfg := cfg
+		t.Run(cfg.name(), func(t *testing.T) {
+			svc, err := New(testMapper(t, 3), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fut, err := svc.WriteAsync(3, 33)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fut.Wait(); err != nil {
+				t.Fatalf("pending write not flushed by Close: %v", err)
+			}
+			if _, err := svc.Read(3); !errors.Is(err, frontend.ErrClosed) {
+				t.Fatalf("read after close = %v, want ErrClosed", err)
+			}
+			if err := svc.Close(); !errors.Is(err, frontend.ErrClosed) {
+				t.Fatalf("second close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestTypedErrorsSurface: protocol admission errors keep their identity
+// through the sharded path, and a failed batch does not wedge the shard.
+func TestTypedErrorsSurface(t *testing.T) {
+	for _, pipe := range []bool{false, true} {
+		pipe := pipe
+		name := "classic"
+		if pipe {
+			name = "pipelined"
+		}
+		t.Run(name, func(t *testing.T) {
+			svc := newService(t, 3, Config{Shards: 2, Pipeline: pipe})
+			m := testMapper(t, 3)
+			if _, err := svc.Read(m.NumVars() + 5); !errors.Is(err, protocol.ErrVarOutOfRange) {
+				t.Fatalf("error = %v, want ErrVarOutOfRange", err)
+			}
+			// The shard stays usable after the failed batch.
+			if err := svc.Write(1, 11); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := svc.Read(1); err != nil || got != 11 {
+				t.Fatalf("post-failure read = %d, %v", got, err)
+			}
+		})
+	}
+}
+
+// TestRouteStability pins the router contract directly: deterministic,
+// stable across calls and across Service instances, in range, and
+// partition-complete (with enough variables every shard serves some).
+func TestRouteStability(t *testing.T) {
+	a := newService(t, 3, Config{Shards: 4})
+	b := newService(t, 3, Config{Shards: 4})
+	seen := make([]int, 4)
+	for v := uint64(0); v < 5000; v++ {
+		r := a.Route(v)
+		if r < 0 || r >= 4 {
+			t.Fatalf("route(%d) = %d out of range", v, r)
+		}
+		if r != a.Route(v) || r != b.Route(v) {
+			t.Fatalf("route(%d) unstable", v)
+		}
+		seen[r]++
+	}
+	for i, n := range seen {
+		if n == 0 {
+			t.Fatalf("shard %d serves no variable in [0, 5000)", i)
+		}
+		// The splitmix mix should spread a contiguous range roughly evenly:
+		// each shard within 2× of the fair share.
+		if n < 5000/8 || n > 5000/2 {
+			t.Fatalf("shard %d load %d badly skewed", i, n)
+		}
+	}
+}
+
+// FuzzRoute fuzzes routing stability and partition membership over
+// arbitrary variables and shard counts.
+func FuzzRoute(f *testing.F) {
+	f.Add(uint64(0), uint8(1))
+	f.Add(uint64(12345), uint8(4))
+	f.Add(^uint64(0), uint8(7))
+	m := testMapper(f, 3)
+	services := map[uint8]*Service{}
+	f.Fuzz(func(t *testing.T, v uint64, shards uint8) {
+		s := int(shards%16) + 1
+		svc, ok := services[uint8(s)]
+		if !ok {
+			var err error
+			svc, err = New(m, Config{Shards: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			services[uint8(s)] = svc
+		}
+		r := svc.Route(v)
+		if r < 0 || r >= s {
+			t.Fatalf("route(%d) = %d with %d shards", v, r, s)
+		}
+		if r2 := svc.Route(v); r2 != r {
+			t.Fatalf("route(%d) unstable: %d then %d", v, r, r2)
+		}
+	})
+}
+
+// TestSnapshotAndImbalance: per-shard labeled metrics and the imbalance
+// ratio behave (Observe on, 2 shards, skewed traffic onto one variable).
+func TestSnapshotAndImbalance(t *testing.T) {
+	svc := newService(t, 3, Config{Shards: 2, Pipeline: true, Observe: true})
+	hot := uint64(0)
+	hotShard := svc.Route(hot)
+	for i := 0; i < 50; i++ {
+		if err := svc.Write(hot, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Write(1, 1); err != nil { // may or may not share the shard
+		t.Fatal(err)
+	}
+	snap := svc.Snapshot()
+	// The histogram drops empty shards (zero observations), so count is the
+	// number of shards that served traffic.
+	if c := snap["shard_ops_count"]; c < 1 || c > 2 {
+		t.Fatalf("shard_ops_count = %d, want 1 or 2", c)
+	}
+	if snap["shard_ops_sum"] != 51 {
+		t.Fatalf("shard_ops_sum = %d, want 51", snap["shard_ops_sum"])
+	}
+	if svc.Collector(hotShard) == nil {
+		t.Fatal("Observe did not attach a collector")
+	}
+	key := "shard0_batches_total"
+	if hotShard == 1 {
+		key = "shard1_batches_total"
+	}
+	if snap[key] == 0 {
+		t.Fatalf("hot shard recorded no batches: %v", snap)
+	}
+	st := svc.Stats()
+	if imb := st.Imbalance(); imb < 1 || imb > 2 {
+		t.Fatalf("imbalance = %v outside (1, 2]", imb)
+	}
+	// Without Observe the snapshot still carries the service-level view.
+	svc2 := newService(t, 3, Config{Shards: 2})
+	if err := svc2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if snap2 := svc2.Snapshot(); snap2["shard_ops_sum"] != 1 {
+		t.Fatalf("unobserved snapshot = %v", snap2)
+	}
+}
+
+// TestSharedResolver: all shards must share one compiled resolver (the
+// point of Config.Resolver); spot-check by writing through one shard and
+// confirming the others see independent stores (partitioned, not shared).
+func TestSharedResolver(t *testing.T) {
+	m := testMapper(t, 3)
+	r, err := protocol.CompileMapper(m, protocol.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(r, Config{Shards: 2, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// Each shard owns a full System over the same mapper; stores are
+	// disjoint because the router never sends one variable to two shards.
+	v := uint64(5)
+	if err := svc.Write(v, 99); err != nil {
+		t.Fatal(err)
+	}
+	other := 1 - svc.Route(v)
+	vals, _, err := svc.System(other).ReadBatch([]uint64{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 0 {
+		t.Fatalf("other shard's store holds %d for var %d; partition leaked", vals[0], v)
+	}
+}
+
+// TestExplicitFlushWaits: Flush on the pipelined dispatcher must not return
+// until every batch sealed so far committed. Stats are accounted before
+// futures complete (read-your-ops), so after Flush every submitted op must
+// already be visible in the snapshot.
+func TestExplicitFlushWaits(t *testing.T) {
+	svc := newService(t, 3, Config{Shards: 2, Pipeline: true})
+	var futs []*frontend.Future
+	for i := 0; i < 200; i++ {
+		fut, err := svc.WriteAsync(uint64(i%9), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+	}
+	if err := svc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Total.OpsIn != 200 {
+		t.Fatalf("after Flush, %d ops accounted, want 200", st.Total.OpsIn)
+	}
+	if st.Total.ExplicitFlushes == 0 {
+		t.Fatal("no explicit flush recorded")
+	}
+	for i, fut := range futs {
+		if _, err := fut.Wait(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+}
+
+// TestBackpressure: MaxPending 1 with a tiny MaxBatch still completes a
+// hammering workload (submitters block rather than fail or deadlock).
+func TestBackpressure(t *testing.T) {
+	svc := newService(t, 3, Config{Shards: 2, Pipeline: true, MaxBatch: 2, MaxPending: 1})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 60; i++ {
+				if err := svc.Write(c, c<<8|i); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := svc.Read(c); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(uint64(c))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

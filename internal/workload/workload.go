@@ -13,6 +13,38 @@ import (
 	"detshmem/internal/core"
 )
 
+// ClientSeed derives a decorrelated RNG seed for one client stream from a
+// base seed: the splitmix64 finalizer over (base, client), so every client
+// gets an independent-looking stream, the same (base, client) pair always
+// yields the same stream (deterministic sharded runs replay exactly), and
+// nearby client ids do not produce correlated low bits the way the old
+// base+client*prime recipe could.
+func ClientSeed(base int64, client int) int64 {
+	x := uint64(base)*0x9e3779b97f4a7c15 + uint64(client) + 1
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// ClientRNG returns the deterministic per-client RNG for a base seed.
+func ClientRNG(base int64, client int) *rand.Rand {
+	return rand.New(rand.NewSource(ClientSeed(base, client)))
+}
+
+// HotSpotStream is HotSpot drawn from the client's own seeded RNG: client
+// streams are mutually independent and individually reproducible.
+func HotSpotStream(base int64, client int, m uint64, k int, hot uint64, p float64) []uint64 {
+	return HotSpot(ClientRNG(base, client), m, k, hot, p)
+}
+
+// ZipfStream is Zipf drawn from the client's own seeded RNG.
+func ZipfStream(base int64, client int, m uint64, k int, s float64) []uint64 {
+	return Zipf(ClientRNG(base, client), m, k, s)
+}
+
 // HotSpot draws k variable indices (repeats allowed, unlike the distinct
 // batch generators above) where each draw falls into a small hot set
 // {0, …, hot−1} with probability p and is uniform over [0, m) otherwise.

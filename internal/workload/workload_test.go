@@ -85,6 +85,77 @@ func TestZipf(t *testing.T) {
 	}
 }
 
+// TestClientStreams pins the per-client seeding contract: same (base,
+// client) replays the identical stream, different clients diverge, and both
+// stream helpers respect the draw bounds.
+func TestClientStreams(t *testing.T) {
+	const m, k = 5000, 4000
+	a := HotSpotStream(7, 3, m, k, 16, 0.8)
+	b := HotSpotStream(7, 3, m, k, 16, 0.8)
+	c := HotSpotStream(7, 4, m, k, 16, 0.8)
+	d := HotSpotStream(8, 3, m, k, 16, 0.8)
+	same := func(x, y []uint64) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("same (base, client) did not replay the same stream")
+	}
+	if same(a, c) {
+		t.Fatal("clients 3 and 4 drew identical streams")
+	}
+	if same(a, d) {
+		t.Fatal("bases 7 and 8 drew identical streams")
+	}
+	if ClientSeed(7, 3) == ClientSeed(7, 4) || ClientSeed(7, 3) == ClientSeed(8, 3) {
+		t.Fatal("ClientSeed collides on adjacent inputs")
+	}
+	for _, v := range ZipfStream(7, 3, m, k, 1.2) {
+		if v >= m {
+			t.Fatalf("zipf stream draw %d out of range", v)
+		}
+	}
+}
+
+// TestDistributionBounds sweeps Zipf and HotSpot parameters and checks every
+// draw stays below m and the hot fraction lands within tolerance of its
+// target (p plus the uniform arm's hot/m spillover).
+func TestDistributionBounds(t *testing.T) {
+	const k = 30000
+	for _, m := range []uint64{16, 1000, 1 << 20} {
+		for client, s := range []float64{1.01, 1.5, 3} {
+			for _, v := range ZipfStream(11, client, m, k, s) {
+				if v >= m {
+					t.Fatalf("zipf(m=%d, s=%v) drew %d", m, s, v)
+				}
+			}
+		}
+		for client, p := range []float64{0, 0.5, 0.9, 1} {
+			hot := uint64(16)
+			if hot > m {
+				hot = m
+			}
+			inHot := 0
+			for _, v := range HotSpotStream(11, client, m, k, hot, p) {
+				if v >= m {
+					t.Fatalf("hotspot(m=%d, p=%v) drew %d", m, p, v)
+				}
+				if v < hot {
+					inHot++
+				}
+			}
+			want := p + (1-p)*float64(hot)/float64(m)
+			if got := float64(inHot) / k; got < want-0.02 || got > want+0.02 {
+				t.Fatalf("hotspot(m=%d, p=%v) hot fraction %.3f, want %.3f±0.02", m, p, got, want)
+			}
+		}
+	}
+}
+
 func TestStride(t *testing.T) {
 	out := Stride(100, 10, 7)
 	if len(out) != 10 {

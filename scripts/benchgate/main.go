@@ -2,11 +2,14 @@
 // when a benchmark regresses beyond a threshold. It is the CI performance
 // gate: the workflow benches the PR head and the merge base, then runs
 //
-//	benchgate -old base.txt -new head.txt -threshold 1.20 -match 'compiled\+'
+//	benchgate -old base.txt -new head.txt -threshold 1.20 -match 'compiled\+|sharded'
 //
 // which exits nonzero if any matching benchmark's median ns/op grew by more
-// than 20%. Benchmarks present in only one file are reported but never
-// fail the gate (renames and additions are not regressions).
+// than 20%. The match is a regexp over full benchmark names, so one
+// alternation gates both the compiled-resolver ablation variants and the
+// sharded-frontend family (whose sub-benchmarks all carry "sharded").
+// Benchmarks present in only one file are reported but never fail the gate
+// (renames and additions are not regressions).
 package main
 
 import (

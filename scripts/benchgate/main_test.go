@@ -17,6 +17,7 @@ BenchmarkE6ProtocolScaling/compiled+seq/n=5-8     	     200	    520000 ns/op
 BenchmarkE6ProtocolScaling/compiled+seq/n=5-8     	     200	    480000 ns/op
 BenchmarkE6ProtocolScaling/compiled+par/n=5-8     	     300	    400000 ns/op
 BenchmarkE15Frontend/compiled+par-8               	     150	    900000 ns/op
+BenchmarkE18ShardedFrontend/sharded/S=4/pipelined/uniform-8 	     150	    700000 ns/op	         0.01500 combined/op	         1.140 imbalance
 BenchmarkGone-8                                   	     100	    100000 ns/op
 PASS
 `
@@ -26,6 +27,7 @@ BenchmarkE6ProtocolScaling/live+seq/n=5-16        	     100	   2000000 ns/op
 BenchmarkE6ProtocolScaling/compiled+seq/n=5-16    	     200	    510000 ns/op
 BenchmarkE6ProtocolScaling/compiled+par/n=5-16    	     300	    800000 ns/op
 BenchmarkE15Frontend/compiled+par-16              	     150	    910000 ns/op
+BenchmarkE18ShardedFrontend/sharded/S=4/pipelined/uniform-16 	     150	   1500000 ns/op	         0.01500 combined/op	         1.140 imbalance
 BenchmarkNew-16                                   	     100	    100000 ns/op
 PASS
 `
@@ -48,8 +50,11 @@ func TestParseBench(t *testing.T) {
 	if got := m["BenchmarkE6ProtocolScaling/live+seq/n=5"]; len(got) != 1 || got[0] != 1000000 {
 		t.Fatalf("ns/op not extracted from line with extra -benchmem pairs: %v", got)
 	}
-	if len(m) != 5 {
-		t.Fatalf("parsed %d benchmarks, want 5: %v", len(m), m)
+	if got := m["BenchmarkE18ShardedFrontend/sharded/S=4/pipelined/uniform"]; len(got) != 1 || got[0] != 700000 {
+		t.Fatalf("ns/op not extracted from sharded line with custom metric pairs: %v", got)
+	}
+	if len(m) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6: %v", len(m), m)
 	}
 }
 
@@ -83,8 +88,24 @@ func TestGateFailsMatchedRegression(t *testing.T) {
 func TestGateNoFilterGatesEverything(t *testing.T) {
 	var buf bytes.Buffer
 	failed := gate(parse(t, oldRun), parse(t, newRun), 1.20, nil, &buf)
-	if len(failed) != 2 {
+	if len(failed) != 3 {
 		t.Fatalf("nil filter must gate every benchmark; failed = %v", failed)
+	}
+}
+
+func TestGateAlternationMatchesShardedFamily(t *testing.T) {
+	var buf bytes.Buffer
+	// The CI gate's alternation: compiled-resolver variants and the sharded
+	// frontend family are both gated; the live+seq regression stays reported
+	// but ungated.
+	failed := gate(parse(t, oldRun), parse(t, newRun), 1.20,
+		regexp.MustCompile(`compiled\+|sharded`), &buf)
+	want := map[string]bool{
+		"BenchmarkE6ProtocolScaling/compiled+par/n=5":               true,
+		"BenchmarkE18ShardedFrontend/sharded/S=4/pipelined/uniform": true,
+	}
+	if len(failed) != 2 || !want[failed[0]] || !want[failed[1]] {
+		t.Fatalf("failed = %v, want the compiled+par and sharded regressions\n%s", failed, buf.String())
 	}
 }
 
