@@ -1,20 +1,25 @@
-// Command smembench regenerates the experiment tables E1–E18 (the paper's
+// Command smembench regenerates the experiment tables E1–E19 (the paper's
 // analytical claims as measurements, plus the extensions). See DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for recorded results.
 //
 // Usage:
 //
 //	smembench [-exp e1,e4,...] [-quick] [-seed N] [-json] [-jsonout FILE]
-//	          [-shards S] [-pipeline] [-trace FILE] [-tracecap N] [-pprof ADDR]
+//	          [-shards S] [-pipeline] [-faults F] [-faultsched SCHED]
+//	          [-trace FILE] [-tracecap N] [-pprof ADDR]
 //
 // With no -exp it runs everything in order. -json makes JSON-capable
 // experiments also write machine-readable results, each to its own default
-// path (E16 to BENCH_PR2.json, E18 to BENCH_PR4.json); -jsonout overrides
-// the path for all of them.
+// path (E16 to BENCH_PR2.json, E18 to BENCH_PR4.json, E19 to
+// BENCH_PR5.json); -jsonout overrides the path for all of them.
 //
 // -shards and -pipeline pin E18's sharded sweep to a single configuration
 // (plus its S=1 classic baseline) instead of the full S sweep — the quick
 // way to profile one execution-layer shape.
+//
+// -faults pins E19's failed-module sweep to {0, F} instead of the full
+// ladder; -faultsched churn adds E19 cells with a rolling single-module
+// fail/recover schedule running in the background while clients stream.
 //
 // -trace attaches the obs ring-buffer tracer plus the cumulative collector
 // to every experiment system and dumps the per-round trajectory as JSON:
@@ -99,13 +104,15 @@ func newShardTrace(label string, st shard.Stats) shardTrace {
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e18); empty = all")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e19); empty = all")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
 		seed     = flag.Int64("seed", 0, "workload RNG seed (0 = default)")
-		jsonOut  = flag.Bool("json", false, "write machine-readable results where supported (e16, e18)")
+		jsonOut  = flag.Bool("json", false, "write machine-readable results where supported (e16, e18, e19)")
 		jsonF    = flag.String("jsonout", "", "override the per-experiment -json output path")
 		shards   = flag.Int("shards", 0, "pin e18 to one shard count S (0 = full sweep)")
 		pipeline = flag.Bool("pipeline", false, "with -shards, use the pipelined dispatcher")
+		faults   = flag.Int("faults", 0, "pin e19's failed-module sweep to {0, F} (0 = full ladder)")
+		fsched   = flag.String("faultsched", "", "e19 dynamic fault schedule (\"churn\" = rolling single-module fail/recover)")
 		traceF   = flag.String("trace", "", "capture per-round MPC events and write the JSON trajectory here")
 		traceCap = flag.Int("tracecap", obs.DefaultTraceCap, "ring capacity for -trace (oldest events drop beyond it)")
 		pprofA   = flag.String("pprof", "", "serve pprof + expvar + Prometheus /metrics on this address (e.g. :6060)")
@@ -119,12 +126,14 @@ func main() {
 		}
 	}
 	opts := experiments.Options{
-		Quick:    *quick,
-		Seed:     *seed,
-		JSON:     *jsonOut,
-		JSONPath: *jsonF,
-		Shards:   *shards,
-		Pipeline: *pipeline,
+		Quick:      *quick,
+		Seed:       *seed,
+		JSON:       *jsonOut,
+		JSONPath:   *jsonF,
+		Shards:     *shards,
+		Pipeline:   *pipeline,
+		Faults:     *faults,
+		FaultSched: *fsched,
 	}
 
 	collector := obs.NewCollector()
@@ -193,8 +202,11 @@ func main() {
 // writeTrace dumps the captured trajectory and verifies it against the
 // collector's summed protocol metrics: every MPC round recorded by the
 // tracer must be a round some batch's Metrics.TotalRounds accounted for,
-// and every grant a Metrics.GrantedBids bid (instrumented systems install
-// tracer and collector together, so the two views describe the same runs).
+// every grant a Metrics.GrantedBids bid, and every issued bid either a
+// traced live request or a bid the fault layer dropped at a failed module —
+// Σ Requests + Σ DroppedBids == Σ IssuedBids, so the books balance exactly
+// even under failure injection (instrumented systems install tracer and
+// collector together, so the two views describe the same runs).
 func writeTrace(path string, tracer *obs.Tracer, collector *obs.Collector, shards []shardTrace) error {
 	totals := tracer.Totals()
 	dump := traceDump{
@@ -203,7 +215,8 @@ func writeTrace(path string, tracer *obs.Tracer, collector *obs.Collector, shard
 		Collector: collector.Snapshot(),
 		Shards:    shards,
 		Consistent: totals.Rounds == uint64(collector.Rounds.Load()) &&
-			totals.Granted == uint64(collector.GrantedBids.Load()),
+			totals.Granted == uint64(collector.GrantedBids.Load()) &&
+			totals.Requests+totals.DroppedBids == uint64(collector.IssuedBids.Load()),
 		Events: tracer.Events(),
 	}
 	f, err := os.Create(path)
@@ -222,10 +235,11 @@ func writeTrace(path string, tracer *obs.Tracer, collector *obs.Collector, shard
 	fmt.Printf("trace: %d rounds (%d buffered, %d dropped) -> %s\n",
 		totals.Rounds, len(dump.Events), dump.Dropped, path)
 	if !dump.Consistent {
-		return fmt.Errorf("trace: totals diverge from protocol metrics: traced rounds=%d granted=%d, metrics rounds=%d granted=%d",
-			totals.Rounds, totals.Granted, collector.Rounds.Load(), collector.GrantedBids.Load())
+		return fmt.Errorf("trace: totals diverge from protocol metrics: traced rounds=%d granted=%d requests+dropped=%d, metrics rounds=%d granted=%d issued=%d",
+			totals.Rounds, totals.Granted, totals.Requests+totals.DroppedBids,
+			collector.Rounds.Load(), collector.GrantedBids.Load(), collector.IssuedBids.Load())
 	}
-	fmt.Printf("trace: totals consistent with protocol metrics (rounds=%d, granted=%d)\n",
-		totals.Rounds, totals.Granted)
+	fmt.Printf("trace: totals consistent with protocol metrics (rounds=%d, granted=%d, issued=%d of which %d dropped at failed modules)\n",
+		totals.Rounds, totals.Granted, collector.IssuedBids.Load(), totals.DroppedBids)
 	return nil
 }

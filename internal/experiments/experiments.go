@@ -41,6 +41,14 @@ type Options struct {
 	// per-shard statistics, labelled "<config>/<workload>" (smembench -trace
 	// wires its dump here for queue-depth and flush-cause breakdowns).
 	ShardStats func(label string, st shard.Stats)
+	// Faults, when > 0, pins E19's failed-module sweep to {0, Faults}
+	// instead of the full fault-count ladder (smembench -faults).
+	Faults int
+	// FaultSched selects E19's dynamic fault schedule: "" runs only the
+	// static fault sets; "churn" adds cells where one module at a time
+	// fails and recovers in the background while clients stream
+	// (smembench -faultsched).
+	FaultSched string
 	// Recorder, when non-nil, is installed on every protocol system built
 	// through the shared constructor, capturing one event per MPC round
 	// (smembench -trace wires a ring-buffer tracer here).
@@ -120,6 +128,7 @@ func All() []Runner {
 		{"e16", "Hot path: compiled resolution + persistent-pool engine", E16},
 		{"e17", "Observability: round trajectory, contention, Theorem 6 shape", E17},
 		{"e18", "Scaling out: sharded, pipelined frontend throughput vs S", E18},
+		{"e19", "Fault tolerance: throughput and round inflation vs failed modules", E19},
 	}
 }
 

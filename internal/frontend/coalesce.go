@@ -132,34 +132,45 @@ func (p *Pending) Requests(buf []protocol.Request) []protocol.Request {
 }
 
 // Complete fans the backend's result (or error) out to every combined
-// waiter. res holds the values for the request order Requests produced; on
-// a whole-batch error res may be nil. An ErrIncomplete err with a non-nil
-// res fails only the requests that missed their quorum and completes the
-// rest normally.
+// waiter, attributing errors per request. res holds the values for the
+// request order Requests produced; on a whole-batch error res may be nil.
+// An ErrIncomplete err with a non-nil res fails only the requests that
+// missed their quorum and completes the rest normally — degraded-mode
+// serving: a batch with some unreachable variables still commits its
+// healthy futures. Stranded requests (live copies below quorum) get
+// protocol.ErrQuorumUnreachable; requests that merely exhausted the
+// iteration budget get the batch's ErrIncomplete-class error.
 func (p *Pending) Complete(res *protocol.Result, err error) {
 	incomplete := err != nil && errors.Is(err, protocol.ErrIncomplete) && res != nil
-	var unfinished map[int]bool // nil on the happy path; lookups on nil are fine
+	var unfinished map[int]error // nil on the happy path; lookups on nil are fine
 	if incomplete {
-		unfinished = make(map[int]bool, len(res.Metrics.Unfinished))
+		unfinished = make(map[int]error, len(res.Metrics.Unfinished))
 		for _, r := range res.Metrics.Unfinished {
-			unfinished[r] = true
+			unfinished[r] = protocol.ErrIncomplete
+		}
+		for _, r := range res.Metrics.Stranded {
+			unfinished[r] = protocol.ErrQuorumUnreachable
 		}
 	}
 	for i, v := range p.order {
 		e := p.entries[v]
+		reqErr := err
+		if incomplete {
+			reqErr = unfinished[i]
+		}
 		switch {
-		case err != nil && (!incomplete || unfinished[i]):
+		case reqErr != nil:
 			// Whole-batch failure, or this request missed its quorum: every
 			// waiter on the variable (including forwarded reads riding a
 			// failed write) learns the error.
 			for _, fut := range e.readFuts {
-				fut.complete(0, err)
+				fut.complete(0, reqErr)
 			}
 			for _, fut := range e.writeFuts {
-				fut.complete(0, err)
+				fut.complete(0, reqErr)
 			}
 			for _, fut := range e.fwd {
-				fut.complete(0, err)
+				fut.complete(0, reqErr)
 			}
 		case e.write:
 			for _, fut := range e.writeFuts {
@@ -220,6 +231,8 @@ type Stats struct {
 	CopyAccesses    int64 // protocol copy accesses across flushed batches
 	MaxPhi          int   // largest per-batch Φ (max phase iterations)
 	Unfinished      int64 // requests that missed their quorum (failures)
+	Stranded        int64 // requests whose live copies fell below quorum
+	RetriedBids     int64 // bids re-selected onto surviving copies
 	FailedBatches   int   // batches rejected by the backend outright
 }
 
@@ -259,6 +272,8 @@ func (s *Stats) Account(p *Pending, requestsOut int, res *protocol.Result, err e
 			s.MaxPhi = res.Metrics.MaxIterations
 		}
 		s.Unfinished += int64(len(res.Metrics.Unfinished))
+		s.Stranded += int64(len(res.Metrics.Stranded))
+		s.RetriedBids += int64(res.Metrics.RetriedBids)
 	}
 	if err != nil && !(errors.Is(err, protocol.ErrIncomplete) && res != nil) {
 		s.FailedBatches++
@@ -288,6 +303,8 @@ func (s *Stats) Merge(o Stats) {
 		s.MaxPhi = o.MaxPhi
 	}
 	s.Unfinished += o.Unfinished
+	s.Stranded += o.Stranded
+	s.RetriedBids += o.RetriedBids
 	s.FailedBatches += o.FailedBatches
 }
 

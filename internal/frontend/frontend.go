@@ -350,7 +350,9 @@ func (f *Frontend) dispatch() {
 
 // flush issues the batch's requests to the backend, accounts the batch
 // (before any future completes — see Stats.Account), fans results out, and
-// resets the batch for reuse.
+// resets the batch for reuse. An ErrIncomplete-class error keeps res: the
+// committed requests complete with their values and only the unfinished
+// ones fail, each with its per-request verdict (see Pending.Complete).
 func (f *Frontend) flush(p *Pending, cause obs.FlushCause) {
 	f.reqs = p.Requests(f.reqs)
 	var res *protocol.Result

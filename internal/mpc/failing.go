@@ -1,51 +1,268 @@
 package mpc
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"detshmem/internal/obs"
+)
 
 // Cost returns the machine's cumulative interconnect cost: one unit per
 // round (the MPC's unit-time module service).
 func (m *Machine) Cost() uint64 { return m.round }
 
-// Failing wraps a machine so that a set of failed modules never serves any
-// request: bids addressed to them are silently dropped before arbitration.
-// It models crash-faulty memory banks; the majority-quorum protocol running
-// above tolerates any failure pattern that leaves every accessed variable a
-// full quorum of live copies (for the PP scheme, Theorem 2 implies any two
-// failed modules can disable at most one variable).
-type Failing struct {
-	inner   *Machine
-	failed  map[int64]bool
-	scratch []int64
+// faultState is one immutable snapshot of the failed-module set. Mutators
+// build a fresh snapshot and publish it atomically, so Round can load one
+// pointer and see a consistent set for the whole round.
+type faultState struct {
+	epoch uint64   // bumped on every effective Fail/Recover
+	bits  []uint64 // bitmask of failed module ids
+	count int      // number of failed modules
 }
 
-// NewFailing builds a failing wrapper over a fresh machine.
-func NewFailing(cfg Config, failed []uint64) (*Failing, error) {
-	inner, err := New(cfg)
-	if err != nil {
-		return nil, err
+var healthyState = &faultState{}
+
+func (s *faultState) failed(mod int64) bool {
+	w := int(mod >> 6)
+	return w >= 0 && w < len(s.bits) && s.bits[w]>>(uint64(mod)&63)&1 == 1
+}
+
+// FaultSet is a dynamic crash-fault model for memory modules: a set of
+// failed module ids that can be mutated at any time, including concurrently
+// with Failing.Round. Mutations are serialized by a mutex and published as
+// immutable epoch-stamped snapshots through an atomic pointer; a round loads
+// exactly one snapshot, so it observes a single consistent fault set (a
+// Fail landing mid-round takes effect at the next round, exactly like a bank
+// crashing between synchronous MPC steps).
+//
+// One FaultSet may be shared by many Failing machines — that is how a
+// sharded deployment models one physical bank failure hitting every shard's
+// view at once.
+type FaultSet struct {
+	mu    sync.Mutex
+	state atomic.Pointer[faultState]
+}
+
+// NewFaultSet builds a fault set with the given modules already failed.
+func NewFaultSet(failed ...uint64) *FaultSet {
+	fs := &FaultSet{}
+	fs.state.Store(healthyState)
+	for _, m := range failed {
+		fs.Fail(m)
 	}
-	fm := make(map[int64]bool, len(failed))
+	return fs
+}
+
+// mutate installs a new snapshot with module m set (fail) or cleared
+// (recover), returning whether the set actually changed.
+func (fs *FaultSet) mutate(m uint64, fail bool) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	cur := fs.state.Load()
+	if cur == nil {
+		cur = healthyState
+	}
+	w, b := int(m>>6), uint64(1)<<(m&63)
+	set := w < len(cur.bits) && cur.bits[w]&b != 0
+	if set == fail {
+		return false
+	}
+	n := len(cur.bits)
+	if fail && w >= n {
+		n = w + 1
+	}
+	next := &faultState{epoch: cur.epoch + 1, bits: make([]uint64, n), count: cur.count}
+	copy(next.bits, cur.bits)
+	if fail {
+		next.bits[w] |= b
+		next.count++
+	} else {
+		next.bits[w] &^= b
+		next.count--
+	}
+	fs.state.Store(next)
+	return true
+}
+
+// Fail marks module m as crashed; bids addressed to it are dropped from the
+// next round on. It reports whether the set changed (false if m was already
+// failed). Safe to call concurrently with Round.
+func (fs *FaultSet) Fail(m uint64) bool { return fs.mutate(m, true) }
+
+// Recover marks module m as live again. It reports whether the set changed.
+// Safe to call concurrently with Round.
+func (fs *FaultSet) Recover(m uint64) bool { return fs.mutate(m, false) }
+
+// snapshot returns the current immutable state (never nil).
+func (fs *FaultSet) snapshot() *faultState {
+	if s := fs.state.Load(); s != nil {
+		return s
+	}
+	return healthyState
+}
+
+// Failed reports whether module m is currently failed.
+func (fs *FaultSet) Failed(m uint64) bool { return fs.snapshot().failed(int64(m)) }
+
+// Epoch returns the mutation epoch: it increases on every effective Fail or
+// Recover, so a caller can cheaply detect "the fault set changed since I
+// last looked" without comparing sets.
+func (fs *FaultSet) Epoch() uint64 { return fs.snapshot().epoch }
+
+// Count returns the number of currently failed modules.
+func (fs *FaultSet) Count() int { return fs.snapshot().count }
+
+// Modules returns the currently failed module ids in increasing order.
+func (fs *FaultSet) Modules() []uint64 {
+	s := fs.snapshot()
+	out := make([]uint64, 0, s.count)
+	for w, word := range s.bits {
+		for word != 0 {
+			out = append(out, uint64(w)<<6|uint64(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// Failing wraps a machine so that failed modules never serve any request:
+// bids addressed to them are dropped (converted to Idle) before arbitration,
+// and counted so instrumentation can balance issued bids against served-or-
+// dropped exactly. It models crash-faulty memory banks; the majority-quorum
+// protocol running above tolerates any failure pattern that leaves every
+// accessed variable a full quorum of live copies (for the PP scheme,
+// Theorem 2 implies any two failed modules can disable at most one
+// variable).
+//
+// Unlike the construction-time wrapper it replaced, the fault set is
+// dynamic: Fail and Recover may be called at any time, from any goroutine,
+// concurrently with Round. Round snapshots the set once per round, so each
+// round sees one consistent failure pattern.
+//
+// Failing implements protocol.FaultView, which is what unlocks the access
+// protocol's quorum re-selection and retry behaviour.
+type Failing struct {
+	inner   *Machine
+	faults  *FaultSet
+	scratch []int64
+	modules int
+
+	dropped atomic.Uint64 // cumulative bids dropped at failed modules
+	// roundDropped is the drop count of the round currently executing; the
+	// drop annotator copies it into the round's obs event. Written by Round
+	// and read by the recorder callback on the same goroutine (recorders run
+	// synchronously inside inner.Round).
+	roundDropped int
+}
+
+// dropAnnotator wraps the user's recorder so every RoundEvent that passes
+// through a Failing machine carries the round's dropped-bid count; without
+// it, bids silently swallowed by failed modules would make the trace totals
+// (Σ event requests vs. Σ protocol issued bids) diverge under faults.
+type dropAnnotator struct {
+	inner obs.Recorder
+	f     *Failing
+}
+
+func (d *dropAnnotator) Enabled() bool { return d.inner.Enabled() }
+
+func (d *dropAnnotator) RecordRound(ev obs.RoundEvent) {
+	ev.Dropped = d.f.roundDropped
+	d.inner.RecordRound(ev)
+}
+
+// NewFailing builds a failing wrapper over a fresh machine with its own
+// fault set, seeded with the given failed modules. The set remains mutable
+// through Fail/Recover/Faults.
+func NewFailing(cfg Config, failed []uint64) (*Failing, error) {
 	for _, j := range failed {
 		if j >= uint64(cfg.Modules) {
 			return nil, fmt.Errorf("mpc: failed module %d out of range [0,%d)", j, cfg.Modules)
 		}
-		fm[int64(j)] = true
 	}
-	return &Failing{
-		inner:   inner,
-		failed:  fm,
-		scratch: make([]int64, cfg.Procs),
-	}, nil
+	return NewFailingShared(cfg, NewFaultSet(failed...))
 }
 
+// NewFailingShared builds a failing wrapper over a fresh machine that
+// consults the caller's fault set — share one set across machines to model
+// one failure pattern seen by several shards.
+func NewFailingShared(cfg Config, fs *FaultSet) (*Failing, error) {
+	if fs == nil {
+		fs = NewFaultSet()
+	}
+	f := &Failing{faults: fs, modules: cfg.Modules}
+	if cfg.Recorder != nil && cfg.Recorder != obs.Nop {
+		cfg.Recorder = &dropAnnotator{inner: cfg.Recorder, f: f}
+	}
+	inner, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.inner = inner
+	f.scratch = make([]int64, cfg.Procs)
+	return f, nil
+}
+
+// Fail marks module m as crashed, effective from the next round. It returns
+// an error if m is out of range for this machine.
+func (f *Failing) Fail(m uint64) error {
+	if m >= uint64(f.modules) {
+		return fmt.Errorf("mpc: failed module %d out of range [0,%d)", m, f.modules)
+	}
+	f.faults.Fail(m)
+	return nil
+}
+
+// Recover marks module m as live again, effective from the next round.
+func (f *Failing) Recover(m uint64) error {
+	if m >= uint64(f.modules) {
+		return fmt.Errorf("mpc: recovered module %d out of range [0,%d)", m, f.modules)
+	}
+	f.faults.Recover(m)
+	return nil
+}
+
+// Faults returns the machine's fault set, for callers that want to drive a
+// failure schedule directly (or share the set with other machines).
+func (f *Failing) Faults() *FaultSet { return f.faults }
+
+// DroppedBids returns the cumulative number of bids dropped because they
+// addressed a failed module.
+func (f *Failing) DroppedBids() uint64 { return f.dropped.Load() }
+
+// ModuleFailed reports whether module m is failed as of the latest
+// snapshot. Part of protocol.FaultView.
+func (f *Failing) ModuleFailed(m int64) bool {
+	return m >= 0 && f.faults.snapshot().failed(m)
+}
+
+// FaultEpoch returns the fault set's mutation epoch. Part of
+// protocol.FaultView.
+func (f *Failing) FaultEpoch() uint64 { return f.faults.Epoch() }
+
+// FaultCount returns the number of currently failed modules. Part of
+// protocol.FaultView.
+func (f *Failing) FaultCount() int { return f.faults.Count() }
+
 // Round filters out requests to failed modules and runs the inner round.
+// The fault set is sampled once, so the whole round sees one consistent
+// failure pattern even while Fail/Recover run concurrently.
 func (f *Failing) Round(reqs []int64, grant []bool) int {
+	st := f.faults.snapshot()
+	dropped := 0
 	for p, mod := range reqs {
-		if f.failed[mod] {
+		if mod != Idle && st.failed(mod) {
 			f.scratch[p] = Idle
+			dropped++
 		} else {
 			f.scratch[p] = mod
 		}
+	}
+	f.roundDropped = dropped
+	if dropped != 0 {
+		f.dropped.Add(uint64(dropped))
 	}
 	return f.inner.Round(f.scratch, grant)
 }

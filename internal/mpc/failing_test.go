@@ -1,0 +1,281 @@
+package mpc
+
+import (
+	"sync"
+	"testing"
+
+	"detshmem/internal/obs"
+)
+
+// TestFailingDynamic drives fail → drop → recover → serve through one
+// machine: a bid to a failed module is dropped (never granted), the drop is
+// counted, and the module serves again after Recover.
+func TestFailingDynamic(t *testing.T) {
+	f, err := NewFailing(Config{Procs: 4, Modules: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reqs := []int64{0, 1, 2, Idle}
+	grant := make([]bool, 4)
+
+	if served := f.Round(reqs, grant); served != 3 {
+		t.Fatalf("healthy round served %d, want 3", served)
+	}
+	if f.DroppedBids() != 0 {
+		t.Fatalf("healthy round dropped %d bids", f.DroppedBids())
+	}
+
+	if err := f.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if !f.ModuleFailed(1) || f.ModuleFailed(0) {
+		t.Fatalf("fault set wrong after Fail(1)")
+	}
+	if served := f.Round(reqs, grant); served != 2 {
+		t.Fatalf("faulty round served %d, want 2", served)
+	}
+	if grant[1] {
+		t.Fatalf("bid to failed module granted")
+	}
+	if f.DroppedBids() != 1 {
+		t.Fatalf("dropped = %d, want 1", f.DroppedBids())
+	}
+
+	if err := f.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	if served := f.Round(reqs, grant); served != 3 {
+		t.Fatalf("recovered round served %d, want 3", served)
+	}
+	if f.DroppedBids() != 1 {
+		t.Fatalf("dropped grew after recovery: %d", f.DroppedBids())
+	}
+
+	if err := f.Fail(99); err == nil {
+		t.Fatalf("Fail(99) out of range accepted")
+	}
+	if err := f.Recover(99); err == nil {
+		t.Fatalf("Recover(99) out of range accepted")
+	}
+}
+
+// TestFailingBackwardCompatible pins the construction-time seeding path:
+// modules listed at NewFailing are failed from round one, and out-of-range
+// ids are rejected exactly as before.
+func TestFailingBackwardCompatible(t *testing.T) {
+	if _, err := NewFailing(Config{Procs: 2, Modules: 2}, []uint64{5}); err == nil {
+		t.Fatalf("out-of-range failed module accepted")
+	}
+	f, err := NewFailing(Config{Procs: 2, Modules: 2}, []uint64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	grant := make([]bool, 2)
+	if served := f.Round([]int64{0, 1}, grant); served != 1 || grant[0] {
+		t.Fatalf("seeded failure not honoured: served=%d grant=%v", served, grant)
+	}
+}
+
+// TestFaultSetEpoch pins the epoch contract: it moves exactly on effective
+// mutations, and no-op mutations report false.
+func TestFaultSetEpoch(t *testing.T) {
+	fs := NewFaultSet()
+	e0 := fs.Epoch()
+	if !fs.Fail(3) || fs.Epoch() == e0 {
+		t.Fatalf("Fail(3) did not advance the epoch")
+	}
+	e1 := fs.Epoch()
+	if fs.Fail(3) || fs.Epoch() != e1 {
+		t.Fatalf("repeated Fail(3) advanced the epoch")
+	}
+	if !fs.Recover(3) || fs.Epoch() == e1 {
+		t.Fatalf("Recover(3) did not advance the epoch")
+	}
+	if fs.Recover(3) {
+		t.Fatalf("repeated Recover(3) reported a change")
+	}
+	if fs.Count() != 0 {
+		t.Fatalf("count = %d after symmetric fail/recover", fs.Count())
+	}
+}
+
+// TestFaultSetShared verifies two machines sharing a set see the same
+// failure pattern.
+func TestFaultSetShared(t *testing.T) {
+	fs := NewFaultSet(2)
+	a, err := NewFailingShared(Config{Procs: 4, Modules: 4}, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewFailingShared(Config{Procs: 4, Modules: 4}, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	grant := make([]bool, 4)
+	for _, m := range []*Failing{a, b} {
+		if served := m.Round([]int64{2, 2, Idle, Idle}, grant); served != 0 {
+			t.Fatalf("shared failure not seen: served %d", served)
+		}
+	}
+	fs.Recover(2)
+	for _, m := range []*Failing{a, b} {
+		if served := m.Round([]int64{2, Idle, Idle, Idle}, grant); served != 1 {
+			t.Fatalf("shared recovery not seen: served %d", served)
+		}
+	}
+}
+
+// captureRecorder records every round event (test helper).
+type captureRecorder struct{ evs []obs.RoundEvent }
+
+func (c *captureRecorder) Enabled() bool                 { return true }
+func (c *captureRecorder) RecordRound(ev obs.RoundEvent) { c.evs = append(c.evs, ev) }
+
+// TestFailingDropAnnotation checks the recorder sees per-round dropped-bid
+// counts, so trace totals balance issued = requests + dropped exactly.
+func TestFailingDropAnnotation(t *testing.T) {
+	rec := &captureRecorder{}
+	f, err := NewFailing(Config{Procs: 4, Modules: 4, Recorder: rec}, []uint64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	grant := make([]bool, 4)
+	f.Round([]int64{0, 1, 2, 3}, grant)
+	f.Round([]int64{2, 3, Idle, Idle}, grant)
+	if len(rec.evs) != 2 {
+		t.Fatalf("recorded %d rounds, want 2", len(rec.evs))
+	}
+	if rec.evs[0].Dropped != 2 || rec.evs[0].Requests != 2 {
+		t.Fatalf("round 0: dropped=%d requests=%d, want 2/2", rec.evs[0].Dropped, rec.evs[0].Requests)
+	}
+	if rec.evs[1].Dropped != 0 || rec.evs[1].Requests != 2 {
+		t.Fatalf("round 1: dropped=%d requests=%d, want 0/2", rec.evs[1].Dropped, rec.evs[1].Requests)
+	}
+	if f.DroppedBids() != 2 {
+		t.Fatalf("cumulative dropped = %d, want 2", f.DroppedBids())
+	}
+}
+
+// TestFaultSetConcurrent hammers Fail/Recover from several goroutines while
+// a machine runs rounds; run under -race this pins the snapshot publication
+// protocol. Invariant checked: a round's grants never include a module that
+// was failed for the whole round (here: module 0 is failed permanently
+// before the rounds start, so it must never serve).
+func TestFaultSetConcurrent(t *testing.T) {
+	f, err := NewFailing(Config{Procs: 8, Modules: 8}, []uint64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := uint64(1 + g) // churn modules 1..4; module 0 stays failed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Faults().Fail(m)
+				f.Faults().Recover(m)
+			}
+		}(g)
+	}
+	reqs := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	grant := make([]bool, 8)
+	for i := 0; i < 2000; i++ {
+		f.Round(reqs, grant)
+		if grant[0] {
+			t.Errorf("permanently failed module 0 served a request")
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// FuzzFaultSet differentially checks the copy-on-write bitmask fault set
+// against a plain map model: membership, count, epoch movement, and the
+// round-level drop behaviour all have to agree for any fail/recover
+// sequence.
+func FuzzFaultSet(f *testing.F) {
+	f.Add([]byte{0x01, 0x82, 0x01, 0x03})
+	f.Add([]byte{0xff, 0x7f, 0x00, 0x80})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const modules = 64
+		fs := NewFaultSet()
+		model := map[uint64]bool{}
+		epoch := fs.Epoch()
+		for _, op := range ops {
+			m := uint64(op & 0x3f)
+			fail := op&0x80 == 0
+			changed := false
+			if fail {
+				changed = fs.Fail(m)
+			} else {
+				changed = fs.Recover(m)
+			}
+			if changed != (model[m] != fail) {
+				t.Fatalf("op %#x: changed=%v disagrees with model", op, changed)
+			}
+			if fail {
+				model[m] = true
+			} else {
+				delete(model, m)
+			}
+			if changed {
+				if fs.Epoch() <= epoch {
+					t.Fatalf("epoch did not advance on an effective mutation")
+				}
+				epoch = fs.Epoch()
+			} else if fs.Epoch() != epoch {
+				t.Fatalf("epoch moved on a no-op mutation")
+			}
+		}
+		if fs.Count() != len(model) {
+			t.Fatalf("count = %d, model has %d", fs.Count(), len(model))
+		}
+		for _, m := range fs.Modules() {
+			if !model[m] {
+				t.Fatalf("Modules() lists %d, not in model", m)
+			}
+		}
+		// One machine round: every bid to a failed module must be dropped,
+		// every other bid must be eligible (some are granted).
+		mach, err := NewFailingShared(Config{Procs: modules, Modules: modules}, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mach.Close()
+		reqs := make([]int64, modules)
+		liveBids := 0
+		for p := range reqs {
+			reqs[p] = int64(p % modules)
+			if !model[uint64(p%modules)] {
+				liveBids++
+			}
+		}
+		grant := make([]bool, modules)
+		served := mach.Round(reqs, grant)
+		if served != liveBids { // distinct modules: every live bid served
+			t.Fatalf("served %d, want %d live bids", served, liveBids)
+		}
+		if got := int(mach.DroppedBids()); got != modules-liveBids {
+			t.Fatalf("dropped %d, want %d", got, modules-liveBids)
+		}
+		for p, g := range grant {
+			if g && model[uint64(p%modules)] {
+				t.Fatalf("bid at failed module %d granted", p%modules)
+			}
+		}
+	})
+}

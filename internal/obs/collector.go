@@ -98,9 +98,20 @@ type Collector struct {
 	Rounds         Counter   // Σ Metrics.TotalRounds
 	CopyAccesses   Counter   // Σ Metrics.CopyAccesses
 	GrantedBids    Counter   // Σ Metrics.GrantedBids (incl. cancelled bids)
+	IssuedBids     Counter   // Σ Metrics.IssuedBids (bids handed to the MPC)
 	Unfinished     Counter   // requests that missed their quorum
 	MaxPhi         MaxGauge  // largest per-batch Φ
 	RoundsPerBatch Histogram // distribution of Metrics.TotalRounds
+
+	// Fault layer (batch + round level).
+	RetriedBids      Counter   // bids re-selected onto surviving copies
+	StrandedRequests Counter   // requests whose live copies fell below quorum
+	DroppedBids      Counter   // Σ per-round bids dropped at failed modules
+	FaultBatches     Counter   // batches that finished with ≥1 failed module
+	FailedModules    MaxGauge  // most failed modules seen at a batch end
+	FaultRounds      Histogram // rounds per batch, counted only under faults
+	//                            (compare with RoundsPerBatch for the
+	//                            per-fault-count round inflation)
 
 	// Round level (RecordRound, from the MPC engines).
 	MPCRounds     Counter   // rounds recorded
@@ -129,6 +140,7 @@ func (c *Collector) RecordRound(ev RoundEvent) {
 	c.MPCRequests.Add(int64(ev.Requests))
 	c.MPCGranted.Add(int64(ev.Granted))
 	c.BarrierNs.Add(ev.BarrierNs)
+	c.DroppedBids.Add(int64(ev.Dropped))
 	c.MaxModuleLoad.Observe(int64(ev.MaxLoad))
 	c.Imbalance.Observe(int64(ev.MaxLoad))
 	for b, n := range ev.Contention {
@@ -145,9 +157,17 @@ func (c *Collector) ObserveBatch(ev BatchEvent) {
 	c.Rounds.Add(int64(ev.Rounds))
 	c.CopyAccesses.Add(int64(ev.CopyAccesses))
 	c.GrantedBids.Add(int64(ev.GrantedBids))
+	c.IssuedBids.Add(int64(ev.IssuedBids))
 	c.Unfinished.Add(int64(ev.Unfinished))
+	c.RetriedBids.Add(int64(ev.RetriedBids))
+	c.StrandedRequests.Add(int64(ev.Stranded))
 	c.MaxPhi.Observe(int64(ev.MaxPhi))
 	c.RoundsPerBatch.Observe(int64(ev.Rounds))
+	if ev.FailedModules > 0 {
+		c.FaultBatches.Inc()
+		c.FailedModules.Observe(int64(ev.FailedModules))
+		c.FaultRounds.Observe(int64(ev.Rounds))
+	}
 }
 
 // ObserveQueueDepth samples the frontend submission-queue depth at
@@ -184,7 +204,15 @@ func (c *Collector) SnapshotInto(label string, dst map[string]int64) {
 		"batch_rounds_total":        c.Rounds.Load(),
 		"copy_accesses_total":       c.CopyAccesses.Load(),
 		"granted_bids_total":        c.GrantedBids.Load(),
+		"issued_bids_total":         c.IssuedBids.Load(),
 		"unfinished_requests_total": c.Unfinished.Load(),
+		"retried_bids_total":        c.RetriedBids.Load(),
+		"stranded_requests_total":   c.StrandedRequests.Load(),
+		"dropped_bids_total":        c.DroppedBids.Load(),
+		"fault_batches_total":       c.FaultBatches.Load(),
+		"max_failed_modules":        c.FailedModules.Load(),
+		"fault_rounds_count":        c.FaultRounds.Count(),
+		"fault_rounds_sum":          c.FaultRounds.Sum(),
 		"max_phi":                   c.MaxPhi.Load(),
 		"rounds_per_batch_count":    c.RoundsPerBatch.Count(),
 		"rounds_per_batch_sum":      c.RoundsPerBatch.Sum(),
@@ -234,7 +262,13 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		{"batch_rounds_total", "MPC rounds consumed by completed batches.", "counter", c.Rounds.Load()},
 		{"copy_accesses_total", "Copies consumed by quorums.", "counter", c.CopyAccesses.Load()},
 		{"granted_bids_total", "Module grants, including cancelled bids.", "counter", c.GrantedBids.Load()},
+		{"issued_bids_total", "Bids handed to the MPC across all rounds.", "counter", c.IssuedBids.Load()},
 		{"unfinished_requests_total", "Requests that missed their quorum.", "counter", c.Unfinished.Load()},
+		{"retried_bids_total", "Bids re-selected onto surviving copies after faults.", "counter", c.RetriedBids.Load()},
+		{"stranded_requests_total", "Requests whose live copies fell below quorum.", "counter", c.StrandedRequests.Load()},
+		{"dropped_bids_total", "Bids dropped at failed modules before arbitration.", "counter", c.DroppedBids.Load()},
+		{"fault_batches_total", "Batches that finished with at least one failed module.", "counter", c.FaultBatches.Load()},
+		{"max_failed_modules", "Most failed modules observed at a batch end.", "gauge", c.FailedModules.Load()},
 		{"max_phi", "Largest per-batch phi (max phase iterations).", "gauge", c.MaxPhi.Load()},
 		{"mpc_rounds_total", "MPC rounds recorded.", "counter", c.MPCRounds.Load()},
 		{"mpc_requests_total", "Live requests across recorded rounds.", "counter", c.MPCRequests.Load()},
@@ -271,6 +305,7 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		h          *Histogram
 	}{
 		{"rounds_per_batch", "MPC rounds per protocol batch.", &c.RoundsPerBatch},
+		{"fault_rounds", "MPC rounds per batch while modules were failed (round inflation).", &c.FaultRounds},
 		{"module_load", "Per-module per-round request load (merged lower-bound sum).", &c.ModuleLoad},
 		{"round_max_load", "Per-round maximum module load (imbalance).", &c.Imbalance},
 		{"queue_depth", "Frontend submission-queue depth at admission.", &c.QueueDepth},

@@ -88,6 +88,11 @@ type RoundEvent struct {
 	// barrier-synchronized claim/grant/reset sweeps on the parallel engine;
 	// 0 on the sequential engine.
 	BarrierNs int64 `json:"barrier_ns"`
+	// Dropped is the number of bids dropped before arbitration because they
+	// addressed a failed module (mpc.Failing annotates this); 0 on a
+	// healthy machine. Requests counts only the surviving bids, so
+	// Requests+Dropped is what the protocol layer actually issued.
+	Dropped int `json:"dropped,omitempty"`
 }
 
 // Recorder receives one event per executed MPC round. Implementations must
@@ -158,7 +163,12 @@ type BatchEvent struct {
 	MaxPhi       int // Φ: max iterations over phases
 	CopyAccesses int // copies consumed by quorums
 	GrantedBids  int // module grants, including cancelled bids
+	IssuedBids   int // bids handed to the MPC across all rounds
 	Unfinished   int // requests that missed their quorum
+	// Fault-layer fields: zero on a healthy run.
+	RetriedBids   int // bids re-selected onto surviving copies after faults
+	Stranded      int // unfinished requests whose live copies fell below quorum
+	FailedModules int // failed-module count when the batch finished
 }
 
 // BatchObserver receives one event per completed protocol batch. Collector

@@ -20,6 +20,11 @@ type TraceTotals struct {
 	Granted   uint64 `json:"granted"`    // Σ per-round grants
 	BarrierNs int64  `json:"barrier_ns"` // Σ coordinator barrier time
 	MaxLoad   int    `json:"max_load"`   // max per-module load ever seen
+	// DroppedBids is Σ per-round bids dropped at failed modules, so
+	// Requests+DroppedBids balances against the protocol's issued bids
+	// exactly even under faults. (Distinct from Tracer.Dropped, which
+	// counts ring-overwritten events.)
+	DroppedBids uint64 `json:"dropped_bids"`
 }
 
 // Tracer is a fixed-capacity ring buffer of RoundEvents. Recording is
@@ -66,6 +71,7 @@ func (t *Tracer) RecordRound(ev RoundEvent) {
 	t.totals.Requests += uint64(ev.Requests)
 	t.totals.Granted += uint64(ev.Granted)
 	t.totals.BarrierNs += ev.BarrierNs
+	t.totals.DroppedBids += uint64(ev.Dropped)
 	if ev.MaxLoad > t.totals.MaxLoad {
 		t.totals.MaxLoad = ev.MaxLoad
 	}

@@ -30,6 +30,27 @@ type errIncomplete struct{}
 
 func (errIncomplete) Error() string { return "protocol: quorum unreachable" }
 
+// ErrQuorumUnreachable is the stronger per-request verdict under the runtime
+// fault layer: the request's variable has fewer live copies than its quorum,
+// so no amount of retrying can serve it until a module recovers. It unwraps
+// to ErrIncomplete, so existing errors.Is(err, ErrIncomplete) handling keeps
+// working; callers that care about the distinction (the frontend hands it to
+// exactly the stranded futures) test for this sentinel first.
+//
+// Requests that merely exhausted the iteration bound while their variable
+// still had a live quorum keep plain ErrIncomplete. Batch-level: Access
+// wraps ErrQuorumUnreachable when at least one request is provably stranded
+// (Metrics.Stranded non-empty), ErrIncomplete otherwise.
+var ErrQuorumUnreachable = errQuorumUnreachable{}
+
+type errQuorumUnreachable struct{}
+
+func (errQuorumUnreachable) Error() string {
+	return "protocol: live copies below quorum"
+}
+
+func (errQuorumUnreachable) Unwrap() error { return ErrIncomplete }
+
 // wrappedError pairs a sentinel with a fully formatted message: Error()
 // reports only the message (keeping historical text intact), while Unwrap
 // exposes the sentinel to errors.Is.

@@ -1,0 +1,310 @@
+package protocol
+
+import (
+	"detshmem/internal/mpc"
+)
+
+// FaultView is the read side of a dynamic fault model: an interconnect that
+// can lose modules at runtime (mpc.Failing) exposes which modules are
+// currently failed so the access protocol can re-select quorums over the
+// survivors instead of bidding blindly at crashed banks. obtainMachine
+// type-asserts the machine against this interface; healthy interconnects
+// don't implement it and pay nothing.
+//
+// All three methods must be safe to call concurrently with mutation
+// (mpc.FaultSet publishes epoch-stamped atomic snapshots).
+type FaultView interface {
+	// ModuleFailed reports whether module m is failed right now.
+	ModuleFailed(m int64) bool
+	// FaultEpoch increases on every effective fail/recover, letting the
+	// batch loop detect mid-phase changes with one load per iteration.
+	FaultEpoch() uint64
+	// FaultCount returns the number of currently failed modules.
+	FaultCount() int
+}
+
+// defaultFaultAttempts is the post-phase retry budget when Config.
+// FaultAttempts is zero: one pass to mop up requests disturbed mid-phase,
+// one more in case a recovery lands between them.
+const defaultFaultAttempts = 2
+
+// selectLive builds the phase task list for request r with the fault set in
+// view. Under PolicyAllCancel, failed copies are skipped and later live
+// copies slide up into the cluster's processor slots (quorum re-selection
+// over survivors); under PolicyFixedMajority the pinned first-quorum copies
+// are kept verbatim — redundancy without routing freedom — so a failed
+// pinned module is detected as unreachable up front rather than discovered
+// by burning the whole iteration budget. Requests that cannot reach their
+// quorum are queued for the post-phase retry pass and bid nothing now.
+func (sys *System) selectLive(fv FaultView, tasks []taskRef, reqs []Request, copies []assignment, nCopies, r, procBase, inFlight int) []taskRef {
+	sys.stalled[r] = false
+	sys.usedMask[r] = 0
+	sys.touchedC[r] = 0
+	sys.liveBids[r] = 0
+	base := r * nCopies
+	if sys.cfg.Policy == PolicyFixedMajority {
+		liveCnt := int32(0)
+		for j := 0; j < inFlight; j++ {
+			if !fv.ModuleFailed(copies[base+j].module) {
+				liveCnt++
+			}
+		}
+		if liveCnt < sys.remaining[r] {
+			sys.queueRetry(int32(r))
+			return tasks
+		}
+		for j := 0; j < inFlight; j++ {
+			tasks = append(tasks, taskRef{proc: int32(procBase + j), a: copies[base+j]})
+			sys.usedMask[r] |= 1 << uint(j)
+		}
+		sys.liveBids[r] = int32(inFlight)
+		return tasks
+	}
+	start := len(tasks)
+	assigned := 0
+	for c := 0; c < nCopies && assigned < inFlight; c++ {
+		a := copies[base+c]
+		if fv.ModuleFailed(a.module) {
+			continue
+		}
+		tasks = append(tasks, taskRef{proc: int32(procBase + assigned), a: a})
+		sys.usedMask[r] |= 1 << uint(c)
+		assigned++
+	}
+	if int32(assigned) < sys.remaining[r] {
+		sys.usedMask[r] = 0
+		sys.queueRetry(int32(r))
+		return tasks[:start]
+	}
+	sys.liveBids[r] = int32(assigned)
+	return tasks
+}
+
+// queueRetry records request r for the post-phase retry pass, once.
+func (sys *System) queueRetry(r int32) {
+	if sys.remaining[r] > 0 && !sys.stalled[r] {
+		sys.stalled[r] = true
+		sys.retry = append(sys.retry, r)
+	}
+}
+
+// refilterTasks runs when the fault epoch moved mid-phase: bids addressed
+// at newly failed modules are dropped and, under PolicyAllCancel, replaced
+// by a spare live copy never selected this phase (reusing the freed
+// processor slot). Requests whose in-flight bids fell below their remaining
+// quorum are shed to the retry pass — their surviving bids would otherwise
+// spin against the iteration cap without ever completing.
+func (sys *System) refilterTasks(fv FaultView, tasks []taskRef, copies []assignment, nCopies int, res *Result) []taskRef {
+	out := tasks[:0]
+	for _, t := range tasks {
+		r := t.a.req
+		if sys.remaining[r] <= 0 || !fv.ModuleFailed(t.a.module) {
+			out = append(out, t)
+			continue
+		}
+		sys.liveBids[r]--
+		if sys.cfg.Policy == PolicyFixedMajority {
+			continue
+		}
+		base := int(r) * nCopies
+		for c := 0; c < nCopies; c++ {
+			if sys.usedMask[r]&(1<<uint(c)) != 0 {
+				continue
+			}
+			a := copies[base+c]
+			if fv.ModuleFailed(a.module) {
+				continue
+			}
+			sys.usedMask[r] |= 1 << uint(c)
+			sys.liveBids[r]++
+			res.Metrics.RetriedBids++
+			out = append(out, taskRef{proc: t.proc, a: a})
+			break
+		}
+	}
+	n := 0
+	for _, t := range out {
+		r := t.a.req
+		if sys.remaining[r] > 0 && sys.liveBids[r] < sys.remaining[r] {
+			sys.queueRetry(r)
+			continue
+		}
+		out[n] = t
+		n++
+	}
+	return out[:n]
+}
+
+// retryStranded is the post-phase bounded retry pass: every request the
+// phase loop could not finish gets up to Config.FaultAttempts fresh quorum
+// selections over the currently live, not-yet-touched copies. Copies already
+// granted stay counted (touchedC masks them out of re-selection, so a
+// quorum is always quorum-many distinct copies), and a module recovering
+// between attempts rescues requests that were stranded when the phase ran.
+// Requests still short after the budget are reported in Unfinished, with
+// the provably quorum-less subset in Stranded. This path runs only under
+// faults and may allocate.
+func (sys *System) retryStranded(fv FaultView, machine Machine, geo int, reqs []Request, res *Result, maxIters int) {
+	attempts := sys.cfg.FaultAttempts
+	if attempts == 0 {
+		attempts = defaultFaultAttempts
+	}
+	nCopies := sys.Mapper.Copies()
+	copies := sys.copies
+	pinned := sys.cfg.Policy == PolicyFixedMajority
+
+	pending := sys.retry
+	for att := 0; att < attempts && len(pending) > 0; att++ {
+		var next []int32
+		idx := 0
+		for idx < len(pending) {
+			// Pack one wave of re-selected bids into the machine's processor
+			// space; oversized retry sets run in several waves.
+			var tasks []taskRef
+			var wave []int32
+			p := 0
+			for ; idx < len(pending); idx++ {
+				r := pending[idx]
+				if sys.remaining[r] <= 0 {
+					continue
+				}
+				limit := nCopies
+				if pinned {
+					limit = int(sys.quorum(reqs[r].Op))
+				}
+				base := int(r) * nCopies
+				cnt := 0
+				for c := 0; c < limit && cnt < geo; c++ {
+					if sys.touchedC[r]&(1<<uint(c)) != 0 {
+						continue
+					}
+					if !fv.ModuleFailed(copies[base+c].module) {
+						cnt++
+					}
+				}
+				if int32(cnt) < sys.remaining[r] {
+					// Short of a quorum right now; a recovery before the
+					// next attempt may still rescue it.
+					next = append(next, r)
+					continue
+				}
+				if p+cnt > geo && len(wave) > 0 {
+					break
+				}
+				sel := 0
+				for c := 0; c < limit && sel < cnt; c++ {
+					if sys.touchedC[r]&(1<<uint(c)) != 0 {
+						continue
+					}
+					a := copies[base+c]
+					if fv.ModuleFailed(a.module) {
+						continue
+					}
+					tasks = append(tasks, taskRef{proc: int32(p), a: a})
+					p++
+					sel++
+				}
+				wave = append(wave, r)
+			}
+			if len(tasks) == 0 {
+				continue
+			}
+			res.Metrics.RetriedBids += len(tasks)
+			sys.driveRetryWave(fv, machine, tasks, reqs, res, maxIters)
+			for _, r := range wave {
+				if sys.remaining[r] > 0 {
+					next = append(next, r)
+				} else if reqs[r].Op == Read {
+					res.Values[r] = sys.bestVal[r]
+				}
+			}
+		}
+		pending = next
+	}
+	for _, r := range pending {
+		if sys.remaining[r] <= 0 {
+			continue
+		}
+		res.Metrics.Unfinished = append(res.Metrics.Unfinished, int(r))
+		if sys.liveQuorumLost(fv, reqs, int(r), nCopies) {
+			res.Metrics.Stranded = append(res.Metrics.Stranded, int(r))
+		}
+	}
+	sys.retry = sys.retry[:0]
+}
+
+// driveRetryWave runs one wave's task list to completion (or the iteration
+// cap), with the same grant processing as the phase loop plus the mid-wave
+// epoch check.
+func (sys *System) driveRetryWave(fv FaultView, machine Machine, tasks []taskRef, reqs []Request, res *Result, maxIters int) {
+	mreqs, grant := sys.mreqs, sys.grant
+	epoch := fv.FaultEpoch()
+	iters := 0
+	for len(tasks) > 0 && iters < maxIters {
+		if e := fv.FaultEpoch(); e != epoch {
+			epoch = e
+			n := 0
+			for _, t := range tasks {
+				if sys.remaining[t.a.req] > 0 && fv.ModuleFailed(t.a.module) {
+					continue // dropped; the next attempt re-selects
+				}
+				tasks[n] = t
+				n++
+			}
+			tasks = tasks[:n]
+			if len(tasks) == 0 {
+				break
+			}
+		}
+		for _, t := range tasks {
+			mreqs[t.proc] = t.a.module
+		}
+		machine.Round(mreqs, grant)
+		iters++
+		res.Metrics.IssuedBids += len(tasks)
+		next := tasks[:0]
+		for _, t := range tasks {
+			mreqs[t.proc] = mpc.Idle
+			r := t.a.req
+			if !grant[t.proc] {
+				if sys.remaining[r] > 0 {
+					next = append(next, t)
+				}
+				continue
+			}
+			res.Metrics.GrantedBids++
+			if sys.remaining[r] <= 0 {
+				continue
+			}
+			sys.touch(reqs[r], t.a, r, sys.bestTS, sys.bestVal)
+			res.Metrics.CopyAccesses++
+			sys.remaining[r]--
+			sys.touchedC[r] |= 1 << uint(t.a.cpy)
+		}
+		tasks = next
+	}
+	for _, t := range tasks {
+		mreqs[t.proc] = mpc.Idle
+	}
+	res.Metrics.RetryRounds += iters
+	res.Metrics.TotalRounds += iters
+}
+
+// liveQuorumLost reports whether request r's variable currently has fewer
+// live copies than its quorum — the ErrQuorumUnreachable verdict. Under the
+// pinned-majority ablation only the pinned copies count (redundancy without
+// routing freedom is not fault tolerance).
+func (sys *System) liveQuorumLost(fv FaultView, reqs []Request, r, nCopies int) bool {
+	limit := nCopies
+	if sys.cfg.Policy == PolicyFixedMajority {
+		limit = int(sys.quorum(reqs[r].Op))
+	}
+	live := int32(0)
+	base := r * nCopies
+	for c := 0; c < limit; c++ {
+		if !fv.ModuleFailed(sys.copies[base+c].module) {
+			live++
+		}
+	}
+	return live < sys.quorum(reqs[r].Op)
+}

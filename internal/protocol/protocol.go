@@ -69,9 +69,25 @@ type Metrics struct {
 	// to TotalRounds on the plain MPC, the routed link-step total on a
 	// network machine.
 	InterconnectCost uint64
+	// IssuedBids counts every bid the batch handed to the interconnect,
+	// summed over rounds (live requests plus bids a failing machine dropped
+	// at crashed modules). A round-level trace balances exactly:
+	// Σ RoundEvent.Requests + Σ RoundEvent.Dropped == Σ IssuedBids.
+	IssuedBids int
 	// Unfinished lists request indices whose quorum could not be met within
 	// the iteration bound (only possible under failure injection).
 	Unfinished []int
+	// Stranded lists the subset of Unfinished whose variable provably had
+	// fewer live copies than its quorum when the batch gave up — the
+	// requests no retry can serve until a module recovers. Aligned with the
+	// ErrQuorumUnreachable verdict.
+	Stranded []int
+	// RetriedBids counts bids re-selected onto surviving copies after the
+	// fault layer dropped or rerouted their original target.
+	RetriedBids int
+	// RetryRounds counts the MPC rounds spent in post-phase retry passes
+	// (already included in TotalRounds).
+	RetryRounds int
 }
 
 // Result carries read values (aligned with the request slice; zero for
@@ -125,6 +141,13 @@ type Config struct {
 	// failed modules); such requests are reported in Metrics.Unfinished and
 	// Access returns ErrIncomplete.
 	MaxIterationsPerPhase int
+	// FaultAttempts bounds the post-phase retry passes the system runs for
+	// requests stranded by module failures, when the interconnect exposes a
+	// FaultView (mpc.Failing does). Each attempt re-selects a quorum over
+	// the currently live, not-yet-touched copies, so a module recovering
+	// between attempts rescues the request. 0 means the default (2);
+	// negative disables retries.
+	FaultAttempts int
 	// Recorder, when non-nil, is installed on every interconnect machine
 	// the system builds, capturing one obs.RoundEvent per MPC round (ring-
 	// buffer tracing, contention histograms). The default no-op recorder
@@ -173,6 +196,10 @@ type System struct {
 	machine      Machine
 	machineProcs int
 	machineCost  uint64 // machine.Cost() at the start of the current batch
+	// fv is the machine's fault view when it exposes one (mpc.Failing
+	// does); nil on healthy interconnects, which keeps every fault hook off
+	// the hot path.
+	fv FaultView
 
 	// Per-batch scratch, reused across Access calls so the iteration loop
 	// is allocation-free once the buffers reach their high-water sizes.
@@ -184,6 +211,14 @@ type System struct {
 	mreqs     []int64
 	grant     []bool
 	tasks     []taskRef
+
+	// Fault-layer scratch, touched only when fv is non-nil (see fault.go).
+	liveBids []int32  // in-flight bids per request in the current phase
+	usedMask []uint64 // copies already selected this phase (bitmask)
+	touchedC []uint64 // copies granted so far for the request (bitmask)
+	stalled  []bool   // request already queued for retry
+	retry    []int32  // requests awaiting a post-phase retry pass
+	wave     []int32  // requests issued in the current retry wave
 
 	// Convenience-wrapper scratch (ReadBatch/WriteBatch), reused across
 	// calls so the wrappers stay allocation-free too.
@@ -269,11 +304,13 @@ func (sys *System) Close() {
 	}
 	sys.machine = nil
 	sys.machineProcs = 0
+	sys.fv = nil
 }
 
 // assignment is one processor's job within a phase: one copy of one request.
 type assignment struct {
 	req    int32
+	cpy    int16 // copy index within the request's replica set
 	module int64
 	addr   uint64
 }
@@ -342,6 +379,7 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 		PhaseIterations: res.Metrics.PhaseIterations[:0],
 		LiveTrace:       res.Metrics.LiveTrace[:0],
 		Unfinished:      res.Metrics.Unfinished[:0],
+		Stranded:        res.Metrics.Stranded[:0],
 	}
 
 	clusterSize := sys.cfg.ClusterSize
@@ -379,12 +417,30 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 		mreqs[p] = mpc.Idle
 	}
 
+	// Fault layer: fv is non-nil only when the interconnect exposes a fault
+	// view (mpc.Failing) and the copy bitmasks fit a word; every fault hook
+	// below is gated on it, so healthy systems pay nothing.
+	fv := sys.fv
+	if fv != nil && nCopies > 64 {
+		fv = nil
+	}
+	faultEpoch := uint64(0)
+	if fv != nil {
+		sys.liveBids = grow(sys.liveBids, len(reqs))
+		sys.usedMask = grow(sys.usedMask, len(reqs))
+		sys.touchedC = grow(sys.touchedC, len(reqs))
+		sys.stalled = grow(sys.stalled, len(reqs))
+		sys.retry = sys.retry[:0]
+		faultEpoch = fv.FaultEpoch()
+	}
+
 	res.Metrics.Phases = clusterSize
 	tasks := sys.tasks
 	for phase := 0; phase < clusterSize; phase++ {
 		// Build the task list: cluster i serves request i*clusterSize+phase;
 		// member j bids for copy j (members beyond the in-flight copy count
-		// idle).
+		// idle). Under a fault view, selection routes around failed modules
+		// (PolicyAllCancel) or detects unreachable quorums up front.
 		tasks = tasks[:0]
 		for i := 0; i < numClusters; i++ {
 			r := i*clusterSize + phase
@@ -401,6 +457,10 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 			if inFlight > clusterSize {
 				inFlight = clusterSize
 			}
+			if fv != nil {
+				tasks = sys.selectLive(fv, tasks, reqs, copies, nCopies, r, i*clusterSize, inFlight)
+				continue
+			}
 			for j := 0; j < inFlight; j++ {
 				tasks = append(tasks, taskRef{proc: int32(i*clusterSize + j), a: copies[r*nCopies+j]})
 			}
@@ -408,11 +468,24 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 		iters := 0
 		var live []int
 		for len(tasks) > 0 && iters < maxIters {
+			if fv != nil {
+				if e := fv.FaultEpoch(); e != faultEpoch {
+					// The fault set changed mid-phase: drop bids at newly
+					// failed modules, re-select spare live copies, and shed
+					// requests that can no longer reach a quorum.
+					faultEpoch = e
+					tasks = sys.refilterTasks(fv, tasks, copies, nCopies, res)
+					if len(tasks) == 0 {
+						break
+					}
+				}
+			}
 			for _, t := range tasks {
 				mreqs[t.proc] = t.a.module
 			}
 			machine.Round(mreqs, grant)
 			iters++
+			res.Metrics.IssuedBids += len(tasks)
 			next := tasks[:0]
 			for _, t := range tasks {
 				mreqs[t.proc] = mpc.Idle
@@ -432,6 +505,9 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 				sys.touch(reqs[r], t.a, r, bestTS, bestVal)
 				res.Metrics.CopyAccesses++
 				remaining[r]--
+				if fv != nil {
+					sys.touchedC[r] |= 1 << uint(t.a.cpy)
+				}
 			}
 			tasks = next
 			if sys.cfg.TraceLive {
@@ -448,15 +524,23 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 		if len(tasks) > 0 {
 			// The iteration bound tripped: some variables could not reach
 			// their quorum (only possible when modules are failing). Clear
-			// the leftover request slots and record the casualties.
+			// the leftover request slots and record the casualties — queued
+			// for a retry pass when a fault view is available, reported as
+			// unfinished otherwise.
 			for _, t := range tasks {
 				mreqs[t.proc] = mpc.Idle
 			}
-			seenReq := make(map[int32]bool)
-			for _, t := range tasks {
-				if remaining[t.a.req] > 0 && !seenReq[t.a.req] {
-					seenReq[t.a.req] = true
-					res.Metrics.Unfinished = append(res.Metrics.Unfinished, int(t.a.req))
+			if fv != nil {
+				for _, t := range tasks {
+					sys.queueRetry(t.a.req)
+				}
+			} else {
+				seenReq := make(map[int32]bool)
+				for _, t := range tasks {
+					if remaining[t.a.req] > 0 && !seenReq[t.a.req] {
+						seenReq[t.a.req] = true
+						res.Metrics.Unfinished = append(res.Metrics.Unfinished, int(t.a.req))
+					}
 				}
 			}
 		}
@@ -477,8 +561,15 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 		}
 	}
 	sys.tasks = tasks[:0]
+	if fv != nil && len(sys.retry) > 0 {
+		sys.retryStranded(fv, machine, geo, reqs, res, maxIters)
+	}
 	res.Metrics.InterconnectCost = machine.Cost() - sys.machineCost
 	sys.observeBatch(reqs, res)
+	if len(res.Metrics.Stranded) > 0 {
+		return fmt.Errorf("%w: %d of %d requests could not reach a quorum (%d below their live majority)",
+			ErrQuorumUnreachable, len(res.Metrics.Unfinished), len(reqs), len(res.Metrics.Stranded))
+	}
 	if len(res.Metrics.Unfinished) > 0 {
 		return fmt.Errorf("%w: %d of %d requests could not reach a quorum",
 			ErrIncomplete, len(res.Metrics.Unfinished), len(reqs))
@@ -498,14 +589,22 @@ func (sys *System) observeBatch(reqs []Request, res *Result) {
 	if sys.cfg.Observer == nil {
 		return
 	}
+	failed := 0
+	if sys.fv != nil {
+		failed = sys.fv.FaultCount()
+	}
 	sys.cfg.Observer.ObserveBatch(obs.BatchEvent{
-		Requests:     len(reqs),
-		Phases:       res.Metrics.Phases,
-		Rounds:       res.Metrics.TotalRounds,
-		MaxPhi:       res.Metrics.MaxIterations,
-		CopyAccesses: res.Metrics.CopyAccesses,
-		GrantedBids:  res.Metrics.GrantedBids,
-		Unfinished:   len(res.Metrics.Unfinished),
+		Requests:      len(reqs),
+		Phases:        res.Metrics.Phases,
+		Rounds:        res.Metrics.TotalRounds,
+		MaxPhi:        res.Metrics.MaxIterations,
+		CopyAccesses:  res.Metrics.CopyAccesses,
+		GrantedBids:   res.Metrics.GrantedBids,
+		IssuedBids:    res.Metrics.IssuedBids,
+		Unfinished:    len(res.Metrics.Unfinished),
+		RetriedBids:   res.Metrics.RetriedBids,
+		Stranded:      len(res.Metrics.Stranded),
+		FailedModules: failed,
 	})
 }
 
@@ -564,6 +663,7 @@ func (sys *System) obtainMachine(procs int) (Machine, int, error) {
 	sys.machine = machine
 	sys.machineProcs = geo
 	sys.machineCost = machine.Cost()
+	sys.fv, _ = machine.(FaultView)
 	return machine, geo, nil
 }
 
@@ -579,7 +679,7 @@ func (sys *System) resolveCopies(reqs []Request) []assignment {
 			row := sys.resolver.row(reqs[r].Var)
 			base := r * nCopies
 			for c := 0; c < nCopies; c++ {
-				out[base+c] = assignment{req: int32(r), module: row[c].module, addr: row[c].addr}
+				out[base+c] = assignment{req: int32(r), cpy: int16(c), module: row[c].module, addr: row[c].addr}
 			}
 		}
 		return out
@@ -587,7 +687,7 @@ func (sys *System) resolveCopies(reqs []Request) []assignment {
 	for r := range reqs {
 		for c := 0; c < nCopies; c++ {
 			mod, addr := sys.Mapper.CopyAddr(reqs[r].Var, c)
-			out[r*nCopies+c] = assignment{req: int32(r), module: int64(mod), addr: addr}
+			out[r*nCopies+c] = assignment{req: int32(r), cpy: int16(c), module: int64(mod), addr: addr}
 		}
 	}
 	return out

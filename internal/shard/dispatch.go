@@ -236,8 +236,10 @@ func (d *pipeDispatcher) run() {
 
 // flushOne drives one batch through the backend's allocation-free path,
 // accounts it (before any future completes — see frontend.Stats.Account),
-// and fans the results out. Runs on the flusher goroutine only, so the
-// reqs/res scratch needs no lock.
+// and fans the results out. An ErrIncomplete-class error keeps res, so the
+// committed requests complete normally and only the unfinished ones fail
+// with their per-request verdict (frontend.Pending.Complete). Runs on the
+// flusher goroutine only, so the reqs/res scratch needs no lock.
 func (d *pipeDispatcher) flushOne(p *frontend.Pending, cause obs.FlushCause) {
 	d.reqs = p.Requests(d.reqs)
 	var res *protocol.Result

@@ -1,0 +1,199 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"detshmem/internal/core"
+	"detshmem/internal/frontend"
+	"detshmem/internal/mpc"
+	"detshmem/internal/protocol"
+)
+
+// faultService builds a pipelined sharded service whose every shard's
+// interconnect consults one shared runtime fault set.
+func faultService(t testing.TB, shards int, fs *mpc.FaultSet, pcfg protocol.Config) (*Service, *core.Scheme, core.Indexer) {
+	t.Helper()
+	s, err := core.New(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg.NewMachine = func(mcfg mpc.Config) (protocol.Machine, error) { return mpc.NewFailingShared(mcfg, fs) }
+	if pcfg.MaxIterationsPerPhase == 0 {
+		pcfg.MaxIterationsPerPhase = 2048
+	}
+	svc, err := New(protocol.NewCoreMapper(s, idx), Config{
+		Shards:   shards,
+		Pipeline: true,
+		MaxBatch: 16,
+		Protocol: pcfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, s, idx
+}
+
+// TestShardDegradedBatch pins degraded-mode serving on the pipelined
+// dispatcher: with the victim variable's modules failed, the victim's
+// future fails with the quorum verdict while healthy operations admitted
+// into the same shard's stream commit normally, and the aggregated stats
+// count the stranding.
+func TestShardDegradedBatch(t *testing.T) {
+	fs := mpc.NewFaultSet()
+	svc, s, idx := faultService(t, 2, fs, protocol.Config{})
+	defer svc.Close()
+
+	victim := uint64(10)
+	vmods := s.VarModules(nil, idx.Mat(victim))
+	failed := map[uint64]bool{}
+	for _, m := range vmods {
+		failed[m] = true
+	}
+	var healthy []uint64
+	var scratch []uint64
+	for v := uint64(0); len(healthy) < 8; v++ {
+		if v == victim {
+			continue
+		}
+		live := 0
+		scratch = s.VarModules(scratch[:0], idx.Mat(v))
+		for _, m := range scratch {
+			if !failed[m] {
+				live++
+			}
+		}
+		if live >= s.Majority {
+			healthy = append(healthy, v)
+		}
+	}
+
+	for _, v := range append([]uint64{victim}, healthy...) {
+		if err := svc.Write(v, v+900); err != nil {
+			t.Fatalf("healthy write of %d: %v", v, err)
+		}
+	}
+	for _, m := range vmods {
+		fs.Fail(m)
+	}
+
+	vf, err := svc.ReadAsync(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf := make([]*frontend.Future, len(healthy))
+	for i, v := range healthy {
+		if hf[i], err = svc.ReadAsync(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := vf.Wait(); !errors.Is(err, protocol.ErrQuorumUnreachable) {
+		t.Fatalf("victim verdict on pipelined dispatcher: %v", err)
+	}
+	for i, f := range hf {
+		v, err := f.Wait()
+		if err != nil {
+			t.Fatalf("healthy read of %d in degraded shard stream: %v", healthy[i], err)
+		}
+		if v != healthy[i]+900 {
+			t.Fatalf("healthy read of %d = %d, want %d", healthy[i], v, healthy[i]+900)
+		}
+	}
+	if st := svc.Stats(); st.Total.Stranded < 1 {
+		t.Fatalf("aggregated stranded = %d, want >= 1", st.Total.Stranded)
+	}
+
+	for _, m := range vmods {
+		fs.Recover(m)
+	}
+	if v, err := svc.Read(victim); err != nil || v != victim+900 {
+		t.Fatalf("victim after recovery: %d, %v", v, err)
+	}
+}
+
+// TestFaultHammer churns Fail/Recover in the background — never more than
+// one module failed at any instant, so every variable keeps a live majority
+// at all times — while client goroutines stream operations through the
+// pipelined sharded service. Every request must succeed: the retry passes
+// re-select quorums over survivors until one lands. Run under -race this is
+// the concurrency lane for the whole fault path.
+func TestFaultHammer(t *testing.T) {
+	fs := mpc.NewFaultSet()
+	svc, s, _ := faultService(t, 2, fs, protocol.Config{FaultAttempts: 64})
+	defer svc.Close()
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		m := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fs.Fail(m)
+			time.Sleep(100 * time.Microsecond)
+			fs.Recover(m)
+			m = (m + 7) % s.NumModules
+		}
+	}()
+
+	clients := 4
+	ops := 300
+	if testing.Short() {
+		ops = 100
+	}
+	vars := uint64(50)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			const window = 16
+			pending := make([]*frontend.Future, 0, window)
+			drain := func() {
+				for _, f := range pending {
+					if _, err := f.Wait(); err != nil {
+						t.Errorf("client %d: request failed under single-failure churn: %v", c, err)
+					}
+				}
+				pending = pending[:0]
+			}
+			for i := 0; i < ops; i++ {
+				v := uint64((c*131 + i*17)) % vars
+				var f *frontend.Future
+				var err error
+				if i%3 == 0 {
+					f, err = svc.WriteAsync(v, uint64(c)<<32|uint64(i))
+				} else {
+					f, err = svc.ReadAsync(v)
+				}
+				if err != nil {
+					t.Errorf("client %d: submit: %v", c, err)
+					return
+				}
+				pending = append(pending, f)
+				if len(pending) == window {
+					drain()
+				}
+			}
+			drain()
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+}

@@ -103,6 +103,14 @@ func DistinctRandom(rng *rand.Rand, m uint64, k int) []uint64 {
 	return all[:k]
 }
 
+// RandomFaults draws k distinct module ids uniformly from [0, n): the
+// random crash-fault sets the fault experiments (E19) and the fault-matrix
+// tests inject. It is DistinctRandom over the module space rather than the
+// variable space.
+func RandomFaults(rng *rand.Rand, n uint64, k int) []uint64 {
+	return DistinctRandom(rng, n, k)
+}
+
 // Stride returns k distinct variables spaced by stride (mod m), a structured
 // deterministic pattern. When the stride's cycle mod m is shorter than k
 // (gcd(stride, m) > m/k), the walk hops to the next unvisited offset and
