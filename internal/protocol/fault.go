@@ -103,23 +103,29 @@ func (sys *System) refilterTasks(fv FaultView, tasks []taskRef, copies []assignm
 			continue
 		}
 		sys.liveBids[r]--
-		if sys.cfg.Policy == PolicyFixedMajority {
-			continue
+		if sys.cfg.Policy != PolicyFixedMajority {
+			base := int(r) * nCopies
+			for c := 0; c < nCopies; c++ {
+				if sys.usedMask[r]&(1<<uint(c)) != 0 {
+					continue
+				}
+				a := copies[base+c]
+				if fv.ModuleFailed(a.module) {
+					continue
+				}
+				sys.usedMask[r] |= 1 << uint(c)
+				sys.liveBids[r]++
+				res.Metrics.RetriedBids++
+				out = append(out, taskRef{proc: t.proc, a: a})
+				break
+			}
 		}
-		base := int(r) * nCopies
-		for c := 0; c < nCopies; c++ {
-			if sys.usedMask[r]&(1<<uint(c)) != 0 {
-				continue
-			}
-			a := copies[base+c]
-			if fv.ModuleFailed(a.module) {
-				continue
-			}
-			sys.usedMask[r] |= 1 << uint(c)
-			sys.liveBids[r]++
-			res.Metrics.RetriedBids++
-			out = append(out, taskRef{proc: t.proc, a: a})
-			break
+		if sys.liveBids[r] < sys.remaining[r] {
+			// Shed here, not only in the surviving-task pass below: when
+			// every one of r's bids was just dropped, r has no task left in
+			// out, and a shed keyed off surviving tasks would never see it —
+			// the request would leave the phase unserved and unreported.
+			sys.queueRetry(r)
 		}
 	}
 	n := 0
@@ -154,6 +160,7 @@ func (sys *System) retryStranded(fv FaultView, machine Machine, geo int, reqs []
 	pinned := sys.cfg.Policy == PolicyFixedMajority
 
 	pending := sys.retry
+	wave := sys.wave
 	for att := 0; att < attempts && len(pending) > 0; att++ {
 		var next []int32
 		idx := 0
@@ -161,7 +168,7 @@ func (sys *System) retryStranded(fv FaultView, machine Machine, geo int, reqs []
 			// Pack one wave of re-selected bids into the machine's processor
 			// space; oversized retry sets run in several waves.
 			var tasks []taskRef
-			var wave []int32
+			wave = wave[:0]
 			p := 0
 			for ; idx < len(pending); idx++ {
 				r := pending[idx]
@@ -221,6 +228,7 @@ func (sys *System) retryStranded(fv FaultView, machine Machine, geo int, reqs []
 		}
 		pending = next
 	}
+	sys.wave = wave[:0]
 	for _, r := range pending {
 		if sys.remaining[r] <= 0 {
 			continue

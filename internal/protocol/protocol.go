@@ -213,7 +213,7 @@ type System struct {
 	tasks     []taskRef
 
 	// Fault-layer scratch, touched only when fv is non-nil (see fault.go).
-	liveBids []int32  // in-flight bids per request in the current phase
+	liveBids []int32  // ungranted in-flight bids per request in the current phase
 	usedMask []uint64 // copies already selected this phase (bitmask)
 	touchedC []uint64 // copies granted so far for the request (bitmask)
 	stalled  []bool   // request already queued for retry
@@ -507,6 +507,11 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 				remaining[r]--
 				if fv != nil {
 					sys.touchedC[r] |= 1 << uint(t.a.cpy)
+					// The granted bid left the task list: keep liveBids an
+					// exact in-flight count so refilterTasks' shed check
+					// (liveBids < remaining) stays tight for partially
+					// granted requests.
+					sys.liveBids[r]--
 				}
 			}
 			tasks = next
