@@ -1,4 +1,4 @@
-// Command smembench regenerates the experiment tables E1–E19 (the paper's
+// Command smembench regenerates the experiment tables E1–E20 (the paper's
 // analytical claims as measurements, plus the extensions). See DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for recorded results.
 //
@@ -27,8 +27,11 @@
 // histogram, and barrier wait time, alongside the collector's batch-level
 // totals. Sharded experiments add a per-shard section: each configuration's
 // queue-depth high-water mark and flush-cause breakdown, shard by shard.
-// The dump is self-validating — smembench exits nonzero if the trace totals
-// do not match the summed protocol metrics.
+// When the run includes E20, the dump also embeds the recorded per-client
+// consistency traces under "consistency" — value-carrying read/write streams
+// that cmd/consistencycheck can certify offline. The dump is
+// self-validating — smembench exits nonzero if the trace totals do not match
+// the summed protocol metrics.
 //
 // -pprof serves net/http/pprof, expvar (/debug/vars), and the Prometheus
 // text format (/metrics) on the given address for the duration of the run.
@@ -44,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"detshmem/internal/consistency"
 	"detshmem/internal/experiments"
 	"detshmem/internal/obs"
 	"detshmem/internal/shard"
@@ -54,12 +58,13 @@ import (
 // breakdown for any sharded experiment cells, and the consistency verdict
 // between tracer and collector.
 type traceDump struct {
-	Totals     obs.TraceTotals  `json:"totals"`
-	Dropped    uint64           `json:"dropped"`
-	Collector  map[string]int64 `json:"collector"`
-	Shards     []shardTrace     `json:"shards,omitempty"`
-	Consistent bool             `json:"consistent"`
-	Events     []obs.RoundEvent `json:"events"`
+	Totals     obs.TraceTotals       `json:"totals"`
+	Dropped    uint64                `json:"dropped"`
+	Collector  map[string]int64      `json:"collector"`
+	Shards     []shardTrace          `json:"shards,omitempty"`
+	Consistent bool                  `json:"consistent"`
+	Consist    *consistency.TraceSet `json:"consistency,omitempty"`
+	Events     []obs.RoundEvent      `json:"events"`
 }
 
 // shardTrace is one sharded cell ("S=4/pipelined/zipf") from E18: the
@@ -104,7 +109,7 @@ func newShardTrace(label string, st shard.Stats) shardTrace {
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e19); empty = all")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e20); empty = all")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
 		seed     = flag.Int64("seed", 0, "workload RNG seed (0 = default)")
 		jsonOut  = flag.Bool("json", false, "write machine-readable results where supported (e16, e18, e19)")
@@ -146,6 +151,9 @@ func main() {
 		opts.ShardStats = func(label string, st shard.Stats) {
 			shardTraces = append(shardTraces, newShardTrace(label, st))
 		}
+		// E20 records per-client value-carrying traces here; the dump embeds
+		// them under "consistency" for cmd/consistencycheck to re-verify.
+		opts.Consistency = consistency.NewRecorder()
 	}
 	if *pprofA != "" {
 		if opts.Observer == nil {
@@ -192,7 +200,7 @@ func main() {
 	}
 
 	if tracer != nil {
-		if err := writeTrace(*traceF, tracer, collector, shardTraces); err != nil {
+		if err := writeTrace(*traceF, tracer, collector, shardTraces, opts.Consistency); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -207,7 +215,7 @@ func main() {
 // Σ Requests + Σ DroppedBids == Σ IssuedBids, so the books balance exactly
 // even under failure injection (instrumented systems install tracer and
 // collector together, so the two views describe the same runs).
-func writeTrace(path string, tracer *obs.Tracer, collector *obs.Collector, shards []shardTrace) error {
+func writeTrace(path string, tracer *obs.Tracer, collector *obs.Collector, shards []shardTrace, rec *consistency.Recorder) error {
 	totals := tracer.Totals()
 	dump := traceDump{
 		Totals:    totals,
@@ -218,6 +226,9 @@ func writeTrace(path string, tracer *obs.Tracer, collector *obs.Collector, shard
 			totals.Granted == uint64(collector.GrantedBids.Load()) &&
 			totals.Requests+totals.DroppedBids == uint64(collector.IssuedBids.Load()),
 		Events: tracer.Events(),
+	}
+	if rec != nil && rec.Ops() > 0 {
+		dump.Consist = rec.TraceSet()
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,197 @@
+package consistency
+
+import (
+	"testing"
+
+	"detshmem/internal/obs"
+)
+
+func TestAuditorDisabled(t *testing.T) {
+	if a := NewAuditor(AuditConfig{Rate: 0}); a != nil {
+		t.Fatal("Rate 0 must return a nil auditor")
+	}
+	var a *Auditor
+	if st := a.Stats(); st != (AuditStats{}) {
+		t.Fatalf("nil auditor stats: %+v", st)
+	}
+	if s := a.ViolationSamples(); s != nil {
+		t.Fatalf("nil auditor samples: %v", s)
+	}
+	if rep := a.CheckNow(); !rep.OK {
+		t.Fatalf("nil auditor CheckNow: %+v", rep)
+	}
+}
+
+func TestAuditorDetectsMismatch(t *testing.T) {
+	a := NewAuditor(AuditConfig{Rate: 1})
+	a.AuditWrite(5, 100)
+	a.AuditRead(5, 100)
+	if st := a.Stats(); st.Violations != 0 || st.Sampled != 2 {
+		t.Fatalf("after consistent ops: %+v", st)
+	}
+	a.AuditRead(5, 7)
+	st := a.Stats()
+	if st.Violations != 1 {
+		t.Fatalf("mismatched read not flagged: %+v", st)
+	}
+	s := a.ViolationSamples()
+	if len(s) != 1 || s[0].Var != 5 || s[0].Want != 100 || s[0].Got != 7 {
+		t.Fatalf("violation sample: %+v", s)
+	}
+	// The read resynced the slot: repeating the "wrong" value is now the
+	// known state, not a cascade of violations.
+	a.AuditRead(5, 7)
+	if st := a.Stats(); st.Violations != 1 {
+		t.Fatalf("resync failed, violations cascaded: %+v", st)
+	}
+}
+
+func TestAuditorFailedWriteDegradesToUnknown(t *testing.T) {
+	a := NewAuditor(AuditConfig{Rate: 1})
+	a.AuditWrite(9, 100)
+	a.AuditFailed(9, 111, true)
+	// The stranded write may or may not have landed: neither outcome is a
+	// violation.
+	a.AuditRead(9, 111)
+	if st := a.Stats(); st.Violations != 0 {
+		t.Fatalf("read after failed write flagged: %+v", st)
+	}
+	// The read re-established knowledge; a contradiction is caught again.
+	a.AuditRead(9, 100)
+	if st := a.Stats(); st.Violations != 1 {
+		t.Fatalf("post-recovery mismatch missed: %+v", st)
+	}
+	// A failed read changes nothing.
+	b := NewAuditor(AuditConfig{Rate: 1})
+	b.AuditWrite(9, 100)
+	b.AuditFailed(9, 0, false)
+	b.AuditRead(9, 100)
+	if st := b.Stats(); st.Violations != 0 || st.Sampled != 3 {
+		t.Fatalf("failed read perturbed state: %+v", st)
+	}
+}
+
+func TestAuditorSamplingIsByVariableAndDeterministic(t *testing.T) {
+	a := NewAuditor(AuditConfig{Rate: 0.01, Slots: 4096})
+	const vars = 100000
+	for v := uint64(0); v < vars; v++ {
+		a.AuditWrite(v, v+1)
+	}
+	st := a.Stats()
+	if st.Sampled < vars/400 || st.Sampled > vars/25 {
+		t.Fatalf("1%% sampling over %d vars audited %d ops", vars, st.Sampled)
+	}
+	// Same variables again: exactly the same sample (deterministic by
+	// variable, so audited histories are complete per variable).
+	for v := uint64(0); v < vars; v++ {
+		a.AuditWrite(v, vars+v+1)
+	}
+	if got := a.Stats().Sampled; got != 2*st.Sampled {
+		t.Fatalf("sampling not deterministic: %d then %d", st.Sampled, got-st.Sampled)
+	}
+}
+
+func TestAuditorSamplingCutsAcrossRouting(t *testing.T) {
+	// The audit mixer must not alias shard.Route's splitmix64: for a
+	// power-of-two shard count S and Rate 1/S, the sampled variables must
+	// spread over all shards rather than collapsing onto shard 0.
+	const shards = 8
+	route := func(v uint64) int { // shard.Route's mixer
+		v ^= v >> 30
+		v *= 0xbf58476d1ce4e5b9
+		v ^= v >> 27
+		v *= 0x94d049bb133111eb
+		v ^= v >> 31
+		return int(v % shards)
+	}
+	a := NewAuditor(AuditConfig{Rate: 1.0 / shards})
+	hit := make(map[int]int)
+	for v := uint64(0); v < 100000; v++ {
+		if a.Sampled(v) {
+			hit[route(v)]++
+		}
+	}
+	if len(hit) != shards {
+		t.Fatalf("sampled variables landed on only %d/%d shards: %v", len(hit), shards, hit)
+	}
+}
+
+func TestAuditorEvictionIsNotAViolation(t *testing.T) {
+	a := NewAuditor(AuditConfig{Rate: 1, Slots: 1})
+	a.AuditWrite(1, 10)
+	a.AuditWrite(2, 20) // evicts var 1 from the single slot
+	st := a.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("eviction not counted: %+v", st)
+	}
+	// Var 1's value is forgotten: a read of anything adopts, no alarm.
+	a.AuditRead(1, 999)
+	if st := a.Stats(); st.Violations != 0 {
+		t.Fatalf("post-eviction read flagged: %+v", st)
+	}
+}
+
+func TestAuditorCollectorSurfacing(t *testing.T) {
+	col := obs.NewCollector()
+	a := NewAuditor(AuditConfig{Rate: 1, Collector: col})
+	a.AuditWrite(1, 10)
+	a.AuditRead(1, 10)
+	a.AuditRead(1, 11)
+	snap := col.Snapshot()
+	if snap["audit_sampled_total"] != 3 {
+		t.Fatalf("audit_sampled_total = %d, want 3", snap["audit_sampled_total"])
+	}
+	if snap["audit_violations_total"] != 1 {
+		t.Fatalf("audit_violations_total = %d, want 1", snap["audit_violations_total"])
+	}
+}
+
+func TestAuditorCheckNowReplaysRing(t *testing.T) {
+	a := NewAuditor(AuditConfig{Rate: 1, Ring: 64})
+	a.AuditWrite(1, 10)
+	a.AuditRead(1, 10)
+	a.AuditWrite(1, 20)
+	a.AuditRead(1, 20)
+	if rep := a.CheckNow(); !rep.OK {
+		t.Fatalf("consistent ring rejected: %+v", rep.First())
+	}
+	// A read returning an already-overwritten value in commit order is a
+	// real violation with a real counterexample.
+	a.AuditWrite(1, 30)
+	a.AuditRead(1, 20)
+	rep := a.CheckNow()
+	if rep.OK {
+		t.Fatal("stale read in commit order certified")
+	}
+	if v := rep.First(); v.Kind != KindCycle {
+		t.Fatalf("kind = %s, want cycle: %+v", v.Kind, v)
+	}
+}
+
+func TestAuditorCheckNowToleratesRingRotation(t *testing.T) {
+	a := NewAuditor(AuditConfig{Rate: 1, Ring: 4})
+	a.AuditWrite(1, 10)
+	// Rotate the write out of the 4-slot ring.
+	for i := uint64(0); i < 6; i++ {
+		a.AuditWrite(2, 100+i)
+	}
+	// This read's dictating write predates the ring: it must be skipped,
+	// not reported as a phantom.
+	a.AuditRead(1, 10)
+	if rep := a.CheckNow(); !rep.OK {
+		t.Fatalf("rotated-out context produced a false alarm: %+v", rep.First())
+	}
+}
+
+func TestAuditorHotPathAllocs(t *testing.T) {
+	a := NewAuditor(AuditConfig{Rate: 1, Collector: obs.NewCollector()})
+	v := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		v++
+		a.AuditWrite(v%128, v+1)
+		a.AuditRead(v%128, v+1)
+		a.AuditFailed(v%128, v+1, true)
+	}); n != 0 {
+		t.Fatalf("audit hot path allocates %.1f allocs/op, want 0", n)
+	}
+}

@@ -1,0 +1,94 @@
+package consistency
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzConsistencyTrace drives the checker with generated histories: a
+// sequentially consistent history (mutate == 0) must certify under both
+// modes, and arbitrarily corrupted variants must never panic, never
+// certify-and-refute inconsistently, and must survive a JSON round trip
+// unchanged in verdict. Wired into the CI fuzz-smoke lane.
+func FuzzConsistencyTrace(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint16(60), uint8(4), uint8(0))
+	f.Add(int64(2), uint8(2), uint16(30), uint8(1), uint8(0))
+	f.Add(int64(3), uint8(4), uint16(100), uint8(8), uint8(1))
+	f.Add(int64(4), uint8(1), uint16(10), uint8(2), uint8(7))
+	f.Add(int64(5), uint8(5), uint16(200), uint8(3), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, clients uint8, ops uint16, vars uint8, mutate uint8) {
+		nc := 1 + int(clients)%6
+		no := int(ops) % 300
+		nv := 1 + int(vars)%10
+		rng := rand.New(rand.NewSource(seed))
+		tr := genSCTrace(rng, nc, no, nv)
+
+		if mutate == 0 {
+			for _, mode := range []Mode{ModePRAM, ModePerVariable} {
+				rep := Check(tr, mode)
+				if !rep.OK {
+					t.Fatalf("sequentially consistent history rejected under %s: %+v", mode, rep.Violations[0])
+				}
+			}
+			return
+		}
+
+		// Corrupt the history mutate-driven: flip values, kinds, failure
+		// flags, duplicate ops. The checker must stay total: any verdict,
+		// no panic, and every violation must carry a coherent shape.
+		mrng := rand.New(rand.NewSource(seed ^ int64(mutate)<<17))
+		flips := 1 + int(mutate)%8
+		for i := 0; i < flips; i++ {
+			c := mrng.Intn(len(tr))
+			if len(tr[c]) == 0 {
+				continue
+			}
+			j := mrng.Intn(len(tr[c]))
+			switch mrng.Intn(5) {
+			case 0:
+				tr[c][j].Val = mrng.Uint64()
+			case 1:
+				tr[c][j].Write = !tr[c][j].Write
+			case 2:
+				tr[c][j].Failed = !tr[c][j].Failed
+			case 3:
+				tr[c][j].Var = uint64(mrng.Intn(nv + 2))
+			case 4:
+				tr[c] = append(tr[c], tr[c][j])
+			}
+		}
+		for _, mode := range []Mode{ModePRAM, ModePerVariable} {
+			rep := Check(tr, mode)
+			if rep.OK != (len(rep.Violations) == 0) {
+				t.Fatalf("%s: OK=%v disagrees with %d violations", mode, rep.OK, len(rep.Violations))
+			}
+			for _, v := range rep.Violations {
+				if v.Kind == "" || v.Message == "" {
+					t.Fatalf("%s: violation missing kind or message: %+v", mode, v)
+				}
+				if v.Kind == KindCycle && len(v.Why) != len(v.Ops) {
+					t.Fatalf("%s: cycle with %d ops but %d justifications", mode, len(v.Ops), len(v.Why))
+				}
+			}
+		}
+
+		// JSON round trip must preserve the verdict.
+		ts := &TraceSet{Runs: []Run{{Label: "fuzz", Contract: ContractTotalOrder, Clients: tr}}}
+		var buf bytes.Buffer
+		if err := ts.WriteJSON(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := ReadTraceSet(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(back.Runs) != 1 {
+			t.Fatalf("round trip lost runs: %d", len(back.Runs))
+		}
+		before, after := Check(tr, ModePerVariable), Check(back.Runs[0].Clients, ModePerVariable)
+		if before.OK != after.OK {
+			t.Fatalf("verdict changed across JSON round trip: %v vs %v", before.OK, after.OK)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package consistency
+
+import "math/rand"
+
+// genSCTrace simulates a linearizable shared memory: clients' next
+// operations are interleaved in a random global order against one store
+// map, so the resulting trace is sequentially consistent by construction —
+// it must certify under both ModePRAM and ModePerVariable. Write values
+// are minted uniquely per client ((c+1)<<40 | counter), matching the
+// Recorder's data-uniqueness discipline.
+func genSCTrace(rng *rand.Rand, clients, opsPerClient, vars int) Trace {
+	tr := make(Trace, clients)
+	store := make(map[uint64]uint64, vars)
+	remaining := make([]int, clients)
+	seq := make([]uint64, clients)
+	live := 0
+	for c := range remaining {
+		remaining[c] = opsPerClient
+		if opsPerClient > 0 {
+			live++
+		}
+	}
+	for live > 0 {
+		c := rng.Intn(clients)
+		if remaining[c] == 0 {
+			continue
+		}
+		v := uint64(rng.Intn(vars))
+		if rng.Intn(100) < 40 { // write
+			seq[c]++
+			val := uint64(c+1)<<40 | seq[c]
+			store[v] = val
+			tr[c] = append(tr[c], Op{Write: true, Var: v, Val: val})
+		} else { // read
+			tr[c] = append(tr[c], Op{Var: v, Val: store[v]})
+		}
+		if remaining[c]--; remaining[c] == 0 {
+			live--
+		}
+	}
+	return tr
+}
+
+// genPRAMTrace builds a PRAM-consistent (but deliberately not sequentially
+// consistent) trace: each reading client applies all clients' writes in
+// its own client-specific interleaving — legal under PRAM, where clients
+// may disagree on the relative order of independent writes. Per-variable
+// consistency is NOT guaranteed by this generator (two observers may see
+// one variable's writes in different orders), so only ModePRAM certifies
+// its output in general.
+func genPRAMTrace(rng *rand.Rand, writers, readers, opsPerClient, vars int) Trace {
+	tr := make(Trace, writers+readers)
+	for c := 0; c < writers; c++ {
+		for i := 0; i < opsPerClient; i++ {
+			v := uint64(rng.Intn(vars))
+			val := uint64(c+1)<<40 | uint64(i+1)
+			tr[c] = append(tr[c], Op{Write: true, Var: v, Val: val})
+		}
+	}
+	for p := 0; p < readers; p++ {
+		// This observer's serialization: a random interleaving of the
+		// writer streams (program order within each preserved).
+		idx := make([]int, writers)
+		store := make(map[uint64]uint64, vars)
+		c := writers + p
+		for i := 0; i < opsPerClient; i++ {
+			// Advance a random writer a random number of steps, then read.
+			w := rng.Intn(writers)
+			for s := rng.Intn(3); s >= 0 && idx[w] < len(tr[w]); s-- {
+				op := tr[w][idx[w]]
+				store[op.Var] = op.Val
+				idx[w]++
+			}
+			v := uint64(rng.Intn(vars))
+			tr[c] = append(tr[c], Op{Var: v, Val: store[v]})
+		}
+	}
+	return tr
+}

@@ -1,0 +1,249 @@
+package consistency
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// This file is the adversarial half of the checker's test suite: take
+// known-good generated histories, seed each of the five violation classes
+// by mutation, and demand the checker rejects every one. To prove the
+// assertions have teeth, every case is also run against the deliberately
+// broken checker stub (closure rules and precondition verdicts disabled):
+// the stub must CERTIFY each mutated trace — i.e. this suite runs red
+// against a lobotomized checker, so a future regression that quietly
+// weakens the closure cannot pass it.
+
+// brokenCheck is the lobotomized checker stub.
+func brokenCheck(tr Trace, mode Mode) *Report {
+	return check(tr, mode, checkOpts{noInference: true, noPreconditions: true})
+}
+
+// mutation is one violation-class seeding operator. Apply returns the
+// mutated trace and whether the source trace offered a seeding site.
+type mutation struct {
+	name string
+	// modes that must reject the mutated trace (program-order inversion is
+	// invisible to the per-variable checker by design).
+	rejectModes []Mode
+	// modes that must still certify it (documents the PRAM/per-variable gap).
+	certifyModes []Mode
+	apply        func(tr Trace) (Trace, bool)
+}
+
+func cloneTrace(tr Trace) Trace {
+	out := make(Trace, len(tr))
+	for c := range tr {
+		out[c] = append([]Op(nil), tr[c]...)
+	}
+	return out
+}
+
+var mutations = []mutation{
+	{
+		// Stale read: an observer sees a writer's two values to one
+		// variable in inverted order. Seeded by appending a fresh observer
+		// client — it writes nothing, so it contributes no outgoing
+		// read-from edges and the base po+read-from graph provably stays
+		// acyclic: only the closure rules can (and must) catch it.
+		name:        "stale-read",
+		rejectModes: []Mode{ModePRAM, ModePerVariable},
+		apply: func(tr Trace) (Trace, bool) {
+			for c := range tr {
+				for i, w1 := range tr[c] {
+					if !w1.Write || w1.Failed {
+						continue
+					}
+					for j := i + 1; j < len(tr[c]); j++ {
+						w2 := tr[c][j]
+						if !w2.Write || w2.Failed || w2.Var != w1.Var {
+							continue
+						}
+						out := cloneTrace(tr)
+						out = append(out, []Op{
+							{Var: w2.Var, Val: w2.Val},
+							{Var: w1.Var, Val: w1.Val},
+						})
+						return out, true
+					}
+				}
+			}
+			return nil, false
+		},
+	},
+	{
+		// Lost write: a client's own committed write vanishes — its next
+		// observation of the variable is the initial 0 (read-your-writes).
+		name:        "lost-write",
+		rejectModes: []Mode{ModePRAM, ModePerVariable},
+		apply: func(tr Trace) (Trace, bool) {
+			for c := range tr {
+				for i, op := range tr[c] {
+					if !op.Write || op.Failed {
+						continue
+					}
+					out := cloneTrace(tr)
+					out[c] = append(out[c][:i+1], append([]Op{{Var: op.Var}}, out[c][i+1:]...)...)
+					return out, true
+				}
+			}
+			return nil, false
+		},
+	},
+	{
+		// Program-order inversion: an observer sees a client's later write
+		// to one variable but not its earlier write to another — FIFO
+		// broken, per-variable histories individually fine.
+		name:         "program-order-inversion",
+		rejectModes:  []Mode{ModePRAM},
+		certifyModes: []Mode{ModePerVariable},
+		apply: func(tr Trace) (Trace, bool) {
+			for c := range tr {
+				for i, w1 := range tr[c] {
+					if !w1.Write || w1.Failed {
+						continue
+					}
+					for j := i + 1; j < len(tr[c]); j++ {
+						w2 := tr[c][j]
+						if !w2.Write || w2.Failed || w2.Var == w1.Var {
+							continue
+						}
+						out := cloneTrace(tr)
+						out = append(out, []Op{{Var: w2.Var, Val: w2.Val}, {Var: w1.Var}})
+						return out, true
+					}
+				}
+			}
+			return nil, false
+		},
+	},
+	{
+		// Read-uncommitted value: a read returns a value no write ever
+		// stored (in a real system: a torn or aborted write made visible).
+		name:        "read-uncommitted",
+		rejectModes: []Mode{ModePRAM, ModePerVariable},
+		apply: func(tr Trace) (Trace, bool) {
+			for c := range tr {
+				for i, op := range tr[c] {
+					if op.Write {
+						continue
+					}
+					out := cloneTrace(tr)
+					out[c][i].Val = 0xF<<60 | 0xBAD // outside the minted (client+1)<<40|seq space
+					return out, true
+				}
+			}
+			return nil, false
+		},
+	},
+	{
+		// Fork-join anomaly: after two concurrent writers race on one
+		// variable, a joining observer sees the value flip back — no
+		// write order explains 1, 2, 1.
+		name:        "fork-join",
+		rejectModes: []Mode{ModePRAM, ModePerVariable},
+		apply: func(tr Trace) (Trace, bool) {
+			writerOf := indexWriters(tr)
+			for key, wa := range writerOf {
+				for key2, wb := range writerOf {
+					if key[0] != key2[0] || wa.client == wb.client {
+						continue
+					}
+					out := cloneTrace(tr)
+					out = append(out, []Op{
+						{Var: key[0], Val: key[1]},
+						{Var: key2[0], Val: key2[1]},
+						{Var: key[0], Val: key[1]},
+					})
+					return out, true
+				}
+			}
+			return nil, false
+		},
+	},
+}
+
+func indexWriters(tr Trace) map[[2]uint64]opRef {
+	out := make(map[[2]uint64]opRef)
+	for c := range tr {
+		for i, op := range tr[c] {
+			if op.Write && !op.Failed {
+				out[[2]uint64{op.Var, op.Val}] = opRef{c, i}
+			}
+		}
+	}
+	return out
+}
+
+func TestMutationsRejectedAndRedAgainstBrokenStub(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			seeded := 0
+			for attempt := 0; attempt < 50 && seeded < 5; attempt++ {
+				base := genSCTrace(rng, 2+rng.Intn(3), 30+rng.Intn(60), 2+rng.Intn(5))
+				mut, ok := m.apply(base)
+				if !ok {
+					continue
+				}
+				seeded++
+				for _, mode := range m.rejectModes {
+					rep := Check(mut, mode)
+					if rep.OK {
+						t.Fatalf("checker certified a %s-seeded trace under %s", m.name, mode)
+					}
+					if v := rep.First(); len(v.Ops) == 0 && v.Kind == KindCycle {
+						t.Fatalf("%s under %s: violation carries no counterexample: %+v", m.name, mode, v)
+					}
+					// The red check: the broken stub must NOT catch it —
+					// proving this suite fails against a checker whose
+					// closure or precondition logic is gutted.
+					if broken := brokenCheck(mut, mode); !broken.OK {
+						t.Fatalf("broken stub rejected %s under %s — the red check is not discriminating: %+v",
+							m.name, mode, broken.First())
+					}
+				}
+				for _, mode := range m.certifyModes {
+					if rep := Check(mut, mode); !rep.OK {
+						t.Fatalf("%s must stay invisible to %s, got %+v", m.name, mode, rep.First())
+					}
+				}
+				// The base trace stays valid: the operator, not the
+				// generator, introduced the anomaly.
+				if rep := Check(base, ModePRAM); !rep.OK {
+					t.Fatalf("generator produced an invalid base trace: %+v", rep.First())
+				}
+			}
+			if seeded == 0 {
+				t.Fatalf("no generated trace offered a %s seeding site", m.name)
+			}
+		})
+	}
+}
+
+// TestHandBuiltViolationsRedAgainstBrokenStub completes the red check for
+// the hand-built counterparts in checker_test.go: each minimal instance of
+// the five classes must slip past the broken stub.
+func TestHandBuiltViolationsRedAgainstBrokenStub(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   Trace
+		mode Mode
+	}{
+		{"stale-read", Trace{{w(1, 10), w(1, 20)}, {r(1, 20), r(1, 10)}}, ModePRAM},
+		{"lost-write", Trace{{w(1, 10), r(1, 0)}}, ModePRAM},
+		{"program-order-inversion", Trace{{w(1, 10), w(2, 20)}, {r(2, 20), r(1, 0)}}, ModePRAM},
+		{"read-uncommitted", Trace{{w(1, 10)}, {r(1, 7)}}, ModePerVariable},
+		{"fork-join", Trace{{w(1, 10)}, {w(1, 20)}, {r(1, 10), r(1, 20), r(1, 10)}}, ModePerVariable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if rep := Check(tc.tr, tc.mode); rep.OK {
+				t.Fatalf("real checker certified the %s trace", tc.name)
+			}
+			if rep := brokenCheck(tc.tr, tc.mode); !rep.OK {
+				t.Fatalf("broken stub rejected the %s trace — red check not discriminating: %+v", tc.name, rep.First())
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"math/rand"
 
+	"detshmem/internal/consistency"
 	"detshmem/internal/core"
 	"detshmem/internal/obs"
 	"detshmem/internal/protocol"
@@ -49,6 +50,11 @@ type Options struct {
 	// fails and recovers in the background while clients stream
 	// (smembench -faultsched).
 	FaultSched string
+	// Consistency, when non-nil, receives E20's recorded client traces —
+	// per-client streams of value-carrying operations, one Run per measured
+	// cell with the service's declared contract (smembench -trace embeds the
+	// resulting TraceSet in its dump for cmd/consistencycheck).
+	Consistency *consistency.Recorder
 	// Recorder, when non-nil, is installed on every protocol system built
 	// through the shared constructor, capturing one event per MPC round
 	// (smembench -trace wires a ring-buffer tracer here).
@@ -129,6 +135,7 @@ func All() []Runner {
 		{"e17", "Observability: round trajectory, contention, Theorem 6 shape", E17},
 		{"e18", "Scaling out: sharded, pipelined frontend throughput vs S", E18},
 		{"e19", "Fault tolerance: throughput and round inflation vs failed modules", E19},
+		{"e20", "Consistency auditing: trace-checker cost and sampling-audit overhead", E20},
 	}
 }
 

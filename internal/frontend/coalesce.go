@@ -187,6 +187,60 @@ func (p *Pending) Complete(res *protocol.Result, err error) {
 	}
 }
 
+// Auditor observes the committed operation stream in commit order — one
+// call per batch entry, in batch order, batches in flush order. The
+// dispatchers call it from their single flush goroutine between accounting
+// and future fan-out, so implementations are fed by exactly one goroutine
+// per dispatcher and the calls must not block or allocate (they sit on the
+// flush hot path). internal/consistency's sampling Auditor is the
+// production implementation.
+type Auditor interface {
+	// AuditRead: a committed read of v returned val.
+	AuditRead(v, val uint64)
+	// AuditWrite: a committed write left v holding val (after last-writer-
+	// wins coalescing, val is what the store now holds).
+	AuditWrite(v, val uint64)
+	// AuditFailed: the operation's request failed (whole-batch error or a
+	// per-request quorum verdict); val carries a failed write's value.
+	AuditFailed(v, val uint64, write bool)
+}
+
+// Audit feeds the batch's per-variable outcome to an auditor, mirroring
+// Complete's per-request error attribution: entries whose request failed
+// report AuditFailed, committed writes report their final coalesced value,
+// committed reads their returned value. Like Complete it must run before
+// Reset; dispatchers call it just before Complete so the audit stream is
+// exactly the commit-order entry stream. Allocation-free on the healthy
+// path (err == nil).
+func (p *Pending) Audit(a Auditor, res *protocol.Result, err error) {
+	incomplete := err != nil && errors.Is(err, protocol.ErrIncomplete) && res != nil
+	var unfinished map[int]error
+	if incomplete {
+		unfinished = make(map[int]error, len(res.Metrics.Unfinished))
+		for _, r := range res.Metrics.Unfinished {
+			unfinished[r] = protocol.ErrIncomplete
+		}
+		for _, r := range res.Metrics.Stranded {
+			unfinished[r] = protocol.ErrQuorumUnreachable
+		}
+	}
+	for i, v := range p.order {
+		e := p.entries[v]
+		reqErr := err
+		if incomplete {
+			reqErr = unfinished[i]
+		}
+		switch {
+		case reqErr != nil:
+			a.AuditFailed(v, e.val, e.write)
+		case e.write:
+			a.AuditWrite(v, e.val)
+		default:
+			a.AuditRead(v, res.Values[i])
+		}
+	}
+}
+
 // Reset clears the batch for reuse, recycling its entries. Future
 // references are dropped so completed futures stay collectable.
 func (p *Pending) Reset() {

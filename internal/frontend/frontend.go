@@ -74,6 +74,10 @@ type Config struct {
 	// protocol metrics flow through the backend's own instrumentation
 	// (protocol.Config.Observer / Recorder), typically the same collector.
 	Collector *obs.Collector
+	// Auditor, when non-nil, observes every committed operation in commit
+	// order (the sampling consistency audit). Called only from the
+	// dispatcher goroutine.
+	Auditor Auditor
 }
 
 // Frontend is the combining service. All methods are safe for concurrent
@@ -371,6 +375,9 @@ func (f *Frontend) flush(p *Pending, cause obs.FlushCause) {
 	f.statsMu.Unlock()
 	if c := f.cfg.Collector; c != nil {
 		c.ObserveFlush(cause)
+	}
+	if a := f.cfg.Auditor; a != nil {
+		p.Audit(a, res, err)
 	}
 
 	p.Complete(res, err)

@@ -126,6 +126,12 @@ type Collector struct {
 	QueueDepth    Histogram // submission-queue depth sampled at admission
 	MaxQueueDepth MaxGauge  // deepest queue observed
 	Flushes       [numFlushCauses]Counter
+
+	// Consistency-audit level (ObserveAudit / ObserveAuditEviction, from
+	// the sampling auditor in internal/consistency).
+	AuditedOps      Counter // operations on sampled variables audited
+	AuditViolations Counter // audited reads contradicting the last known value
+	AuditEvictions  Counter // audit slots reclaimed for a different variable
 }
 
 // NewCollector returns a zeroed collector.
@@ -184,6 +190,20 @@ func (c *Collector) ObserveFlush(cause FlushCause) {
 	}
 }
 
+// ObserveAudit counts one operation audited by the sampling consistency
+// audit; violation marks an audited read that contradicted the last value
+// the audit knew for its variable.
+func (c *Collector) ObserveAudit(violation bool) {
+	c.AuditedOps.Inc()
+	if violation {
+		c.AuditViolations.Inc()
+	}
+}
+
+// ObserveAuditEviction counts one audit slot reclaimed for a different
+// variable (audit coverage loss, not a consistency problem).
+func (c *Collector) ObserveAuditEviction() { c.AuditEvictions.Inc() }
+
 // Snapshot returns every scalar metric by name (histograms contribute their
 // count and sum). The map is freshly allocated; keys are stable and sorted
 // iteration gives a deterministic listing.
@@ -228,6 +248,9 @@ func (c *Collector) SnapshotInto(label string, dst map[string]int64) {
 		"queue_depth_count":         c.QueueDepth.Count(),
 		"queue_depth_sum":           c.QueueDepth.Sum(),
 		"max_queue_depth":           c.MaxQueueDepth.Load(),
+		"audit_sampled_total":       c.AuditedOps.Load(),
+		"audit_violations_total":    c.AuditViolations.Load(),
+		"audit_evictions_total":     c.AuditEvictions.Load(),
 	}
 	for cause := FlushCause(0); cause < numFlushCauses; cause++ {
 		m["flushes_"+cause.String()+"_total"] = c.Flushes[cause].Load()
@@ -276,6 +299,9 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		{"barrier_wait_ns_total", "Coordinator barrier wait, nanoseconds (parallel engine).", "counter", c.BarrierNs.Load()},
 		{"max_module_load", "Worst per-module congestion observed in any round.", "gauge", c.MaxModuleLoad.Load()},
 		{"max_queue_depth", "Deepest frontend submission queue observed.", "gauge", c.MaxQueueDepth.Load()},
+		{"audit_sampled_total", "Operations audited by the sampling consistency audit.", "counter", c.AuditedOps.Load()},
+		{"audit_violations_total", "Audited reads contradicting the last known value.", "counter", c.AuditViolations.Load()},
+		{"audit_evictions_total", "Audit slots reclaimed for a different variable.", "counter", c.AuditEvictions.Load()},
 	}
 	for _, s := range scalars {
 		if err := writeScalar(w, s.name, s.help, s.typ, s.value); err != nil {

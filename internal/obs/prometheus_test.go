@@ -30,6 +30,10 @@ func goldenCollector() *Collector {
 	c.ObserveFlush(FlushExplicit)
 	c.ObserveFlush(FlushConflict)
 	c.ObserveFlush(FlushIdle)
+	c.ObserveAudit(false)
+	c.ObserveAudit(false)
+	c.ObserveAudit(true)
+	c.ObserveAuditEviction()
 	return c
 }
 

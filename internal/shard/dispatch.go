@@ -36,7 +36,8 @@ import (
 // channel does.
 type pipeDispatcher struct {
 	sys *protocol.System
-	col *obs.Collector // nil when not observing
+	col *obs.Collector   // nil when not observing
+	aud frontend.Auditor // nil when not auditing; flusher-goroutine only
 
 	maxBatch   int
 	maxPending int
@@ -73,10 +74,11 @@ type sealedBatch struct {
 	cause obs.FlushCause
 }
 
-func newPipeDispatcher(sys *protocol.System, maxBatch, maxPending int, col *obs.Collector) *pipeDispatcher {
+func newPipeDispatcher(sys *protocol.System, maxBatch, maxPending int, col *obs.Collector, aud frontend.Auditor) *pipeDispatcher {
 	d := &pipeDispatcher{
 		sys:        sys,
 		col:        col,
+		aud:        aud,
 		maxBatch:   maxBatch,
 		maxPending: maxPending,
 		cur:        frontend.NewPending(maxBatch),
@@ -252,6 +254,9 @@ func (d *pipeDispatcher) flushOne(p *frontend.Pending, cause obs.FlushCause) {
 	d.statsMu.Unlock()
 	if d.col != nil {
 		d.col.ObserveFlush(cause)
+	}
+	if d.aud != nil {
+		p.Audit(d.aud, res, err)
 	}
 	p.Complete(res, err)
 }

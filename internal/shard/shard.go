@@ -36,6 +36,7 @@ package shard
 import (
 	"fmt"
 
+	"detshmem/internal/consistency"
 	"detshmem/internal/frontend"
 	"detshmem/internal/obs"
 	"detshmem/internal/protocol"
@@ -68,6 +69,16 @@ type Config struct {
 	// Observe attaches a per-shard obs.Collector to each shard's dispatcher
 	// and system, exposed via Collector and Snapshot.
 	Observe bool
+	// Audit, when Audit.Rate > 0, attaches a sampling consistency auditor
+	// to each shard's dispatcher (see consistency.AuditConfig): every
+	// committed operation on a deterministic ~Rate sample of the variable
+	// space is checked against the shard's per-variable-linearizability
+	// contract, in commit order, on the flush path. Because all operations
+	// on a variable land on one shard, each shard's auditor sees the
+	// complete history of its sampled variables. With Observe set the
+	// audit counters also flow into the shard's collector. Audit.Collector
+	// is ignored (the per-shard collector is used).
+	Audit consistency.AuditConfig
 }
 
 // Service is the sharded frontend. All methods are safe for concurrent use.
@@ -87,7 +98,8 @@ type dispatcher interface {
 
 type shardState struct {
 	sys *protocol.System
-	col *obs.Collector // nil unless Config.Observe
+	col *obs.Collector       // nil unless Config.Observe
+	aud *consistency.Auditor // nil unless Config.Audit.Rate > 0
 	d   dispatcher
 }
 
@@ -150,13 +162,25 @@ func New(m protocol.Mapper, cfg Config) (*Service, error) {
 			return fail(i, fmt.Errorf("shard %d: %w", i, err))
 		}
 		st.sys = sys
+		// One auditor per shard: the audited per-variable histories stay
+		// complete because routing pins every operation on a variable to
+		// one shard. The interface value is only set when auditing is on —
+		// a typed nil would defeat the dispatchers' nil checks.
+		var aud frontend.Auditor
+		if cfg.Audit.Rate > 0 {
+			acfg := cfg.Audit
+			acfg.Collector = st.col
+			st.aud = consistency.NewAuditor(acfg)
+			aud = st.aud
+		}
 		if cfg.Pipeline {
-			st.d = newPipeDispatcher(sys, cfg.MaxBatch, cfg.MaxPending, st.col)
+			st.d = newPipeDispatcher(sys, cfg.MaxBatch, cfg.MaxPending, st.col, aud)
 		} else {
 			fe, err := frontend.New(sys, frontend.Config{
 				MaxBatch:  cfg.MaxBatch,
 				QueueCap:  cfg.QueueCap,
 				Collector: st.col,
+				Auditor:   aud,
 			})
 			if err != nil {
 				sys.Close()
@@ -281,6 +305,23 @@ func (s *Service) System(i int) *protocol.System { return s.shards[i].sys }
 
 // Collector returns shard i's collector, nil unless Config.Observe.
 func (s *Service) Collector(i int) *obs.Collector { return s.shards[i].col }
+
+// Auditor returns shard i's sampling consistency auditor, nil unless
+// Config.Audit.Rate > 0.
+func (s *Service) Auditor(i int) *consistency.Auditor { return s.shards[i].aud }
+
+// AuditStats merges every shard's audit counters. Zero when auditing is
+// off.
+func (s *Service) AuditStats() consistency.AuditStats {
+	var out consistency.AuditStats
+	for _, st := range s.shards {
+		a := st.aud.Stats()
+		out.Sampled += a.Sampled
+		out.Violations += a.Violations
+		out.Evictions += a.Evictions
+	}
+	return out
+}
 
 // Snapshot merges every shard's collector into one labeled map
 // ("shard0_batches_total", …) plus service-level aggregates: per-shard
