@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -722,6 +723,122 @@ func BenchmarkE18ShardedFrontend(b *testing.B) {
 				st := svc.Stats()
 				b.ReportMetric(st.Total.CombiningRate(), "combined/op")
 				b.ReportMetric(st.Imbalance(), "imbalance")
+			})
+		}
+	}
+}
+
+// BenchmarkE21MulticoreScaling measures the lock-free execution layer under
+// an explicit GOMAXPROCS sweep at CI scale (n=5): the pipelined per-op path
+// and the cross-shard AccessBatch path, each at 1 and 4 procs. Sub-benchmark
+// names carry both "sharded" and "procs=" so the bench-regression gate's
+// family regex and the parallel-variant requirement match them. E21 is the
+// full-scale (n=7) sweep behind BENCH_PR7.json.
+func BenchmarkE21MulticoreScaling(b *testing.B) {
+	s, idx := mustScheme(b, 1, 5)
+	mapper := protocol.NewCoreMapper(s, idx)
+	res, err := protocol.CompileMapper(mapper, protocol.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := []struct {
+		name    string
+		shards  int
+		batched bool
+	}{
+		{"S=4/pipelined", 4, false},
+		{"S=4/batched", 4, true},
+	}
+	for _, procs := range []int{1, 4} {
+		for _, cfg := range configs {
+			cfg := cfg
+			b.Run(fmt.Sprintf("sharded/%s/procs=%d", cfg.name, procs), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				svc, err := shard.New(mapper, shard.Config{
+					Shards:   cfg.shards,
+					Pipeline: true,
+					Protocol: protocol.Config{Resolver: res, Parallel: true},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Close()
+				const clients, window = 8, 64
+				m := mapper.NumVars()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(c) + 21))
+						stream := workload.HotSpot(rng, m, (b.N+clients-1)/clients, 16, 0)
+						if cfg.batched {
+							ops := make([]shard.BatchOp, 0, window)
+							flush := func() bool {
+								if len(ops) == 0 {
+									return true
+								}
+								batch, err := svc.AccessBatch(ops)
+								if err == nil {
+									err = batch.Wait()
+								}
+								if err != nil {
+									b.Error(err)
+									return false
+								}
+								ops = ops[:0]
+								return true
+							}
+							for i, v := range stream {
+								if i%3 == 0 {
+									ops = append(ops, shard.BatchOp{Write: true, Var: v, Val: uint64(i)})
+								} else {
+									ops = append(ops, shard.BatchOp{Var: v})
+								}
+								if len(ops) == window && !flush() {
+									return
+								}
+							}
+							flush()
+							return
+						}
+						pending := make([]*frontend.Future, 0, window)
+						drain := func() bool {
+							for _, fut := range pending {
+								if _, err := fut.Wait(); err != nil {
+									b.Error(err)
+									return false
+								}
+							}
+							pending = pending[:0]
+							return true
+						}
+						for i, v := range stream {
+							var fut *frontend.Future
+							var err error
+							if i%3 == 0 {
+								fut, err = svc.WriteAsync(v, uint64(i))
+							} else {
+								fut, err = svc.ReadAsync(v)
+							}
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							pending = append(pending, fut)
+							if len(pending) == window && !drain() {
+								return
+							}
+						}
+						drain()
+					}(c)
+				}
+				wg.Wait()
+				st := svc.Stats()
+				b.ReportMetric(st.Total.CombiningRate(), "combined/op")
+				b.ReportMetric(float64(st.Total.MaxQueueDepth), "maxdepth")
 			})
 		}
 	}

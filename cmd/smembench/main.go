@@ -1,12 +1,16 @@
-// Command smembench regenerates the experiment tables E1–E20 (the paper's
+// Command smembench regenerates the experiment tables E1–E21 (the paper's
 // analytical claims as measurements, plus the extensions). See DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for recorded results.
 //
 // Usage:
 //
 //	smembench [-exp e1,e4,...] [-quick] [-seed N] [-json] [-jsonout FILE]
-//	          [-shards S] [-pipeline] [-faults F] [-faultsched SCHED]
-//	          [-trace FILE] [-tracecap N] [-pprof ADDR]
+//	          [-maxprocs P1,P2,...] [-shards S] [-pipeline] [-faults F]
+//	          [-faultsched SCHED] [-trace FILE] [-tracecap N] [-pprof ADDR]
+//
+// -maxprocs sweeps GOMAXPROCS: the selected experiments run once per listed
+// value. With more than one value, each pass's JSON output gets a ".procsN"
+// suffix before the extension so sweep points do not overwrite each other.
 //
 // With no -exp it runs everything in order. -json makes JSON-capable
 // experiments also write machine-readable results, each to its own default
@@ -44,6 +48,8 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -109,7 +115,8 @@ func newShardTrace(label string, st shard.Stats) shardTrace {
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e20); empty = all")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e21); empty = all")
+		maxprocs = flag.String("maxprocs", "", "comma-separated GOMAXPROCS values; the selected experiments run once per value (JSON outputs get a .procsN suffix)")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
 		seed     = flag.Int64("seed", 0, "workload RNG seed (0 = default)")
 		jsonOut  = flag.Bool("json", false, "write machine-readable results where supported (e16, e18, e19)")
@@ -176,19 +183,40 @@ func main() {
 		fmt.Printf("serving pprof/expvar/metrics on %s\n\n", *pprofA)
 	}
 
+	procsList, err := parseMaxProcs(*maxprocs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smembench: %v\n", err)
+		os.Exit(2)
+	}
+
 	ran := 0
-	for _, r := range experiments.All() {
-		if len(want) > 0 && !want[r.ID] {
-			continue
+	for _, procs := range procsList {
+		o := opts
+		if procs > 0 {
+			runtime.GOMAXPROCS(procs)
+			fmt.Printf("### GOMAXPROCS=%d ###\n\n", procs)
+			if len(procsList) > 1 {
+				// One JSON per sweep point; a single pinned value keeps the
+				// plain path so scripts need not know about the suffix.
+				o.JSONSuffix = fmt.Sprintf(".procs%d", procs)
+			}
 		}
-		fmt.Printf("=== %s: %s ===\n", strings.ToUpper(r.ID), r.Title)
-		start := time.Now()
-		if err := r.Run(os.Stdout, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
-			os.Exit(1)
+		for _, r := range experiments.All() {
+			if len(want) > 0 && !want[r.ID] {
+				continue
+			}
+			fmt.Printf("=== %s: %s ===\n", strings.ToUpper(r.ID), r.Title)
+			start := time.Now()
+			if err := r.Run(os.Stdout, o); err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+			ran++
 		}
-		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
-		ran++
+	}
+	if len(procsList) > 1 {
+		ran /= len(procsList)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; known ids:", *expFlag)
@@ -215,6 +243,23 @@ func main() {
 // Σ Requests + Σ DroppedBids == Σ IssuedBids, so the books balance exactly
 // even under failure injection (instrumented systems install tracer and
 // collector together, so the two views describe the same runs).
+// parseMaxProcs parses the -maxprocs sweep list. An empty flag yields the
+// single sentinel 0: one pass at the inherited GOMAXPROCS, untouched.
+func parseMaxProcs(s string) ([]int, error) {
+	if s == "" {
+		return []int{0}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 || p > 1024 {
+			return nil, fmt.Errorf("bad -maxprocs value %q (want integers in [1, 1024])", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 func writeTrace(path string, tracer *obs.Tracer, collector *obs.Collector, shards []shardTrace, rec *consistency.Recorder) error {
 	totals := tracer.Totals()
 	dump := traceDump{

@@ -65,19 +65,21 @@ func E16(w io.Writer, o Options) error {
 		Speedup     float64 `json:"speedup_vs_live_seq"`
 	}
 	report := struct {
-		Experiment string `json:"experiment"`
-		Quick      bool   `json:"quick"`
-		Degree     int    `json:"degree_n"`
-		Modules    uint64 `json:"modules"`
-		Vars       uint64 `json:"vars"`
-		Batch      []row  `json:"batch"`
-		Frontend   []row  `json:"frontend"`
+		Experiment string   `json:"experiment"`
+		Quick      bool     `json:"quick"`
+		Degree     int      `json:"degree_n"`
+		Modules    uint64   `json:"modules"`
+		Vars       uint64   `json:"vars"`
+		Host       HostInfo `json:"host"`
+		Batch      []row    `json:"batch"`
+		Frontend   []row    `json:"frontend"`
 	}{
 		Experiment: "e16-hot-path",
 		Quick:      o.Quick,
 		Degree:     n,
 		Modules:    inst.s.NumModules,
 		Vars:       inst.s.NumVariables,
+		Host:       Host(),
 	}
 
 	fprintf(w, "E16 Hot path: compiled resolution + persistent-pool engine (q=2, n=%d, N=%d, M=%d)\n",

@@ -108,15 +108,16 @@ func E18(w io.Writer, o Options) error {
 		Speedup    float64 `json:"speedup_vs_baseline"`
 	}
 	report := struct {
-		Experiment string `json:"experiment"`
-		Quick      bool   `json:"quick"`
-		Degree     int    `json:"degree_n"`
-		Modules    uint64 `json:"modules"`
-		Vars       uint64 `json:"vars"`
-		GoMaxProcs int    `json:"gomaxprocs"`
-		Clients    int    `json:"clients"`
-		OpsPerRun  int    `json:"ops_per_run"`
-		Rows       []row  `json:"rows"`
+		Experiment string   `json:"experiment"`
+		Quick      bool     `json:"quick"`
+		Degree     int      `json:"degree_n"`
+		Modules    uint64   `json:"modules"`
+		Vars       uint64   `json:"vars"`
+		GoMaxProcs int      `json:"gomaxprocs"`
+		Host       HostInfo `json:"host"`
+		Clients    int      `json:"clients"`
+		OpsPerRun  int      `json:"ops_per_run"`
+		Rows       []row    `json:"rows"`
 	}{
 		Experiment: "e18-sharded-frontend",
 		Quick:      o.Quick,
@@ -124,6 +125,7 @@ func E18(w io.Writer, o Options) error {
 		Modules:    inst.s.NumModules,
 		Vars:       inst.s.NumVariables,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Host:       Host(),
 		Clients:    clients,
 		OpsPerRun:  totalOps,
 	}

@@ -119,16 +119,17 @@ func E19(w io.Writer, o Options) error {
 		RoundInflate  float64 `json:"round_inflation_vs_f0"`
 	}
 	report := struct {
-		Experiment string `json:"experiment"`
-		Quick      bool   `json:"quick"`
-		Degree     int    `json:"degree_n"`
-		Modules    uint64 `json:"modules"`
-		Vars       uint64 `json:"vars"`
-		Quorum     int    `json:"quorum"`
-		GoMaxProcs int    `json:"gomaxprocs"`
-		Clients    int    `json:"clients"`
-		OpsPerRun  int    `json:"ops_per_run"`
-		Rows       []row  `json:"rows"`
+		Experiment string   `json:"experiment"`
+		Quick      bool     `json:"quick"`
+		Degree     int      `json:"degree_n"`
+		Modules    uint64   `json:"modules"`
+		Vars       uint64   `json:"vars"`
+		Quorum     int      `json:"quorum"`
+		GoMaxProcs int      `json:"gomaxprocs"`
+		Host       HostInfo `json:"host"`
+		Clients    int      `json:"clients"`
+		OpsPerRun  int      `json:"ops_per_run"`
+		Rows       []row    `json:"rows"`
 	}{
 		Experiment: "e19-fault-tolerance",
 		Quick:      o.Quick,
@@ -137,6 +138,7 @@ func E19(w io.Writer, o Options) error {
 		Vars:       inst.s.NumVariables,
 		Quorum:     inst.s.Majority,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Host:       Host(),
 		Clients:    clients,
 		OpsPerRun:  totalOps,
 	}

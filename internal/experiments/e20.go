@@ -49,6 +49,7 @@ func E20(w io.Writer, o Options) error {
 		Experiment: "e20-consistency-auditing",
 		Quick:      o.Quick,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Host:       Host(),
 	}
 	if err := e20CheckerCost(w, o, &rep); err != nil {
 		return err
@@ -76,6 +77,7 @@ type e20Report struct {
 	Experiment string           `json:"experiment"`
 	Quick      bool             `json:"quick"`
 	GoMaxProcs int              `json:"gomaxprocs"`
+	Host       HostInfo         `json:"host"`
 	Checker    []e20CheckerRow  `json:"checker_rows"`
 	Sampling   []e20SamplingRow `json:"sampling_rows"`
 	Recorded   []e20RecordedRow `json:"recorded_rows"`

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"path/filepath"
+	"strings"
 
 	"detshmem/internal/consistency"
 	"detshmem/internal/core"
@@ -33,6 +35,11 @@ type Options struct {
 	// output for every JSON-capable experiment in the run, so select a
 	// single experiment when using an explicit path.
 	JSONPath string
+	// JSONSuffix is inserted before the JSON path's extension (e.g.
+	// ".procs4" turns BENCH_PR7.json into BENCH_PR7.procs4.json); the
+	// smembench -maxprocs sweep uses it so each GOMAXPROCS pass keeps its
+	// own output.
+	JSONSuffix string
 	// Shards and Pipeline, when Shards > 0, pin E18 to a single sharded
 	// configuration (plus its unsharded baseline) instead of the full sweep
 	// (smembench -shards / -pipeline).
@@ -80,13 +87,21 @@ func (o Options) instrument(cfg protocol.Config) protocol.Config {
 // machine-readable results: the explicit override, the experiment's default
 // when JSON output was requested, or "" for no JSON.
 func (o Options) jsonPath(def string) string {
-	if o.JSONPath != "" {
-		return o.JSONPath
+	path := o.JSONPath
+	if path == "" {
+		if !o.JSON {
+			return ""
+		}
+		path = def
 	}
-	if o.JSON {
-		return def
+	if o.JSONSuffix != "" {
+		if ext := filepath.Ext(path); ext != "" {
+			path = strings.TrimSuffix(path, ext) + o.JSONSuffix + ext
+		} else {
+			path += o.JSONSuffix
+		}
 	}
-	return ""
+	return path
 }
 
 // Rng returns the experiment RNG.
@@ -136,6 +151,7 @@ func All() []Runner {
 		{"e18", "Scaling out: sharded, pipelined frontend throughput vs S", E18},
 		{"e19", "Fault tolerance: throughput and round inflation vs failed modules", E19},
 		{"e20", "Consistency auditing: trace-checker cost and sampling-audit overhead", E20},
+		{"e21", "Multi-core scaling: lock-free rings and the batch API vs GOMAXPROCS", E21},
 	}
 }
 

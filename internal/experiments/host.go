@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"strings"
+)
+
+// HostInfo identifies the machine and runtime a benchmark JSON was
+// produced on. BENCH_PR4 recorded only gomaxprocs, which left "is 0.86×
+// a mutex ceiling or a one-core host?" ambiguous — NumCPU and the CPU
+// model make committed curves interpretable without the original machine.
+type HostInfo struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// Host snapshots the current process's host information.
+func Host() HostInfo {
+	return HostInfo{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+}
+
+// cpuModel best-effort reads the CPU model name. On Linux that is the
+// first "model name" line of /proc/cpuinfo; elsewhere (or on failure) it
+// is empty — the field is metadata, never load-bearing.
+func cpuModel() string {
+	if runtime.GOOS != "linux" {
+		return ""
+	}
+	blob, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

@@ -127,6 +127,13 @@ type Collector struct {
 	MaxQueueDepth MaxGauge  // deepest queue observed
 	Flushes       [numFlushCauses]Counter
 
+	// Admission-ring level (ObserveRingDepth / ObserveFlusherPark /
+	// ObserveFlusherWake, from the lock-free pipelined shard dispatcher).
+	RingDepth    Histogram // ring occupancy, sampled every 64th admission
+	MaxRingDepth MaxGauge  // deepest ring occupancy observed (exact)
+	FlusherParks Counter   // flusher parked on a genuinely idle ring
+	FlusherWakes Counter   // producer kicks that un-parked the flusher
+
 	// Consistency-audit level (ObserveAudit / ObserveAuditEviction, from
 	// the sampling auditor in internal/consistency).
 	AuditedOps      Counter // operations on sampled variables audited
@@ -190,6 +197,22 @@ func (c *Collector) ObserveFlush(cause FlushCause) {
 	}
 }
 
+// ObserveRingDepth samples the pipelined shard's admission-ring occupancy.
+// The caller samples (every 64th admission) rather than observing every op,
+// keeping the shared histogram cache lines off the lock-free hot path.
+func (c *Collector) ObserveRingDepth(depth int64) {
+	c.RingDepth.Observe(depth)
+	c.MaxRingDepth.Observe(depth)
+}
+
+// ObserveFlusherPark counts the shard flusher blocking on an empty ring.
+func (c *Collector) ObserveFlusherPark() { c.FlusherParks.Inc() }
+
+// ObserveFlusherWake counts a producer kick that un-parked the flusher.
+// Parks without a matching wake were resolved by the flusher's own
+// re-check (the Dekker handshake's benign race).
+func (c *Collector) ObserveFlusherWake() { c.FlusherWakes.Inc() }
+
 // ObserveAudit counts one operation audited by the sampling consistency
 // audit; violation marks an audited read that contradicted the last value
 // the audit knew for its variable.
@@ -248,6 +271,11 @@ func (c *Collector) SnapshotInto(label string, dst map[string]int64) {
 		"queue_depth_count":         c.QueueDepth.Count(),
 		"queue_depth_sum":           c.QueueDepth.Sum(),
 		"max_queue_depth":           c.MaxQueueDepth.Load(),
+		"ring_depth_count":          c.RingDepth.Count(),
+		"ring_depth_sum":            c.RingDepth.Sum(),
+		"max_ring_depth":            c.MaxRingDepth.Load(),
+		"flusher_parks_total":       c.FlusherParks.Load(),
+		"flusher_wakes_total":       c.FlusherWakes.Load(),
 		"audit_sampled_total":       c.AuditedOps.Load(),
 		"audit_violations_total":    c.AuditViolations.Load(),
 		"audit_evictions_total":     c.AuditEvictions.Load(),
@@ -299,6 +327,9 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		{"barrier_wait_ns_total", "Coordinator barrier wait, nanoseconds (parallel engine).", "counter", c.BarrierNs.Load()},
 		{"max_module_load", "Worst per-module congestion observed in any round.", "gauge", c.MaxModuleLoad.Load()},
 		{"max_queue_depth", "Deepest frontend submission queue observed.", "gauge", c.MaxQueueDepth.Load()},
+		{"max_ring_depth", "Deepest shard admission-ring occupancy observed.", "gauge", c.MaxRingDepth.Load()},
+		{"flusher_parks_total", "Shard flusher parks on an idle admission ring.", "counter", c.FlusherParks.Load()},
+		{"flusher_wakes_total", "Producer kicks that un-parked a shard flusher.", "counter", c.FlusherWakes.Load()},
 		{"audit_sampled_total", "Operations audited by the sampling consistency audit.", "counter", c.AuditedOps.Load()},
 		{"audit_violations_total", "Audited reads contradicting the last known value.", "counter", c.AuditViolations.Load()},
 		{"audit_evictions_total", "Audit slots reclaimed for a different variable.", "counter", c.AuditEvictions.Load()},
@@ -335,6 +366,7 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		{"module_load", "Per-module per-round request load (merged lower-bound sum).", &c.ModuleLoad},
 		{"round_max_load", "Per-round maximum module load (imbalance).", &c.Imbalance},
 		{"queue_depth", "Frontend submission-queue depth at admission.", &c.QueueDepth},
+		{"ring_depth", "Shard admission-ring occupancy (sampled every 64th admission).", &c.RingDepth},
 	}
 	for _, hs := range hists {
 		if err := writeHistogram(w, hs.name, hs.help, hs.h); err != nil {

@@ -10,230 +10,167 @@ import (
 	"detshmem/internal/protocol"
 )
 
-// pipeDispatcher is the pipelined per-shard dispatcher. Where the classic
-// frontend funnels every operation through a channel into one dispatcher
-// goroutine that both coalesces and flushes, here the submitting goroutines
-// do the coalescing themselves: each op takes the shard's admission mutex,
-// receives its commit sequence number, and folds straight into the
-// accumulating frontend.Pending. A dedicated flusher goroutine drains
-// sealed batches FIFO and — when the backend is free and nothing is
-// sealed — grabs the accumulating batch directly (the channel dispatcher's
-// "queue ran dry" rule, without timers). Admission of batch k+1 therefore
-// proceeds under the mutex while the flusher holds batch k inside
-// AccessInto: double buffering with the batch seal as the only
-// synchronization point.
+// pipeDispatcher is the pipelined per-shard dispatcher, built on the
+// lock-free MPSC admission ring (ring.go). Earlier revisions had clients
+// coalesce into the accumulating batch under a shard admission mutex; that
+// mutex was the multi-core ceiling BENCH_PR4 measured (S=8 pipelined
+// regressed to 0.86× at GOMAXPROCS=1, and every producer serialized on one
+// lock above it). Now admission is one atomic fetch-add plus one publishing
+// store: clients claim ring slots and return immediately with a future,
+// while the flusher goroutine — the ring's single consumer — drains whole
+// published windows per sweep, assigns commit sequence numbers in pop
+// order, folds the ops into the accumulating frontend.Pending, and drives
+// sealed batches through the backend's allocation-free AccessInto path.
 //
-// Linearizability per variable is preserved by construction: sequence
-// numbers are assigned under the same mutex that admits the op into the
-// current batch, batches are sealed in sequence order, and the flusher
-// commits them FIFO — so ops in an earlier batch all carry smaller
-// sequence numbers than ops in a later one, and admission order remains
-// commit order shard-wide (a stronger guarantee than the per-variable
-// contract requires).
+// Linearizability per variable is preserved by construction: ring order is
+// admission order (positions are claimed by one fetch-add and popped in
+// position order), the flusher assigns sequence numbers in ring order, and
+// batches flush FIFO — so admission order remains commit order shard-wide,
+// exactly the guarantee the mutex gave.
 //
-// Backpressure: admission blocks while maxPending batches are sealed and
-// unflushed, bounding memory the way the classic dispatcher's bounded
-// channel does.
+// Handoff: no per-flush wakeup. The flusher spins through published ops
+// and only parks (park-flag + one channel token) when the ring is truly
+// empty; producers kick it only on the empty→non-empty transition. The
+// obs collector counts parks and wakes, so a workload that thrashes the
+// handoff is visible.
+//
+// Backpressure: the ring is bounded. A producer whose claimed slot has not
+// been freed yet spins briefly and then sleeps until the consumer frees
+// it, bounding admitted-but-uncommitted memory the way the old maxPending
+// rule did.
 type pipeDispatcher struct {
 	sys *protocol.System
 	col *obs.Collector   // nil when not observing
 	aud frontend.Auditor // nil when not auditing; flusher-goroutine only
 
-	maxBatch   int
-	maxPending int
+	maxBatch int
+	ring     *ring
+	done     chan struct{} // flusher exited
 
-	mu       sync.Mutex
-	cond     *sync.Cond // admission backpressure + Flush/Close waiters
-	cur      *frontend.Pending
-	seq      uint64
-	ready    []sealedBatch // FIFO, length ≤ maxPending
-	sealed   int64         // batches sealed so far (monotonic)
-	flushed  int64         // batches flushed so far (monotonic)
-	inflight int           // ops admitted but not yet committed
-	maxDepth int           // high-water inflight, for Stats.MaxQueueDepth
-	closed   bool
-
-	idle bool          // flusher is parked on kick
-	kick chan struct{} // cap 1, wakes the parked flusher
-
-	free []*frontend.Pending // recycled batches
-
-	// Flusher-owned flush scratch, reused across batches: the zero-alloc
-	// AccessInto path.
+	// Flusher-owned coalescing and flush scratch (single consumer, no
+	// lock): the accumulating batch, the commit sequence counter, and the
+	// zero-alloc AccessInto buffers.
+	cur  *frontend.Pending
+	seq  uint64
 	reqs []protocol.Request
 	res  protocol.Result
 
+	// statsMu guards stats for Stats() readers. Padded away from the
+	// flusher's scratch above: a Stats poller must not bounce the cache
+	// line the flusher writes on every batch (satellite bugfix, audited by
+	// pad_test.go).
+	_       cpad
 	statsMu sync.Mutex
 	stats   frontend.Stats
-
-	done chan struct{} // flusher exited
 }
 
-type sealedBatch struct {
-	p     *frontend.Pending
-	cause obs.FlushCause
-}
-
-func newPipeDispatcher(sys *protocol.System, maxBatch, maxPending int, col *obs.Collector, aud frontend.Auditor) *pipeDispatcher {
+// newPipeDispatcher builds the dispatcher and starts its flusher. ringCap
+// is the admission-ring capacity in operations (rounded up to a power of
+// two by newRing).
+func newPipeDispatcher(sys *protocol.System, maxBatch, ringCap int, col *obs.Collector, aud frontend.Auditor) *pipeDispatcher {
 	d := &pipeDispatcher{
-		sys:        sys,
-		col:        col,
-		aud:        aud,
-		maxBatch:   maxBatch,
-		maxPending: maxPending,
-		cur:        frontend.NewPending(maxBatch),
-		ready:      make([]sealedBatch, 0, maxPending+1),
-		kick:       make(chan struct{}, 1),
-		done:       make(chan struct{}),
+		sys:      sys,
+		col:      col,
+		aud:      aud,
+		maxBatch: maxBatch,
+		ring:     newRing(ringCap, col),
+		cur:      frontend.NewPending(maxBatch),
+		done:     make(chan struct{}),
 	}
-	d.cond = sync.NewCond(&d.mu)
 	go d.run()
 	return d
 }
 
-// ReadAsync admits a read into the accumulating batch.
+// ReadAsync admits a read into the shard's ring.
 func (d *pipeDispatcher) ReadAsync(v uint64) (*frontend.Future, error) {
-	return d.submit(false, v, 0)
-}
-
-// WriteAsync admits a write into the accumulating batch.
-func (d *pipeDispatcher) WriteAsync(v, val uint64) (*frontend.Future, error) {
-	return d.submit(true, v, val)
-}
-
-func (d *pipeDispatcher) submit(write bool, v, val uint64) (*frontend.Future, error) {
 	fut := frontend.NewFuture()
-	d.mu.Lock()
-	for !d.closed && len(d.ready) >= d.maxPending {
-		d.cond.Wait()
-	}
-	if d.closed {
-		d.mu.Unlock()
-		return nil, frontend.ErrClosed
-	}
-	if write && d.cur.WriteConflicts(v) {
-		// The variable carries an issued read: seal the batch; the write
-		// opens the next one. Sealing may momentarily exceed maxPending;
-		// the next submitter blocks, this op was already ordered behind
-		// the seal.
-		d.seal(obs.FlushConflict)
-	}
-	d.seq++
-	if write {
-		d.cur.Write(d.seq, v, val, fut)
-	} else {
-		d.cur.Read(d.seq, v, fut)
-	}
-	d.inflight++
-	depth := d.inflight
-	if depth > d.maxDepth {
-		d.maxDepth = depth
-	}
-	if d.cur.Distinct() >= d.maxBatch {
-		d.seal(obs.FlushSize)
-	}
-	d.wake()
-	d.mu.Unlock()
-	if d.col != nil {
-		d.col.ObserveQueueDepth(depth)
+	if err := d.ring.enqueue(ringRead, v, 0, fut, nil); err != nil {
+		return nil, err
 	}
 	return fut, nil
 }
 
-// seal moves the accumulating batch onto the ready queue (no-op when
-// empty). Caller holds mu.
-func (d *pipeDispatcher) seal(cause obs.FlushCause) {
-	if d.cur.Ops() == 0 {
-		return
+// WriteAsync admits a write into the shard's ring.
+func (d *pipeDispatcher) WriteAsync(v, val uint64) (*frontend.Future, error) {
+	fut := frontend.NewFuture()
+	if err := d.ring.enqueue(ringWrite, v, val, fut, nil); err != nil {
+		return nil, err
 	}
-	d.ready = append(d.ready, sealedBatch{d.cur, cause})
-	d.sealed++
-	d.cur = d.take()
+	return fut, nil
 }
 
-// take returns a recycled (or fresh) empty batch. Caller holds mu.
-func (d *pipeDispatcher) take() *frontend.Pending {
-	if n := len(d.free); n > 0 {
-		p := d.free[n-1]
-		d.free[n-1] = nil
-		d.free = d.free[:n-1]
-		return p
-	}
-	return frontend.NewPending(d.maxBatch)
-}
-
-// wake kicks the flusher if it is parked. Caller holds mu.
-func (d *pipeDispatcher) wake() {
-	if d.idle {
-		d.idle = false
-		select {
-		case d.kick <- struct{}{}:
-		default:
-		}
-	}
-}
-
-// run is the flusher: pop sealed batches FIFO; with none sealed and the
-// backend free, grab the accumulating batch (idle flush); with nothing at
-// all, park until an admission kicks.
+// run is the flusher: pop published ops in ring order, coalesce into the
+// accumulating batch, flush on size/conflict, idle-flush when the ring
+// runs dry, park when there is nothing at all.
 func (d *pipeDispatcher) run() {
 	defer close(d.done)
-	// yielded implements the idle grab's one-shot backoff: the flusher is
-	// kicked by the first admission into an empty batch, so grabbing
-	// immediately would flush a batch of whatever one submitter managed to
-	// admit before its first block. One scheduler yield lets every currently
-	// runnable submitter fold its window into the batch first — on a loaded
-	// single-core host this turns per-client-window batches into
-	// all-runnable-clients batches, amortizing the per-batch protocol cost
-	// over several times more ops — while costing an idle submitter nothing
-	// (Gosched returns immediately when nothing else is runnable).
+	var op ringOp
+	// yielded is the idle flush's one-shot backoff, carried over from the
+	// mutex dispatcher: when the ring runs dry with a partial batch, one
+	// scheduler yield lets every currently runnable submitter publish its
+	// window before the batch goes out — on a loaded host this turns
+	// per-client-window batches into all-runnable-clients batches —
+	// while costing nothing when no submitter is runnable.
 	yielded := false
 	for {
-		d.mu.Lock()
-		var p *frontend.Pending
-		var cause obs.FlushCause
-		switch {
-		case len(d.ready) > 0:
-			p, cause = d.ready[0].p, d.ready[0].cause
-			// Copy down instead of re-slicing so the backing array (sized
-			// maxPending+1 once) never creeps or reallocates.
-			copy(d.ready, d.ready[1:])
-			d.ready[len(d.ready)-1] = sealedBatch{}
-			d.ready = d.ready[:len(d.ready)-1]
-			d.cond.Broadcast() // an admission slot freed up
-		case d.cur.Ops() > 0:
-			if !yielded {
-				yielded = true
-				d.mu.Unlock()
-				runtime.Gosched()
+		if !d.ring.tryPop(&op) {
+			if d.cur.Ops() > 0 {
+				if !yielded {
+					yielded = true
+					runtime.Gosched()
+					continue
+				}
+				d.flushCur(obs.FlushIdle)
+				yielded = false
 				continue
 			}
-			p, cause = d.cur, obs.FlushIdle
-			d.sealed++
-			d.cur = d.take()
-		case d.closed:
-			d.mu.Unlock()
-			return
-		default:
-			d.idle = true
-			d.mu.Unlock()
-			<-d.kick
+			yielded = false
+			d.ring.park()
 			continue
 		}
 		yielded = false
-		d.mu.Unlock()
-
-		d.flushOne(p, cause)
-
-		ops := p.Ops()
-		p.Reset()
-		d.mu.Lock()
-		d.flushed++
-		d.inflight -= ops
-		d.free = append(d.free, p)
-		d.cond.Broadcast() // Flush waiters + admission backpressure
-		d.mu.Unlock()
+		switch op.kind {
+		case ringRead, ringWrite:
+			d.seq++
+			if op.kind == ringWrite {
+				if d.cur.WriteConflicts(op.v) {
+					// The variable carries an issued read: the batch goes
+					// out first, the write opens the next one.
+					d.flushCur(obs.FlushConflict)
+				}
+				d.cur.Write(d.seq, op.v, op.val, op.fut)
+			} else {
+				d.cur.Read(d.seq, op.v, op.fut)
+			}
+			if d.cur.Distinct() >= d.maxBatch {
+				d.flushCur(obs.FlushSize)
+			}
+		case ringFlush:
+			if d.cur.Ops() > 0 {
+				d.flushCur(obs.FlushExplicit)
+			} else {
+				// Nothing accumulated (the idle flusher already drained
+				// everything ahead of the sentinel): the explicit flush is
+				// still honored — and counted, so Flush-heavy callers see
+				// their cause in the stats deterministically.
+				d.statsMu.Lock()
+				d.stats.ExplicitFlushes++
+				d.statsMu.Unlock()
+			}
+			close(op.ack)
+		case ringClose:
+			if d.cur.Ops() > 0 {
+				d.flushCur(obs.FlushExplicit)
+			}
+			return
+		}
 	}
+}
+
+// flushCur flushes the accumulating batch and resets it for reuse.
+func (d *pipeDispatcher) flushCur(cause obs.FlushCause) {
+	d.flushOne(d.cur, cause)
+	d.cur.Reset()
 }
 
 // flushOne drives one batch through the backend's allocation-free path,
@@ -261,40 +198,26 @@ func (d *pipeDispatcher) flushOne(p *frontend.Pending, cause obs.FlushCause) {
 	p.Complete(res, err)
 }
 
-// Flush seals the accumulating batch and blocks until every batch sealed so
-// far has committed.
+// Flush enqueues a flush sentinel and blocks until the flusher has passed
+// it — at which point every operation admitted before the Flush call has
+// committed (ring FIFO order).
 func (d *pipeDispatcher) Flush() error {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		return frontend.ErrClosed
+	ack := make(chan struct{})
+	if err := d.ring.enqueue(ringFlush, 0, 0, nil, ack); err != nil {
+		return err
 	}
-	d.seal(obs.FlushExplicit)
-	target := d.sealed
-	d.wake()
-	// Batches sealed before a concurrent Close still flush (the flusher
-	// drains the ready queue before exiting), so waiting on the count alone
-	// is safe even if closed flips while we wait.
-	for d.flushed < target {
-		d.cond.Wait()
-	}
-	d.mu.Unlock()
+	<-ack
 	return nil
 }
 
 // Close flushes pending work, stops the flusher, and fails later
-// submissions with frontend.ErrClosed.
+// submissions with frontend.ErrClosed. The ring's close protocol
+// guarantees no operation is admitted behind the close sentinel, so
+// nothing is ever silently dropped.
 func (d *pipeDispatcher) Close() error {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
+	if !d.ring.close() {
 		return frontend.ErrClosed
 	}
-	d.seal(obs.FlushExplicit)
-	d.closed = true
-	d.wake()
-	d.cond.Broadcast() // release blocked admitters into ErrClosed
-	d.mu.Unlock()
 	<-d.done
 	return nil
 }
@@ -304,10 +227,8 @@ func (d *pipeDispatcher) Stats() frontend.Stats {
 	d.statsMu.Lock()
 	s := d.stats
 	d.statsMu.Unlock()
-	d.mu.Lock()
-	if d.maxDepth > s.MaxQueueDepth {
-		s.MaxQueueDepth = d.maxDepth
+	if md := int(d.ring.maxDepth.Load()); md > s.MaxQueueDepth {
+		s.MaxQueueDepth = md
 	}
-	d.mu.Unlock()
 	return s
 }

@@ -22,15 +22,23 @@
 //
 // # Pipelined dispatch
 //
-// With Config.Pipeline, each shard runs the direct-admission dispatcher
-// (dispatch.go): clients coalesce their operations straight into the
-// accumulating batch under the shard's admission mutex, while the shard's
-// flusher goroutine drives sealed batches through the backend's
-// allocation-free AccessInto path. Batch k+1 admits and combines while
-// batch k is still in the memory — double buffering — and the per-op
-// channel hop through a dispatcher goroutine is gone. Without Pipeline,
-// each shard wraps a classic channel-dispatcher frontend.Frontend, kept as
-// the measured baseline.
+// With Config.Pipeline, each shard runs the lock-free dispatcher
+// (dispatch.go): clients admit operations into a bounded MPSC ring
+// (ring.go) with one atomic fetch-add plus one publishing store — no
+// admission mutex — while the shard's flusher goroutine, the ring's single
+// consumer, drains whole published windows per sweep, coalesces them into
+// the accumulating batch, and drives sealed batches through the backend's
+// allocation-free AccessInto path. Batch k+1 admits while batch k is still
+// in the backend, and the per-op channel hop through a dispatcher
+// goroutine is gone. Without Pipeline, each shard wraps a classic
+// channel-dispatcher frontend.Frontend, kept as the measured baseline.
+//
+// # Cross-shard batches
+//
+// AccessBatch (batch.go) submits one client batch spanning any number of
+// shards with one synchronization per touched shard: the ops are
+// partitioned by Route once, each shard's sub-batch claims its ring slots
+// with a single fetch-add, and the caller waits on one Batch handle.
 package shard
 
 import (
@@ -57,10 +65,18 @@ type Config struct {
 	// QueueCap bounds each shard's submission queue (channel dispatcher
 	// only). 0 defaults to frontend's 4×MaxBatch.
 	QueueCap int
-	// MaxPending bounds sealed-but-unflushed batches per shard (pipelined
-	// dispatcher only); admission blocks beyond it. 0 defaults to 2 —
-	// one flushing, one sealed, one accumulating.
+	// MaxPending bounds admitted-but-unflushed work per shard (pipelined
+	// dispatcher only): it sizes the default admission-ring capacity at
+	// MaxBatch×(MaxPending+1) operations, clamped to [64, 4096] slots.
+	// Admission blocks (briefly spins, then sleeps) once the ring is full.
+	// 0 defaults to 2 — roughly one batch flushing, one sealed, one
+	// accumulating, as in the mutex-based dispatcher this replaced.
 	MaxPending int
+	// RingCap, when > 0, sets the pipelined admission-ring capacity in
+	// operations directly (rounded up to a power of two), overriding the
+	// MaxPending-derived default. Small rings sharpen backpressure; large
+	// rings absorb burstier admission.
+	RingCap int
 	// Protocol is the template for every shard's system. If its Resolver is
 	// nil one compiled resolver is built from the mapper and shared by all
 	// shards; Observer/Recorder hooks are preserved (per-shard collectors
@@ -129,6 +145,19 @@ func New(m protocol.Mapper, cfg Config) (*Service, error) {
 	if cfg.MaxPending == 0 {
 		cfg.MaxPending = 2
 	}
+	if cfg.RingCap < 0 || cfg.RingCap > 1<<20 {
+		return nil, fmt.Errorf("shard: RingCap %d out of range [0, %d]", cfg.RingCap, 1<<20)
+	}
+	ringCap := cfg.RingCap
+	if ringCap == 0 {
+		ringCap = cfg.MaxBatch * (cfg.MaxPending + 1)
+		if ringCap < 64 {
+			ringCap = 64
+		}
+		if ringCap > 4096 {
+			ringCap = 4096
+		}
+	}
 	pcfg := cfg.Protocol
 	if pcfg.Resolver == nil {
 		if r, ok := m.(*protocol.CompiledResolver); ok {
@@ -174,7 +203,7 @@ func New(m protocol.Mapper, cfg Config) (*Service, error) {
 			aud = st.aud
 		}
 		if cfg.Pipeline {
-			st.d = newPipeDispatcher(sys, cfg.MaxBatch, cfg.MaxPending, st.col, aud)
+			st.d = newPipeDispatcher(sys, cfg.MaxBatch, ringCap, st.col, aud)
 		} else {
 			fe, err := frontend.New(sys, frontend.Config{
 				MaxBatch:  cfg.MaxBatch,

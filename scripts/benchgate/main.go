@@ -10,6 +10,13 @@
 // sharded-frontend family (whose sub-benchmarks all carry "sharded").
 // Benchmarks present in only one file are reported but never fail the gate
 // (renames and additions are not regressions).
+//
+// -require '<regexp>' additionally fails the run when NO benchmark in the
+// new file matches the regexp. It guards against the silent-pass failure
+// mode where a -bench filter typo (or a renamed family) makes the candidate
+// run measure nothing: the gate would compare zero benchmarks and report
+// success. CI requires 'procs=' so the GOMAXPROCS-swept E21 variants are
+// provably present in every gated run.
 package main
 
 import (
@@ -109,12 +116,26 @@ func gate(old, cur map[string][]float64, threshold float64, match *regexp.Regexp
 	return failed
 }
 
+// requireMatch reports whether any benchmark name matches require. It backs
+// the -require flag: a candidate run where the required family is absent
+// (filter typo, renamed benchmark) must fail loudly instead of gating an
+// empty set.
+func requireMatch(samples map[string][]float64, require *regexp.Regexp) bool {
+	for name := range samples {
+		if require.MatchString(name) {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	var (
-		oldPath   = flag.String("old", "", "bench output of the base revision")
-		newPath   = flag.String("new", "", "bench output of the candidate revision")
-		threshold = flag.Float64("threshold", 1.20, "fail when new/old median ns/op exceeds this ratio")
-		matchExpr = flag.String("match", "", "only gate benchmarks whose name matches this regexp (all when empty)")
+		oldPath     = flag.String("old", "", "bench output of the base revision")
+		newPath     = flag.String("new", "", "bench output of the candidate revision")
+		threshold   = flag.Float64("threshold", 1.20, "fail when new/old median ns/op exceeds this ratio")
+		matchExpr   = flag.String("match", "", "only gate benchmarks whose name matches this regexp (all when empty)")
+		requireExpr = flag.String("require", "", "fail unless some benchmark in -new matches this regexp")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -129,6 +150,14 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var require *regexp.Regexp
+	if *requireExpr != "" {
+		var err error
+		if require, err = regexp.Compile(*requireExpr); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: bad -require: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	oldSamples, err := readFile(*oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
@@ -138,6 +167,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
+	}
+	if require != nil && !requireMatch(newSamples, require) {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark in %s matches required pattern %q\n",
+			*newPath, *requireExpr)
+		os.Exit(1)
 	}
 	failed := gate(oldSamples, newSamples, *threshold, match, os.Stdout)
 	if len(failed) > 0 {

@@ -109,6 +109,23 @@ func TestGateAlternationMatchesShardedFamily(t *testing.T) {
 	}
 }
 
+func TestRequireMatch(t *testing.T) {
+	// A run carrying the GOMAXPROCS-swept E21 family satisfies the CI
+	// requirement; the plain oldRun/newRun fixtures (no "procs=" names) do
+	// not — that is the silent-pass case -require exists to catch.
+	const proced = `
+BenchmarkE21MulticoreScaling/sharded/S=4/pipelined/procs=4-4 	     150	    650000 ns/op	         0.01000 combined/op	        12.00 maxdepth
+PASS
+`
+	req := regexp.MustCompile(`procs=`)
+	if !requireMatch(parse(t, proced), req) {
+		t.Fatal("requireMatch must accept a run containing a procs= benchmark")
+	}
+	if requireMatch(parse(t, newRun), req) {
+		t.Fatal("requireMatch must reject a run with no procs= benchmark")
+	}
+}
+
 func TestGatePassesWithinThreshold(t *testing.T) {
 	var buf bytes.Buffer
 	failed := gate(parse(t, oldRun), parse(t, oldRun), 1.20, nil, &buf)
