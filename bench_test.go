@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"runtime"
 	"sync"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"detshmem/internal/experiments"
 	"detshmem/internal/frontend"
 	"detshmem/internal/mpc"
+	"detshmem/internal/netmpc"
 	"detshmem/internal/network"
 	"detshmem/internal/pram"
 	"detshmem/internal/protocol"
@@ -892,4 +894,107 @@ func BenchmarkPRAMBitonicSort(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkE22NetTransport measures the MPC transport boundary at CI scale
+// (n=5): the same windowed 8-client workload over the in-process machine
+// and over a 4-server loopback TCP cluster (internal/netmpc). Sub-benchmark
+// names carry "transport=" so the bench-regression gate can require both
+// variants; the tcp/inproc ratio is the round-trip cost of networking the
+// module servers. E22 is the full-scale (n=7) run behind BENCH_PR8.json.
+func BenchmarkE22NetTransport(b *testing.B) {
+	s, idx := mustScheme(b, 1, 5)
+	mapper := protocol.NewCoreMapper(s, idx)
+	res, err := protocol.CompileMapper(mapper, protocol.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, tr protocol.Transport) {
+		cfg := shard.Config{
+			Shards:   1,
+			Pipeline: true,
+			Protocol: protocol.Config{Resolver: res, Parallel: true},
+		}
+		if tr != nil {
+			cfg.Transport = func(int) protocol.Transport { return tr }
+		}
+		svc, err := shard.New(mapper, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		const clients, window = 8, 64
+		m := mapper.NumVars()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(c) + 22))
+				stream := workload.HotSpot(rng, m, (b.N+clients-1)/clients, 16, 0)
+				pending := make([]*frontend.Future, 0, window)
+				drain := func() bool {
+					for _, fut := range pending {
+						if _, err := fut.Wait(); err != nil {
+							b.Error(err)
+							return false
+						}
+					}
+					pending = pending[:0]
+					return true
+				}
+				for i, v := range stream {
+					var fut *frontend.Future
+					var err error
+					if i%3 == 0 {
+						fut, err = svc.WriteAsync(v, uint64(i))
+					} else {
+						fut, err = svc.ReadAsync(v)
+					}
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					pending = append(pending, fut)
+					if len(pending) == window && !drain() {
+						return
+					}
+				}
+				drain()
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.Run("transport=inproc", func(b *testing.B) { run(b, nil) })
+	b.Run("transport=tcp", func(b *testing.B) {
+		const nServers = 4
+		addrs := make([]string, nServers)
+		for i := 0; i < nServers; i++ {
+			lo, hi := netmpc.Range(i, nServers, int64(s.NumModules))
+			sv := netmpc.NewServer(netmpc.ServerConfig{
+				Q: s.Q, N: uint32(s.Deg), Modules: s.NumModules,
+				AddrSpace: s.NumModules * uint64(s.ModuleSize),
+				RangeLo:   uint64(lo), RangeHi: uint64(hi),
+			})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go sv.Serve(ln)
+			defer sv.Close()
+			addrs[i] = ln.Addr().String()
+		}
+		tr, err := netmpc.Dial(netmpc.Config{
+			Servers: addrs, Q: s.Q, N: uint32(s.Deg),
+			Modules:   int64(s.NumModules),
+			AddrSpace: s.NumModules * uint64(s.ModuleSize),
+			StoreID:   7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tr.Close()
+		run(b, tr)
+	})
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"detshmem/internal/netmpc"
+)
+
+// fakeListener implements net.Listener without a socket: Accept blocks
+// until Close, which is exactly the idle-server shape the graceful-shutdown
+// path must handle.
+type fakeListener struct {
+	closed  chan struct{}
+	closes  atomic.Int32
+	accepts atomic.Int32
+}
+
+func newFakeListener() *fakeListener { return &fakeListener{closed: make(chan struct{})} }
+
+func (l *fakeListener) Accept() (net.Conn, error) {
+	l.accepts.Add(1)
+	<-l.closed
+	return nil, net.ErrClosed
+}
+
+func (l *fakeListener) Close() error {
+	if l.closes.Add(1) == 1 {
+		close(l.closed)
+	}
+	return nil
+}
+
+func (l *fakeListener) Addr() net.Addr {
+	return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+}
+
+// TestServeDrainsOnSignal pins the SIGTERM contract: serve returns nil (the
+// process exits 0), the listener was closed, and it happens promptly — no
+// hang waiting for connections that never come.
+func TestServeDrainsOnSignal(t *testing.T) {
+	for _, sig := range []os.Signal{syscall.SIGTERM, syscall.SIGINT} {
+		ln := newFakeListener()
+		sv := netmpc.NewServer(netmpc.ServerConfig{
+			Modules: 63, AddrSpace: 252, RangeLo: 0, RangeHi: 63,
+		})
+		sigc := make(chan os.Signal, 1)
+		done := make(chan error, 1)
+		go func() { done <- serve(sv, ln, sigc, 100*time.Millisecond) }()
+
+		// Let the accept loop start, then deliver the signal.
+		waitCond(t, func() bool { return ln.accepts.Load() > 0 })
+		sigc <- sig
+
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%v: serve returned %v, want nil", sig, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%v: serve did not drain", sig)
+		}
+		if ln.closes.Load() == 0 {
+			t.Fatalf("%v: listener was not closed", sig)
+		}
+	}
+}
+
+// TestServeReturnsListenerError pins the non-signal exit: a listener that
+// fails with a real error propagates it (nonzero exit), it is not mistaken
+// for a drain.
+func TestServeReturnsListenerError(t *testing.T) {
+	boom := errors.New("boom")
+	ln := &errListener{err: boom}
+	sv := netmpc.NewServer(netmpc.ServerConfig{Modules: 63, AddrSpace: 252, RangeHi: 63})
+	sigc := make(chan os.Signal, 1)
+	err := serve(sv, ln, sigc, time.Millisecond)
+	if !errors.Is(err, boom) {
+		t.Fatalf("serve = %v, want boom", err)
+	}
+}
+
+type errListener struct{ err error }
+
+func (l *errListener) Accept() (net.Conn, error) { return nil, l.err }
+func (l *errListener) Close() error              { return nil }
+func (l *errListener) Addr() net.Addr            { return &net.TCPAddr{} }
+
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,260 @@
+// netcluster is the CI harness for the networked MPC: it launches a
+// loopback cluster of memserver processes, drives smembench's E22 through
+// them over TCP with tracing on, SIGKILLs one server when the experiment
+// arms its degraded phase, and then certifies the aftermath:
+//
+//   - smembench itself must exit 0 — its kill cell gates the op-stranding
+//     rate against the exact post-kill bound and certifies every cell's
+//     recorded client trace;
+//   - the benchmark JSON must confirm the kill cell stayed within bound;
+//   - cmd/consistencycheck must re-certify the dumped traces offline;
+//   - the surviving memservers must drain and exit 0 on SIGTERM.
+//
+// Any failure exits nonzero. Usage (CI builds the binaries first):
+//
+//	go build -o bin/ ./cmd/...
+//	./bin/netcluster -bin ./bin -servers 4 -quick -out /tmp/netcluster
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Keep in sync with the producers: memserver's readiness line and E22's
+// kill marker (internal/experiments/e22.go).
+const (
+	readyPrefix = "memserver: ready on "
+	killMarker  = "e22: degraded phase armed -- kill one memserver now"
+)
+
+func main() {
+	var (
+		bin     = flag.String("bin", "./bin", "directory holding the memserver, smembench and consistencycheck binaries")
+		servers = flag.Int("servers", 4, "memserver processes to launch")
+		n       = flag.Int("n", 5, "scheme extension degree (memserver/smembench -n must agree)")
+		quick   = flag.Bool("quick", true, "pass -quick to smembench")
+		out     = flag.String("out", "", "directory for trace and JSON artifacts (default: a temp dir)")
+		victim  = flag.Int("victim", 1, "index of the server to SIGKILL at the marker")
+		timeout = flag.Duration("timeout", 10*time.Minute, "overall watchdog")
+	)
+	flag.Parse()
+	if err := run(*bin, *servers, *n, *victim, *quick, *out, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "netcluster: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("netcluster: PASS")
+}
+
+type server struct {
+	idx  int
+	cmd  *exec.Cmd
+	addr string
+	done chan error
+}
+
+func run(bin string, k, n, victim int, quick bool, out string, timeout time.Duration) error {
+	if victim < 0 || victim >= k {
+		return fmt.Errorf("victim %d out of range [0,%d)", victim, k)
+	}
+	if out == "" {
+		dir, err := os.MkdirTemp("", "netcluster")
+		if err != nil {
+			return err
+		}
+		out = dir
+	} else if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+
+	// Launch the cluster. -addr :0 makes each server pick a free port and
+	// announce it in the readiness line, so there is no port race.
+	cluster := make([]*server, 0, k)
+	defer func() {
+		for _, sv := range cluster {
+			if sv.cmd.Process != nil {
+				sv.cmd.Process.Kill()
+			}
+		}
+	}()
+	for i := 0; i < k; i++ {
+		sv, err := startServer(bin, i, k, n, deadline)
+		if err != nil {
+			return err
+		}
+		cluster = append(cluster, sv)
+		fmt.Printf("netcluster: server %d up on %s\n", i, sv.addr)
+	}
+	addrs := make([]string, k)
+	for i, sv := range cluster {
+		addrs[i] = sv.addr
+	}
+
+	// Drive E22 over the cluster, killing the victim at the marker.
+	tracePath := filepath.Join(out, "e22trace.json")
+	benchPath := filepath.Join(out, "BENCH_PR8.json")
+	args := []string{
+		"-exp", "e22", "-transport", "tcp",
+		"-servers", strings.Join(addrs, ","),
+		"-trace", tracePath, "-jsonout", benchPath,
+	}
+	if quick {
+		args = append(args, "-quick")
+	}
+	smem := exec.Command(filepath.Join(bin, "smembench"), args...)
+	smem.Stderr = os.Stderr
+	stdout, err := smem.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := smem.Start(); err != nil {
+		return fmt.Errorf("starting smembench: %w", err)
+	}
+	killed := false
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if strings.Contains(line, killMarker) && !killed {
+			killed = true
+			fmt.Printf("netcluster: SIGKILL server %d (%s)\n", victim, cluster[victim].addr)
+			if err := cluster[victim].cmd.Process.Kill(); err != nil {
+				return fmt.Errorf("killing server %d: %w", victim, err)
+			}
+		}
+	}
+	if err := smem.Wait(); err != nil {
+		return fmt.Errorf("smembench: %w", err)
+	}
+	if !killed {
+		return fmt.Errorf("smembench finished without printing the kill marker %q", killMarker)
+	}
+
+	// The stranding gate, re-checked from the JSON the run wrote.
+	if err := checkBench(benchPath); err != nil {
+		return err
+	}
+
+	// Offline re-certification of the recorded client traces.
+	cc := exec.Command(filepath.Join(bin, "consistencycheck"), tracePath)
+	cc.Stdout, cc.Stderr = os.Stdout, os.Stderr
+	if err := cc.Run(); err != nil {
+		return fmt.Errorf("consistencycheck: %w", err)
+	}
+
+	// Survivors must drain and exit 0 on SIGTERM (the graceful-shutdown
+	// contract); the killed victim reports its SIGKILL.
+	for i, sv := range cluster {
+		if i == victim {
+			<-sv.done
+			continue
+		}
+		sv.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for i, sv := range cluster {
+		if i == victim {
+			continue
+		}
+		select {
+		case err := <-sv.done:
+			if err != nil {
+				return fmt.Errorf("server %d did not drain cleanly on SIGTERM: %v", i, err)
+			}
+		case <-time.After(time.Until(deadline)):
+			return fmt.Errorf("server %d hung on SIGTERM", i)
+		}
+	}
+	fmt.Printf("netcluster: %d survivors drained cleanly; artifacts in %s\n", k-1, out)
+	return nil
+}
+
+// startServer launches one memserver on a kernel-chosen port and waits for
+// its readiness line to learn the address.
+func startServer(bin string, i, k, n int, deadline time.Time) (*server, error) {
+	cmd := exec.Command(filepath.Join(bin, "memserver"),
+		"-addr", "127.0.0.1:0", "-m", "1", "-n", strconv.Itoa(n),
+		"-index", strconv.Itoa(i), "-servers", strconv.Itoa(k))
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting memserver %d: %w", i, err)
+	}
+	sv := &server{idx: i, cmd: cmd, done: make(chan error, 1)}
+	ready := make(chan string, 1)
+	var once sync.Once
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, readyPrefix); ok {
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					once.Do(func() { ready <- fields[0] })
+				}
+			}
+		}
+		sv.done <- cmd.Wait()
+	}()
+	select {
+	case addr := <-ready:
+		sv.addr = addr
+		return sv, nil
+	case err := <-sv.done:
+		return nil, fmt.Errorf("memserver %d exited before ready: %v", i, err)
+	case <-time.After(time.Until(deadline)):
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("memserver %d never became ready", i)
+	}
+}
+
+// checkBench re-validates the kill cell's stranding gate and certification
+// flags from the benchmark JSON smembench wrote.
+func checkBench(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep struct {
+		Rows []struct {
+			Cell        string  `json:"cell"`
+			Certified   bool    `json:"certified"`
+			WithinBound bool    `json:"within_bound"`
+			StrandRate  float64 `json:"strand_rate"`
+			Bound       float64 `json:"bound"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	seenKill := false
+	for _, r := range rep.Rows {
+		if !r.Certified {
+			return fmt.Errorf("%s: cell %q not certified", path, r.Cell)
+		}
+		if !r.WithinBound {
+			return fmt.Errorf("%s: cell %q stranding %.4f above bound %.4f", path, r.Cell, r.StrandRate, r.Bound)
+		}
+		if r.Cell == "tcp-kill1" {
+			seenKill = true
+			fmt.Printf("netcluster: kill cell stranding %.4f <= bound %.4f, certified\n", r.StrandRate, r.Bound)
+		}
+	}
+	if !seenKill {
+		return fmt.Errorf("%s: no tcp-kill1 row", path)
+	}
+	return nil
+}

@@ -1,4 +1,4 @@
-// Command smembench regenerates the experiment tables E1–E21 (the paper's
+// Command smembench regenerates the experiment tables E1–E22 (the paper's
 // analytical claims as measurements, plus the extensions). See DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for recorded results.
 //
@@ -7,6 +7,7 @@
 //	smembench [-exp e1,e4,...] [-quick] [-seed N] [-json] [-jsonout FILE]
 //	          [-maxprocs P1,P2,...] [-shards S] [-pipeline] [-faults F]
 //	          [-faultsched SCHED] [-trace FILE] [-tracecap N] [-pprof ADDR]
+//	          [-transport inproc|tcp] [-servers A1,A2,...]
 //
 // -maxprocs sweeps GOMAXPROCS: the selected experiments run once per listed
 // value. With more than one value, each pass's JSON output gets a ".procsN"
@@ -39,6 +40,13 @@
 //
 // -pprof serves net/http/pprof, expvar (/debug/vars), and the Prometheus
 // text format (/metrics) on the given address for the duration of the run.
+//
+// -transport restricts E22's transport cells ("inproc" or "tcp"); -servers
+// points its TCP cells at external memserver processes instead of the
+// in-process loopback cluster. With external servers E22's kill cell prints
+// a marker line and waits for the harness (cmd/netcluster) to kill one
+// server. E22 also records consistency traces, so -trace dumps from a TCP
+// run certify the networked transport end to end.
 package main
 
 import (
@@ -115,7 +123,7 @@ func newShardTrace(label string, st shard.Stats) shardTrace {
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e21); empty = all")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e22); empty = all")
 		maxprocs = flag.String("maxprocs", "", "comma-separated GOMAXPROCS values; the selected experiments run once per value (JSON outputs get a .procsN suffix)")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
 		seed     = flag.Int64("seed", 0, "workload RNG seed (0 = default)")
@@ -128,6 +136,8 @@ func main() {
 		traceF   = flag.String("trace", "", "capture per-round MPC events and write the JSON trajectory here")
 		traceCap = flag.Int("tracecap", obs.DefaultTraceCap, "ring capacity for -trace (oldest events drop beyond it)")
 		pprofA   = flag.String("pprof", "", "serve pprof + expvar + Prometheus /metrics on this address (e.g. :6060)")
+		transp   = flag.String("transport", "", "restrict e22's cells to one MPC transport (\"inproc\" or \"tcp\"; empty = both)")
+		servers  = flag.String("servers", "", "comma-separated external memserver addresses for e22's TCP cells (empty = in-process loopback cluster)")
 	)
 	flag.Parse()
 
@@ -146,6 +156,14 @@ func main() {
 		Pipeline:   *pipeline,
 		Faults:     *faults,
 		FaultSched: *fsched,
+		Transport:  *transp,
+	}
+	if *servers != "" {
+		for _, a := range strings.Split(*servers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				opts.Servers = append(opts.Servers, a)
+			}
+		}
 	}
 
 	collector := obs.NewCollector()

@@ -62,6 +62,16 @@ type Options struct {
 	// cell with the service's declared contract (smembench -trace embeds the
 	// resulting TraceSet in its dump for cmd/consistencycheck).
 	Consistency *consistency.Recorder
+	// Transport selects the MPC transport for transport-aware experiments
+	// (E22): "" runs every cell (in-process and loopback TCP), "inproc"
+	// restricts to the in-process cells, "tcp" to the networked cells
+	// (smembench -transport).
+	Transport string
+	// Servers lists external memserver addresses for the TCP cells; empty
+	// means E22 launches its own in-process loopback cluster. With external
+	// servers the kill cell expects the harness (cmd/netcluster) to kill
+	// one server when the marker line appears (smembench -servers).
+	Servers []string
 	// Recorder, when non-nil, is installed on every protocol system built
 	// through the shared constructor, capturing one event per MPC round
 	// (smembench -trace wires a ring-buffer tracer here).
@@ -152,6 +162,7 @@ func All() []Runner {
 		{"e19", "Fault tolerance: throughput and round inflation vs failed modules", E19},
 		{"e20", "Consistency auditing: trace-checker cost and sampling-audit overhead", E20},
 		{"e21", "Multi-core scaling: lock-free rings and the batch API vs GOMAXPROCS", E21},
+		{"e22", "Networked MPC: in-process vs loopback-TCP vs TCP with a killed server", E22},
 	}
 }
 

@@ -1,0 +1,471 @@
+package netmpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"detshmem/internal/mpc"
+	"detshmem/internal/obs"
+	"detshmem/internal/protocol"
+)
+
+// Defaults for Config's zero durations.
+const (
+	defaultDialTimeout  = 3 * time.Second
+	defaultRoundTimeout = 2 * time.Second
+	defaultReconnectMin = 50 * time.Millisecond
+	defaultReconnectMax = 2 * time.Second
+)
+
+// ErrNoServers is returned by Dial when Config.Servers is empty.
+var ErrNoServers = errors.New("netmpc: no servers configured")
+
+// ErrClosed is returned for operations on a closed transport.
+var ErrClosed = errors.New("netmpc: transport closed")
+
+// ErrRoundTimeout marks a server that failed to answer a round frame within
+// Config.RoundTimeout; it appears in Stats().LastErr when a slow server was
+// declared down.
+var ErrRoundTimeout = errors.New("netmpc: round timeout")
+
+// Config describes a networked MPC deployment from the client side.
+type Config struct {
+	// Servers lists the memserver addresses in range order: server i owns
+	// the contiguous module range Range(i, len(Servers), Modules).
+	Servers []string
+	// Q and N are the scheme parameters pinned by the handshake (zero for
+	// generic mappers); Modules and AddrSpace fix the machine geometry.
+	Q, N      uint32
+	Modules   int64
+	AddrSpace uint64
+	// StoreID namespaces this client's cells on the servers. Two transports
+	// with distinct StoreIDs sharing one server cluster see disjoint
+	// memories — one protocol.System per StoreID, exactly like two Systems
+	// each owning a local store.
+	StoreID uint32
+	// DialTimeout bounds each connect+handshake; RoundTimeout bounds one
+	// round's fan-out/gather before the slow servers are declared failed.
+	DialTimeout  time.Duration
+	RoundTimeout time.Duration
+	// ReconnectMin/Max bound the exponential backoff of the per-server
+	// reconnect loop that runs after a server is marked down.
+	ReconnectMin, ReconnectMax time.Duration
+	// Logf, when set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Range returns the contiguous module range [lo, hi) owned by server i of
+// nServers over modules total modules — the one formula shared by clients,
+// memserver invocations, and the cluster harness, so everybody agrees on
+// who owns what.
+func Range(i, nServers int, modules int64) (lo, hi int64) {
+	return int64(i) * modules / int64(nServers), int64(i+1) * modules / int64(nServers)
+}
+
+// ServerFor returns the index of the server owning module m under Range.
+func ServerFor(m, modules int64, nServers int) int {
+	// Inverse of Range's lo = i*modules/n: candidate i = m*n/modules, with
+	// a bounded correction for integer-division edges.
+	i := int(m * int64(nServers) / modules)
+	for {
+		lo, hi := Range(i, nServers, modules)
+		switch {
+		case m < lo:
+			i--
+		case m >= hi:
+			i++
+		default:
+			return i
+		}
+	}
+}
+
+// srv is the per-server connection state.
+type srv struct {
+	idx      int
+	addr     string
+	lo, hi   int64 // owned module range, [lo, hi)
+	t        *Transport
+	up       atomic.Bool
+	reconn   atomic.Bool // a reconnect loop is running
+	writeMu  sync.Mutex  // guards conn swap + writes
+	conn     net.Conn
+	wbuf     []byte
+	seq      uint64           // last sequence number sent (rounds are serialized)
+	replies  chan *RoundReply // filled by the reader goroutine
+	lastErr  atomic.Value     // errBox; last failure, for Stats
+	frames   obs.Counter      // round frames sent
+	bids     obs.Counter      // bids sent
+	recon    obs.Counter      // successful reconnects
+	timeouts obs.Counter      // rounds abandoned at RoundTimeout
+	rtt      obs.Histogram    // per-frame round-trip, nanoseconds
+	inFlight atomic.Int64     // frames sent, reply not yet consumed
+	maxInFl  obs.MaxGauge     // high-water in-flight frames
+}
+
+// Transport is the TCP implementation of protocol.Transport: persistent
+// per-server connections, pipelined round fan-out, and degradation onto an
+// mpc.FaultSet so the protocol's quorum re-selection and retry machinery
+// (PR 5) treats a dead server exactly like a span of failed modules.
+//
+// A Transport backs one protocol.System (one StoreID namespace). The caller
+// owns its lifetime: the System never closes it, machines built over it are
+// lightweight views, and Close tears down connections and reconnect loops.
+type Transport struct {
+	cfg     Config
+	fs      *mpc.FaultSet
+	servers []*srv
+	closed  atomic.Bool
+	roundMu sync.Mutex // serializes Round exchanges across machine instances
+	wg      sync.WaitGroup
+}
+
+// Dial connects and handshakes with every configured server, failing fast —
+// with ErrVersionMismatch, ErrSchemeMismatch, or ErrRangeMismatch when the
+// cluster disagrees with this client's scheme — rather than letting a
+// misconfigured client run. After Dial succeeds, server loss is handled by
+// degradation, not errors.
+func Dial(cfg Config) (*Transport, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, ErrNoServers
+	}
+	if cfg.Modules <= 0 || cfg.AddrSpace == 0 {
+		return nil, fmt.Errorf("netmpc: need positive Modules and AddrSpace, got %d/%d", cfg.Modules, cfg.AddrSpace)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = defaultDialTimeout
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = defaultRoundTimeout
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = defaultReconnectMin
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = defaultReconnectMax
+	}
+	t := &Transport{cfg: cfg, fs: mpc.NewFaultSet()}
+	for i, addr := range cfg.Servers {
+		lo, hi := Range(i, len(cfg.Servers), cfg.Modules)
+		s := &srv{idx: i, addr: addr, lo: lo, hi: hi, t: t, replies: make(chan *RoundReply, 8)}
+		conn, err := t.dialServer(s)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("netmpc: server %d (%s): %w", i, addr, err)
+		}
+		s.conn = conn
+		s.up.Store(true)
+		t.servers = append(t.servers, s)
+		t.wg.Add(1)
+		go s.readLoop(conn)
+	}
+	return t, nil
+}
+
+// Name implements protocol.Transport.
+func (t *Transport) Name() string { return "tcp" }
+
+// FaultSet exposes the transport's fault set: server loss appears here as
+// the server's whole module range failing, and experiments can observe or
+// seed it.
+func (t *Transport) FaultSet() *mpc.FaultSet { return t.fs }
+
+// NewMachine implements protocol.Transport: a lightweight Client view over
+// the shared connections. The geometry's module count must match the
+// deployment; the processor count is free (claims are computed client-side).
+func (t *Transport) NewMachine(cfg mpc.Config) (protocol.Machine, error) {
+	if t.closed.Load() {
+		return nil, ErrClosed
+	}
+	if int64(cfg.Modules) != t.cfg.Modules {
+		return nil, fmt.Errorf("%w: machine wants %d modules, deployment has %d", ErrSchemeMismatch, cfg.Modules, t.cfg.Modules)
+	}
+	if cfg.Procs <= 0 || cfg.Procs >= 1<<24-1 {
+		return nil, fmt.Errorf("netmpc: bad processor count %d", cfg.Procs)
+	}
+	return newClient(t, cfg), nil
+}
+
+// Close tears down every connection and joins the reader and reconnect
+// goroutines. Machines built over the transport stop granting; the owning
+// System should be closed first.
+func (t *Transport) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		t.wg.Wait()
+		return
+	}
+	for _, s := range t.servers {
+		s.writeMu.Lock()
+		if s.conn != nil {
+			s.conn.Close()
+		}
+		s.writeMu.Unlock()
+	}
+	t.wg.Wait()
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// dialServer opens and handshakes one connection, returning typed errors on
+// parameter disagreement.
+func (t *Transport) dialServer(s *srv) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", s.addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	conn.SetDeadline(time.Now().Add(t.cfg.DialTimeout))
+	hello := Handshake{
+		Version:   Version,
+		Q:         t.cfg.Q,
+		N:         t.cfg.N,
+		Modules:   uint64(t.cfg.Modules),
+		AddrSpace: t.cfg.AddrSpace,
+		StoreID:   t.cfg.StoreID,
+		RangeLo:   uint64(s.lo),
+		RangeHi:   uint64(s.hi),
+	}
+	if _, err := hello.WriteTo(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var ack HandshakeAck
+	if _, err := ack.ReadFrom(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := ackError(&ack); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// ackError maps a handshake ack onto the typed error taxonomy.
+func ackError(ack *HandshakeAck) error {
+	switch ack.Status {
+	case AckOK:
+		return nil
+	case AckVersionMismatch:
+		return fmt.Errorf("%w: client %d, server %d", ErrVersionMismatch, Version, ack.Version)
+	case AckSchemeMismatch:
+		return fmt.Errorf("%w: server has q=%d n=%d modules=%d addrspace=%d", ErrSchemeMismatch, ack.Q, ack.N, ack.Modules, ack.AddrSpace)
+	case AckRangeMismatch:
+		return fmt.Errorf("%w: server owns [%d,%d)", ErrRangeMismatch, ack.RangeLo, ack.RangeHi)
+	case AckDraining:
+		return fmt.Errorf("netmpc: server draining")
+	default:
+		return fmt.Errorf("%w: unknown ack status %d", ErrCorruptFrame, ack.Status)
+	}
+}
+
+// readLoop drains one connection's replies into the server's channel until
+// the connection dies, then triggers degradation.
+func (s *srv) readLoop(conn net.Conn) {
+	defer s.t.wg.Done()
+	var scratch []byte
+	for {
+		reply := new(RoundReply)
+		var err error
+		if scratch, err = readMsg(conn, scratch, reply); err != nil {
+			s.markDown(conn, err)
+			return
+		}
+		select {
+		case s.replies <- reply:
+		default:
+			// The consumer abandoned this stream (timeout path drained and
+			// gave up); drop the oldest to keep the newest visible.
+			select {
+			case <-s.replies:
+			default:
+			}
+			s.replies <- reply
+		}
+	}
+}
+
+// markDown transitions the server to failed if conn is still its current
+// connection: the connection closes, every module in the server's range
+// joins the fault set (the protocol layer re-selects quorums over the
+// survivors exactly as for module failures), and a reconnect loop starts.
+func (s *srv) markDown(conn net.Conn, cause error) {
+	s.writeMu.Lock()
+	if s.conn != conn {
+		s.writeMu.Unlock()
+		return // a newer connection superseded this one
+	}
+	s.conn = nil
+	s.writeMu.Unlock()
+	conn.Close()
+	if cause != nil {
+		s.lastErr.Store(errBox{cause})
+	}
+	if s.up.CompareAndSwap(true, false) {
+		s.t.logf("netmpc: server %d (%s) down: %v", s.idx, s.addr, cause)
+		for m := s.lo; m < s.hi; m++ {
+			s.t.fs.Fail(uint64(m))
+		}
+	}
+	if !s.t.closed.Load() && s.reconn.CompareAndSwap(false, true) {
+		s.t.wg.Add(1)
+		go s.reconnectLoop()
+	}
+}
+
+// reconnectLoop redials with exponential backoff until the server answers a
+// valid handshake again, then recovers its module range in the fault set.
+// Parameter-mismatch rejections keep retrying at max backoff: an operator
+// may be mid-redeploy, and the range stays failed until geometry agrees.
+func (s *srv) reconnectLoop() {
+	defer s.t.wg.Done()
+	defer s.reconn.Store(false)
+	backoff := s.t.cfg.ReconnectMin
+	for !s.t.closed.Load() {
+		time.Sleep(backoff)
+		if s.t.closed.Load() {
+			return
+		}
+		conn, err := s.t.dialServer(s)
+		if err != nil {
+			s.lastErr.Store(errBox{err})
+			backoff *= 2
+			if backoff > s.t.cfg.ReconnectMax {
+				backoff = s.t.cfg.ReconnectMax
+			}
+			continue
+		}
+		s.writeMu.Lock()
+		if s.t.closed.Load() {
+			s.writeMu.Unlock()
+			conn.Close()
+			return
+		}
+		// Drain replies stranded by the dead connection so the next round
+		// doesn't mistake a stale sequence number for its own.
+		for {
+			select {
+			case <-s.replies:
+				continue
+			default:
+			}
+			break
+		}
+		s.conn = conn
+		s.writeMu.Unlock()
+		s.up.Store(true)
+		s.recon.Inc()
+		s.t.wg.Add(1)
+		go s.readLoop(conn)
+		for m := s.lo; m < s.hi; m++ {
+			s.t.fs.Recover(uint64(m))
+		}
+		s.t.logf("netmpc: server %d (%s) reconnected", s.idx, s.addr)
+		return
+	}
+}
+
+// send writes one framed round to the server, returning false (and marking
+// the server down) on any failure.
+func (s *srv) send(frame *RoundFrame) bool {
+	s.writeMu.Lock()
+	conn := s.conn
+	if conn == nil {
+		s.writeMu.Unlock()
+		return false
+	}
+	buf, err := writeMsg(conn, s.wbuf, frame)
+	s.wbuf = buf
+	s.writeMu.Unlock()
+	if err != nil {
+		s.markDown(conn, err)
+		return false
+	}
+	s.frames.Inc()
+	s.bids.Add(int64(len(frame.Bids)))
+	infl := s.inFlight.Add(1)
+	s.maxInFl.Observe(infl)
+	return true
+}
+
+// ServerStats is one server's transport-health snapshot.
+type ServerStats struct {
+	Addr        string `json:"addr"`
+	Up          bool   `json:"up"`
+	Frames      int64  `json:"frames"`
+	Bids        int64  `json:"bids"`
+	Reconnects  int64  `json:"reconnects"`
+	Timeouts    int64  `json:"timeouts"`
+	RTTCount    int64  `json:"rtt_count"`
+	RTTSumNs    int64  `json:"rtt_sum_ns"`
+	RTTP99Ns    int64  `json:"rtt_p99_ns"`
+	MaxInFlight int64  `json:"max_in_flight"`
+	LastErr     string `json:"last_err,omitempty"`
+}
+
+// Stats snapshots per-server transport health: liveness, frame and bid
+// counts, reconnects, timeouts, the RTT histogram's count/sum/p99, and the
+// in-flight high-water mark.
+func (t *Transport) Stats() []ServerStats {
+	out := make([]ServerStats, len(t.servers))
+	for i, s := range t.servers {
+		st := ServerStats{
+			Addr:        s.addr,
+			Up:          s.up.Load(),
+			Frames:      s.frames.Load(),
+			Bids:        s.bids.Load(),
+			Reconnects:  s.recon.Load(),
+			Timeouts:    s.timeouts.Load(),
+			RTTCount:    s.rtt.Count(),
+			RTTSumNs:    s.rtt.Sum(),
+			RTTP99Ns:    histP99(&s.rtt),
+			MaxInFlight: s.maxInFl.Load(),
+		}
+		if e := s.lastError(); e != nil {
+			st.LastErr = e.Error()
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// errBox gives atomic.Value the single concrete type it requires while the
+// boxed error's own type varies.
+type errBox struct{ err error }
+
+// lastError returns the server's most recent failure, or nil.
+func (s *srv) lastError() error {
+	if b, ok := s.lastErr.Load().(errBox); ok {
+		return b.err
+	}
+	return nil
+}
+
+// histP99 estimates a histogram's p99 as the upper bound of the bucket
+// containing the 99th percentile observation.
+func histP99(h *obs.Histogram) int64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	target := (total*99 + 99) / 100
+	acc := int64(0)
+	for b, n := range h.Buckets() {
+		acc += n
+		if acc >= target {
+			return obs.BucketUpper(b)
+		}
+	}
+	return obs.BucketUpper(obs.HistBuckets - 1)
+}

@@ -267,6 +267,9 @@ func (sys *System) driveRetryWave(fv FaultView, machine Machine, tasks []taskRef
 		for _, t := range tasks {
 			mreqs[t.proc] = t.a.module
 		}
+		if sys.rs != nil {
+			sys.stageTasks(reqs, tasks)
+		}
 		machine.Round(mreqs, grant)
 		iters++
 		res.Metrics.IssuedBids += len(tasks)
@@ -284,7 +287,7 @@ func (sys *System) driveRetryWave(fv FaultView, machine Machine, tasks []taskRef
 			if sys.remaining[r] <= 0 {
 				continue
 			}
-			sys.touch(reqs[r], t.a, r, sys.bestTS, sys.bestVal)
+			sys.touch(reqs[r], t, r, sys.bestTS, sys.bestVal)
 			res.Metrics.CopyAccesses++
 			sys.remaining[r]--
 			sys.touchedC[r] |= 1 << uint(t.a.cpy)

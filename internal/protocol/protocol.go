@@ -133,8 +133,15 @@ type Config struct {
 	// and allocates for the trace itself).
 	TraceLive bool
 	// NewMachine overrides interconnect construction (failure injection,
-	// routed networks); nil uses the plain MPC.
+	// routed networks); nil uses the Transport (or the plain MPC). It takes
+	// precedence over Transport when both are set.
 	NewMachine func(cfg mpc.Config) (Machine, error)
+	// Transport selects how bid rounds reach the memory modules: nil (or
+	// Inproc) is the in-process MPC simulator, netmpc's TCP transport fans
+	// rounds out to remote memserver processes. The System builds machines
+	// through the transport but never closes it — the caller owns the
+	// transport's lifetime.
+	Transport Transport
 	// MaxIterationsPerPhase bounds a phase's iteration count; 0 means the
 	// generous default 8N+64. The bound can only trigger when requests are
 	// genuinely unservable (e.g. a variable lost a quorum of its copies to
@@ -200,6 +207,10 @@ type System struct {
 	// does); nil on healthy interconnects, which keeps every fault hook off
 	// the hot path.
 	fv FaultView
+	// rs is the machine's remote store when the transport keeps memory
+	// cells on the far side (netmpc.Client); nil for in-process machines,
+	// which keeps the staging hooks off the local hot path.
+	rs RemoteStore
 
 	// Per-batch scratch, reused across Access calls so the iteration loop
 	// is allocation-free once the buffers reach their high-water sizes.
@@ -305,6 +316,7 @@ func (sys *System) Close() {
 	sys.machine = nil
 	sys.machineProcs = 0
 	sys.fv = nil
+	sys.rs = nil
 }
 
 // assignment is one processor's job within a phase: one copy of one request.
@@ -483,6 +495,9 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 			for _, t := range tasks {
 				mreqs[t.proc] = t.a.module
 			}
+			if sys.rs != nil {
+				sys.stageTasks(reqs, tasks)
+			}
 			machine.Round(mreqs, grant)
 			iters++
 			res.Metrics.IssuedBids += len(tasks)
@@ -502,7 +517,7 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 					// cancelled bid whose result is unused.
 					continue
 				}
-				sys.touch(reqs[r], t.a, r, bestTS, bestVal)
+				sys.touch(reqs[r], t, r, bestTS, bestVal)
 				res.Metrics.CopyAccesses++
 				remaining[r]--
 				if fv != nil {
@@ -654,9 +669,12 @@ func (sys *System) obtainMachine(procs int) (Machine, int, error) {
 	}
 	var machine Machine
 	var err error
-	if sys.cfg.NewMachine != nil {
+	switch {
+	case sys.cfg.NewMachine != nil:
 		machine, err = sys.cfg.NewMachine(mcfg)
-	} else {
+	case sys.cfg.Transport != nil:
+		machine, err = sys.cfg.Transport.NewMachine(mcfg)
+	default:
 		machine, err = mpc.New(mcfg)
 	}
 	if err != nil {
@@ -669,6 +687,7 @@ func (sys *System) obtainMachine(procs int) (Machine, int, error) {
 	sys.machineProcs = geo
 	sys.machineCost = machine.Cost()
 	sys.fv, _ = machine.(FaultView)
+	sys.rs, _ = machine.(RemoteStore)
 	return machine, geo, nil
 }
 
@@ -698,13 +717,35 @@ func (sys *System) resolveCopies(reqs []Request) []assignment {
 	return out
 }
 
-// touch performs the physical copy access for a granted bid.
-func (sys *System) touch(req Request, a assignment, r int32, bestTS, bestVal []uint64) {
+// stageTasks hands each task's access payload to the remote store before a
+// round: the remote module applies the winning bid's operation itself, so
+// the payload must travel with the bid.
+func (sys *System) stageTasks(reqs []Request, tasks []taskRef) {
+	for _, t := range tasks {
+		req := reqs[t.a.req]
+		sys.rs.StageBid(t.proc, t.a.addr, req.Op, req.Value, sys.ts)
+	}
+}
+
+// touch performs the physical copy access for a granted bid — against the
+// local store, or by consuming the remote module's reply when the transport
+// keeps the cells on the far side (the remote already applied writes).
+func (sys *System) touch(req Request, t taskRef, r int32, bestTS, bestVal []uint64) {
+	if sys.rs != nil {
+		if req.Op == Read {
+			val, ts := sys.rs.GrantData(t.proc)
+			if ts >= bestTS[r] {
+				bestTS[r] = ts
+				bestVal[r] = val
+			}
+		}
+		return
+	}
 	switch req.Op {
 	case Write:
-		sys.store.put(a.addr, cell{val: req.Value, ts: sys.ts})
+		sys.store.put(t.a.addr, cell{val: req.Value, ts: sys.ts})
 	case Read:
-		c := sys.store.get(a.addr)
+		c := sys.store.get(t.a.addr)
 		// Quorum rule: among the copies read, the one with the newest
 		// timestamp holds the variable's current value. ts is compared with
 		// >= so the zero-initialized state is well-defined too.

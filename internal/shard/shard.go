@@ -95,6 +95,14 @@ type Config struct {
 	// audit counters also flow into the shard's collector. Audit.Collector
 	// is ignored (the per-shard collector is used).
 	Audit consistency.AuditConfig
+	// Transport, when non-nil, supplies each shard's MPC transport: shard
+	// i's system is built over Transport(i), overriding Protocol.Transport.
+	// Every shard needs its own transport namespace (for netmpc, a distinct
+	// StoreID per shard) because shards are independent systems with
+	// independent timestamp streams sharing one server cluster's address
+	// space. The caller owns the returned transports' lifetimes — close
+	// them after the service.
+	Transport func(shard int) protocol.Transport
 }
 
 // Service is the sharded frontend. All methods are safe for concurrent use.
@@ -185,6 +193,9 @@ func New(m protocol.Mapper, cfg Config) (*Service, error) {
 			st.col = obs.NewCollector()
 			scfg.Observer = obs.MultiBatch(pcfg.Observer, st.col)
 			scfg.Recorder = obs.Multi(pcfg.Recorder, st.col)
+		}
+		if cfg.Transport != nil {
+			scfg.Transport = cfg.Transport(i)
 		}
 		sys, err := protocol.NewGenericSystem(m, scfg)
 		if err != nil {

@@ -15,8 +15,11 @@
 // new file matches the regexp. It guards against the silent-pass failure
 // mode where a -bench filter typo (or a renamed family) makes the candidate
 // run measure nothing: the gate would compare zero benchmarks and report
-// success. CI requires 'procs=' so the GOMAXPROCS-swept E21 variants are
-// provably present in every gated run.
+// success. The flag is repeatable and each occurrence may hold a
+// comma-separated list; every listed pattern must match some benchmark
+// independently. CI requires 'procs=' (the GOMAXPROCS-swept E21 variants)
+// and both 'transport=tcp' and 'transport=inproc' (the E22 transport
+// family), so all gated families are provably present in every run.
 package main
 
 import (
@@ -129,14 +132,35 @@ func requireMatch(samples map[string][]float64, require *regexp.Regexp) bool {
 	return false
 }
 
+// requireList collects -require occurrences; each may be a comma-separated
+// list of regexps, and every collected pattern must match independently.
+type requireList []*regexp.Regexp
+
+func (l *requireList) String() string { return fmt.Sprint(len(*l)) }
+
+func (l *requireList) Set(v string) error {
+	for _, expr := range strings.Split(v, ",") {
+		if expr = strings.TrimSpace(expr); expr == "" {
+			continue
+		}
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			return err
+		}
+		*l = append(*l, re)
+	}
+	return nil
+}
+
 func main() {
 	var (
-		oldPath     = flag.String("old", "", "bench output of the base revision")
-		newPath     = flag.String("new", "", "bench output of the candidate revision")
-		threshold   = flag.Float64("threshold", 1.20, "fail when new/old median ns/op exceeds this ratio")
-		matchExpr   = flag.String("match", "", "only gate benchmarks whose name matches this regexp (all when empty)")
-		requireExpr = flag.String("require", "", "fail unless some benchmark in -new matches this regexp")
+		oldPath   = flag.String("old", "", "bench output of the base revision")
+		newPath   = flag.String("new", "", "bench output of the candidate revision")
+		threshold = flag.Float64("threshold", 1.20, "fail when new/old median ns/op exceeds this ratio")
+		matchExpr = flag.String("match", "", "only gate benchmarks whose name matches this regexp (all when empty)")
+		requires  requireList
 	)
+	flag.Var(&requires, "require", "fail unless some benchmark in -new matches this regexp (repeatable; comma-separated lists accepted; every pattern must match)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
@@ -150,14 +174,6 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	var require *regexp.Regexp
-	if *requireExpr != "" {
-		var err error
-		if require, err = regexp.Compile(*requireExpr); err != nil {
-			fmt.Fprintf(os.Stderr, "benchgate: bad -require: %v\n", err)
-			os.Exit(2)
-		}
-	}
 	oldSamples, err := readFile(*oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
@@ -168,10 +184,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	if require != nil && !requireMatch(newSamples, require) {
-		fmt.Fprintf(os.Stderr, "benchgate: no benchmark in %s matches required pattern %q\n",
-			*newPath, *requireExpr)
-		os.Exit(1)
+	for _, require := range requires {
+		if !requireMatch(newSamples, require) {
+			fmt.Fprintf(os.Stderr, "benchgate: no benchmark in %s matches required pattern %q\n",
+				*newPath, require)
+			os.Exit(1)
+		}
 	}
 	failed := gate(oldSamples, newSamples, *threshold, match, os.Stdout)
 	if len(failed) > 0 {

@@ -126,6 +126,46 @@ PASS
 	}
 }
 
+func TestRequireListRepeatableAndCommaSeparated(t *testing.T) {
+	// CI passes -require 'procs=' -require 'transport=tcp,transport=inproc';
+	// each occurrence may carry a comma list and every pattern is enforced
+	// independently.
+	var l requireList
+	if err := l.Set("procs="); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("transport=tcp, transport=inproc"); err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 3 {
+		t.Fatalf("got %d patterns, want 3", len(l))
+	}
+	const run = `
+BenchmarkE21MulticoreScaling/sharded/S=4/pipelined/procs=4-4 	     150	    650000 ns/op
+BenchmarkE22NetTransport/transport=inproc-4 	  658869	       473.0 ns/op
+BenchmarkE22NetTransport/transport=tcp-4 	  180411	      1807 ns/op
+PASS
+`
+	samples := parse(t, run)
+	for _, re := range l {
+		if !requireMatch(samples, re) {
+			t.Fatalf("pattern %q must match the full run", re)
+		}
+	}
+	// Drop the tcp variant: the transport=tcp pattern must now fail.
+	partial := parse(t, `
+BenchmarkE21MulticoreScaling/sharded/S=4/pipelined/procs=4-4 	     150	    650000 ns/op
+BenchmarkE22NetTransport/transport=inproc-4 	  658869	       473.0 ns/op
+PASS
+`)
+	if requireMatch(partial, l[1]) {
+		t.Fatal("transport=tcp must not match a run missing the tcp variant")
+	}
+	if err := l.Set("(["); err == nil {
+		t.Fatal("bad regexp must be rejected")
+	}
+}
+
 func TestGatePassesWithinThreshold(t *testing.T) {
 	var buf bytes.Buffer
 	failed := gate(parse(t, oldRun), parse(t, oldRun), 1.20, nil, &buf)
