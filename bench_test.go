@@ -998,3 +998,63 @@ func BenchmarkE22NetTransport(b *testing.B) {
 		run(b, tr)
 	})
 }
+
+// BenchmarkE23Resolver measures the address-resolution strategies behind E23
+// at CI scale (q=2, n=5): one 256-variable Zipf block resolved into full copy
+// rows per iteration, through the live per-op path, the batched computed
+// kernels, the compiled table and the hot-coset hybrid cache. Sub-benchmark
+// names carry "resolver=" so the bench-regression gate can require the
+// computed and hybrid variants; allocation counts pin the batched paths'
+// zero-steady-state-alloc property. E23 is the full-scale large-(q, n) sweep
+// behind BENCH_PR9.json.
+func BenchmarkE23Resolver(b *testing.B) {
+	s, idx := mustScheme(b, 1, 5)
+	mp := protocol.NewCoreMapper(s, idx)
+	copies := mp.Copies()
+	const block = 256
+	stream := workload.Zipf(rand.New(rand.NewSource(23)), s.NumVariables, block, 1.1)
+	bm := make([]uint64, 0, block*copies)
+	ba := make([]uint64, 0, block*copies)
+	var sink uint64
+	b.Run("resolver=per-op", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range stream {
+				for c := 0; c < copies; c++ {
+					mod, addr := mp.CopyAddr(v, c)
+					sink += mod + addr
+				}
+			}
+		}
+	})
+	b.Run("resolver=computed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bm, ba = protocol.AppendCopyAddrs(mp, bm[:0], ba[:0], stream, copies)
+			sink += bm[0] + ba[len(ba)-1]
+		}
+	})
+	b.Run("resolver=compiled", func(b *testing.B) {
+		res, err := protocol.CompileMapper(mp, protocol.CompileOptions{Eager: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bm, ba = protocol.AppendCopyAddrs(res, bm[:0], ba[:0], stream, copies)
+			sink += bm[0] + ba[len(ba)-1]
+		}
+	})
+	b.Run("resolver=hybrid", func(b *testing.B) {
+		hc := protocol.NewHotCache(mp, 0)
+		// Warm pass: steady state is what the strategy is for; the cold fill
+		// is E23's cold column.
+		bm, ba = hc.AppendCopyAddrs(mp, bm[:0], ba[:0], stream)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bm, ba = hc.AppendCopyAddrs(mp, bm[:0], ba[:0], stream)
+			sink += bm[0] + ba[len(ba)-1]
+		}
+	})
+	_ = sink
+}

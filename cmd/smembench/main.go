@@ -1,4 +1,4 @@
-// Command smembench regenerates the experiment tables E1–E22 (the paper's
+// Command smembench regenerates the experiment tables E1–E23 (the paper's
 // analytical claims as measurements, plus the extensions). See DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for recorded results.
 //
@@ -8,6 +8,7 @@
 //	          [-maxprocs P1,P2,...] [-shards S] [-pipeline] [-faults F]
 //	          [-faultsched SCHED] [-trace FILE] [-tracecap N] [-pprof ADDR]
 //	          [-transport inproc|tcp] [-servers A1,A2,...]
+//	          [-resolver compiled|computed|hybrid]
 //
 // -maxprocs sweeps GOMAXPROCS: the selected experiments run once per listed
 // value. With more than one value, each pass's JSON output gets a ".procsN"
@@ -47,6 +48,9 @@
 // a marker line and waits for the harness (cmd/netcluster) to kill one
 // server. E22 also records consistency traces, so -trace dumps from a TCP
 // run certify the networked transport end to end.
+//
+// -resolver pins E23's strategy sweep to one address-resolution strategy
+// ("compiled", "computed" or "hybrid") plus the live per-op baseline.
 package main
 
 import (
@@ -123,7 +127,7 @@ func newShardTrace(label string, st shard.Stats) shardTrace {
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e22); empty = all")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e23); empty = all")
 		maxprocs = flag.String("maxprocs", "", "comma-separated GOMAXPROCS values; the selected experiments run once per value (JSON outputs get a .procsN suffix)")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
 		seed     = flag.Int64("seed", 0, "workload RNG seed (0 = default)")
@@ -138,6 +142,7 @@ func main() {
 		pprofA   = flag.String("pprof", "", "serve pprof + expvar + Prometheus /metrics on this address (e.g. :6060)")
 		transp   = flag.String("transport", "", "restrict e22's cells to one MPC transport (\"inproc\" or \"tcp\"; empty = both)")
 		servers  = flag.String("servers", "", "comma-separated external memserver addresses for e22's TCP cells (empty = in-process loopback cluster)")
+		resolver = flag.String("resolver", "", "pin e23 to one resolution strategy (\"compiled\", \"computed\" or \"hybrid\"; empty = all)")
 	)
 	flag.Parse()
 
@@ -157,6 +162,7 @@ func main() {
 		Faults:     *faults,
 		FaultSched: *fsched,
 		Transport:  *transp,
+		Resolver:   *resolver,
 	}
 	if *servers != "" {
 		for _, a := range strings.Split(*servers, ",") {

@@ -88,6 +88,31 @@ func (a *Plane) CopyAddr(v uint64, c int) (uint64, uint64) {
 // AddrSpace returns M·r.
 func (a *Plane) AddrSpace() uint64 { return a.NumVars() * uint64(a.R) }
 
+// AppendCopyAddrs implements the batched contract of protocol.BulkMapper
+// (builtin slice types keep this package free of a protocol import): the
+// point decomposition and address base are computed once per variable
+// instead of once per copy. Results equal per-op CopyAddr in vars-major,
+// copy-minor order.
+func (a *Plane) AppendCopyAddrs(mods, addrs []uint64, vars []uint64, copies int) ([]uint64, []uint64) {
+	p, r := a.P, uint64(a.R)
+	for _, v := range vars {
+		x, y := v%p, v/p
+		base := v * r
+		for c := 0; c < copies; c++ {
+			var line uint64
+			if c == 0 {
+				line = x
+			} else {
+				slope := uint64(c - 1)
+				line = (y + p - slope*x%p) % p
+			}
+			mods = append(mods, uint64(c)*p+line)
+			addrs = append(addrs, base+uint64(c))
+		}
+	}
+	return mods, addrs
+}
+
 // LineOf reports which variable offsets share copy c's module with v —
 // exposed for tests of the ≤1-intersection property.
 func (a *Plane) LineOf(v uint64, c int) []uint64 {

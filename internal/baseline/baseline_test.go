@@ -147,6 +147,49 @@ func TestUWPlacement(t *testing.T) {
 	}
 }
 
+// TestUWLargeReplication pins CopyAddr past the 32-entry stack buffer:
+// c = 17 gives 33 copies, which must fall back to the heap scratch and
+// still return the full, distinct, deterministic module set (the old code
+// relied on append's implicit growth; this guards the explicit fallback).
+func TestUWLargeReplication(t *testing.T) {
+	s, err := NewUW(64, 500, 17, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Copies() != 33 {
+		t.Fatalf("copies = %d, want 33", s.Copies())
+	}
+	for v := uint64(0); v < 50; v++ {
+		want := s.Modules(v)
+		seen := make(map[uint64]bool)
+		for c := 0; c < s.Copies(); c++ {
+			m, addr := s.CopyAddr(v, c)
+			if m != want[c] {
+				t.Fatalf("var %d copy %d: CopyAddr module %d, Modules %d", v, c, m, want[c])
+			}
+			if seen[m] {
+				t.Fatalf("var %d: duplicate module %d past the stack-buffer cap", v, m)
+			}
+			seen[m] = true
+			if wantAddr := v*uint64(s.Copies()) + uint64(c); addr != wantAddr {
+				t.Fatalf("var %d copy %d: addr %d, want %d", v, c, addr, wantAddr)
+			}
+		}
+	}
+	// The bulk path must agree with per-op resolution above the cap too.
+	vars := []uint64{0, 7, 499}
+	mods, addrs := s.AppendCopyAddrs(nil, nil, vars, s.Copies())
+	for i, v := range vars {
+		for c := 0; c < s.Copies(); c++ {
+			wm, wa := s.CopyAddr(v, c)
+			k := i*s.Copies() + c
+			if mods[k] != wm || addrs[k] != wa {
+				t.Fatalf("bulk var %d copy %d: (%d,%d), want (%d,%d)", v, c, mods[k], addrs[k], wm, wa)
+			}
+		}
+	}
+}
+
 func TestUWValidation(t *testing.T) {
 	if _, err := NewUW(3, 100, 3, 0); err == nil {
 		t.Error("2c-1 > N accepted")

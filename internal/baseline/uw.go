@@ -80,11 +80,45 @@ func (s *UW) appendModules(dst []uint64, v uint64) []uint64 {
 }
 
 // CopyAddr places copy c of v. The module set is rebuilt into a stack buffer
-// (for practical majority sizes) rather than allocated per call.
+// for practical majority sizes (2c−1 ≤ 32); larger replication factors fall
+// back to an explicit heap buffer sized for the full set, so no Copies()
+// value can silently truncate the sample.
 func (s *UW) CopyAddr(v uint64, c int) (uint64, uint64) {
+	r := s.Copies()
 	var buf [32]uint64
-	mods := s.appendModules(buf[:0], v)
-	return mods[c], v*uint64(s.Copies()) + uint64(c)
+	scratch := buf[:0]
+	if r > len(buf) {
+		scratch = make([]uint64, 0, r)
+	}
+	mods := s.appendModules(scratch, v)
+	return mods[c], v*uint64(r) + uint64(c)
+}
+
+// AppendCopyAddrs implements the batched contract of protocol.BulkMapper
+// (builtin slice types keep this package free of a protocol import): the
+// rejection-sampled module set is built once per variable and shared by all
+// its copies, where per-op CopyAddr resamples the whole set for every copy —
+// a (2c−1)× saving on the sampling work. Results equal per-op CopyAddr in
+// vars-major, copy-minor order.
+func (s *UW) AppendCopyAddrs(mods, addrs []uint64, vars []uint64, copies int) ([]uint64, []uint64) {
+	if copies < 1 {
+		return mods, addrs
+	}
+	r := s.Copies()
+	var buf [32]uint64
+	scratch := buf[:0]
+	if r > len(buf) {
+		scratch = make([]uint64, 0, r)
+	}
+	for _, v := range vars {
+		set := s.appendModules(scratch, v)
+		base := v * uint64(r)
+		for c := 0; c < copies; c++ {
+			mods = append(mods, set[c])
+			addrs = append(addrs, base+uint64(c))
+		}
+	}
+	return mods, addrs
 }
 
 // AddrSpace returns M·(2c−1).

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"detshmem/internal/pgl"
+)
+
+// Batched copy-location resolution. The per-op path (CopyLocation) pays, per
+// copy, a general PGL product against the involution, a module-matrix
+// construction, a general inverse and two more general products — each with
+// its own canonicalization. The batched path below processes a vector of
+// variable representatives in fixed-size blocks and, per copy index,
+//
+//   - multiplies the whole block by the (fixed) involution with the
+//     two-multiply specialized kernel,
+//   - evaluates the module coset keys with the fused log-domain kernel, and
+//   - computes each in-module offset directly from the coset key (s, t):
+//     the module representative's inverse has the closed forms
+//     (γ^{-s} 0; 0 1) and (0 γ^s; 1 α_t), so B_j^{-1}·a costs two field
+//     products when t = −1 (and is already canonical — the bottom row of a
+//     is untouched) and four products plus one normalization otherwise,
+//     skipping ModuleMat, the general inverse and both general products.
+//
+// All scratch is fixed-size stack arrays, so resolution over any vector
+// length allocates nothing.
+
+// ResolveModules is the batched form of VarModules over a vector of variable
+// representatives: mods[i*copies+c] receives the module index of copy c of
+// mats[i], for c in [0, copies). copies must be in [1, s.Copies] and
+// len(mods) must be at least len(mats)*copies.
+func (s *Scheme) ResolveModules(mats []pgl.Mat, copies int, mods []uint64) {
+	s.resolveBatch(mats, copies, mods, nil)
+}
+
+// ResolveCopies is the batched form of CopyLocation over a vector of variable
+// representatives: mods[i*copies+c] and offs[i*copies+c] receive the module
+// index and in-module offset of copy c of mats[i]. copies must be in
+// [1, s.Copies]; mods and offs must be at least len(mats)*copies long. Like
+// CopyLocation it panics if a resolved copy is not stored where Lemma 1 says
+// it must be (memory corruption or an internal bug).
+func (s *Scheme) ResolveCopies(mats []pgl.Mat, copies int, mods []uint64, offs []uint32) {
+	s.resolveBatch(mats, copies, mods, offs)
+}
+
+// resolveBatch runs the whole resolution of one variable — all copies, keys
+// and offsets — as a single fused log-domain loop. Two algebraic facts fuse
+// what the first batched kernels (MulInvolutionVec + CosetKeyHn1Vec) still
+// did as separate canonicalizing passes:
+//
+//   - the involution (α 1; 1 0) has determinant −1 = 1 projectively in
+//     characteristic 2, so det(A·h_c) = det(A): one determinant log per
+//     variable serves every copy's coset key;
+//   - the H_{n-1} coset key is invariant under scalar rescaling (s reads
+//     det/C² and t reads A/C, both degree-0), so it can be evaluated on the
+//     raw shear product (A·α+B, A; C·α+D, C) with no canonicalization at
+//     all — the per-element general canon (an inverse plus four products)
+//     vanishes from the per-copy cost.
+//
+// What remains per copy is two multiplies by the small-field α, three or four
+// log/exp table reads for the key, and the closed-form offset.
+func (s *Scheme) resolveBatch(mats []pgl.Mat, copies int, mods []uint64, offs []uint32) {
+	if copies < 1 || copies > s.Copies {
+		panic(fmt.Sprintf("core: batched resolution with copies=%d outside [1, %d]", copies, s.Copies))
+	}
+	f := s.F
+	ord := int32(f.Order) - 1 // |F_{q^n}^*|
+	ugi := int32(f.UnitGroupIndex())
+	// For q = 2 the unit-group index equals the group order, so the final
+	// mod-ugi reduction of each key is the identity; skipping it leaves the
+	// whole kernel free of hardware divisions (the mod-ord reductions below
+	// are conditional subtracts on already-bounded exponents).
+	needUgi := ugi != ord
+	k1 := uint64(f.Order) + 1
+	for vi := range mats {
+		a := mats[vi]
+		ldet := int32(f.Log(f.Add(f.Mul(a.A, a.D), f.Mul(a.B, a.C))))
+		// The entry logs feed every copy's offset computation (−1 for zero
+		// entries; each use is zero-guarded).
+		lgA, lgB := f.LogT(a.A), f.LogT(a.B)
+		lgC, lgD := f.LogT(a.C), f.LogT(a.D)
+		for c := 0; c < copies; c++ {
+			// Copy c's module is represented by A·h_{c-1} = (Aα+B, A; Cα+D, C)
+			// (copy 0 by A itself); only the two key-bearing columns matter.
+			var cA, cC, cD uint32
+			switch c {
+			case 0:
+				cA, cC, cD = a.A, a.C, a.D
+			case 1: // α = 0: the shear contributes nothing
+				cA, cC, cD = a.B, a.D, a.C
+			case 2: // α = 1: multiplication is the identity
+				cA, cC, cD = a.A^a.B, a.C^a.D, a.C
+			default:
+				al := uint32(c - 1)
+				cA = f.Add(f.Mul(a.A, al), a.B)
+				cC = f.Add(f.Mul(a.C, al), a.D)
+				cD = a.C
+			}
+			var cs uint32
+			var ct int32
+			if cC == 0 {
+				// Upper triangular: s = log(A/D) mod ugi (D ≠ 0, else the
+				// representative would be singular), t = −1.
+				x := f.LogT(cA) - f.LogT(cD) // ∈ (−ord, ord)
+				if x < 0 {
+					x += ord
+				}
+				if needUgi {
+					x %= ugi
+				}
+				cs = uint32(x)
+				ct = -1
+			} else {
+				lc := f.LogT(cC)
+				x := ldet - 2*lc + 2*ord // ∈ (2, 3·ord)
+				if x >= ord {
+					x -= ord
+				}
+				if x >= ord {
+					x -= ord
+				}
+				if needUgi {
+					x %= ugi
+				}
+				cs = uint32(x)
+				if cA == 0 {
+					ct = 0
+				} else {
+					ct = int32(f.ExpT(f.LogT(cA) - lc + ord)) // exponent ∈ (0, 2·ord)
+				}
+			}
+			pos := vi*copies + c
+			mods[pos] = uint64(cs)*k1 + uint64(ct+1) // f(s,t) = s·(q^n+1) + t + 1
+			if offs != nil {
+				offs[pos] = s.offsetByLogs(a, lgA, lgB, lgC, lgD, cs, ct)
+			}
+		}
+	}
+}
+
+// offsetByLogs is Offset specialized for a module given by its coset key
+// (s, t) rather than its index, using the closed-form adjugates described
+// above. a must be canonical (as Indexer.Mat returns); lgA…lgD are the raw
+// entry logs (LogT), hoisted by the caller because all q+1 copies of a
+// variable share them. The whole computation stays in the rebased log domain:
+// the entries of B_j^{-1}·a, normalized so the bottom row leads with 1, are
+// each one doubled-exp-table read at exponent (entry log + rebase), where the
+// rebase folds γ^{±s} and the normalizing division into a single shift in
+// [0, Order−1) — no canon, no general inverse, and no per-read modulo.
+func (s *Scheme) offsetByLogs(a pgl.Mat, lgA, lgB, lgC, lgD int32, cs uint32, ct int32) uint32 {
+	f := s.F
+	ord := int32(f.Order) - 1
+	var yA, yB, yC, yD uint32
+	if ct == -1 {
+		// B_j = (γ^s 0; 0 1): B_j^{-1}·a = (γ^{-s}·A, γ^{-s}·B; C, D), whose
+		// bottom row is a's — already canonical (a is). Rebase = −s mod ord.
+		rb := ord - int32(cs) // ∈ (0, ord]; exp[l+rb] ∈ [0, 2·ord) for l < ord
+		if a.A != 0 {
+			yA = f.ExpT(lgA + rb)
+		}
+		if a.B != 0 {
+			yB = f.ExpT(lgB + rb)
+		}
+		yC, yD = a.C, a.D
+	} else {
+		// B_j = (α_t γ^s; 1 0): the adjugate is (0 γ^s; 1 α_t), so
+		// B_j^{-1}·a ~ (γ^s·C, γ^s·D; A+α_t·C, B+α_t·D). Normalizing by the
+		// leading bottom-row entry is a log subtraction folded into the
+		// rebase; the other bottom-row entry is its ratio against the leader.
+		t := uint32(ct)
+		c2 := f.Add(a.A, f.Mul(t, a.C))
+		d2 := f.Add(a.B, f.Mul(t, a.D))
+		if d2 != 0 {
+			ld2 := f.LogT(d2)
+			rb := int32(cs) - ld2
+			if rb < 0 {
+				rb += ord
+			}
+			if a.C != 0 {
+				yA = f.ExpT(lgC + rb)
+			}
+			if a.D != 0 {
+				yB = f.ExpT(lgD + rb)
+			}
+			if c2 != 0 {
+				yC = f.ExpT(f.LogT(c2) - ld2 + ord)
+			}
+			yD = 1
+		} else {
+			// c2 ≠ 0 here, or B_j^{-1}·a would be singular.
+			rb := int32(cs) - f.LogT(c2)
+			if rb < 0 {
+				rb += ord
+			}
+			if a.C != 0 {
+				yA = f.ExpT(lgC + rb)
+			}
+			if a.D != 0 {
+				yB = f.ExpT(lgD + rb)
+			}
+			yC, yD = 1, 0
+		}
+	}
+	var p uint32
+	if yD == 1 {
+		p = f.ClearConst(yB)
+	} else {
+		p = f.ClearConst(yA)
+	}
+	// The membership check of Offset, inlined: (1 p; 0 1)·y leaves the bottom
+	// row of the (canonical) y unchanged, so no renormalization is needed.
+	ma := f.Add(yA, f.Mul(p, yC))
+	mb := f.Add(yB, f.Mul(p, yD))
+	if !(f.InBase(ma) && f.InBase(mb) && f.InBase(yC) && f.InBase(yD)) {
+		panic(fmt.Sprintf("core: batched offset: variable %v has no copy in module (s=%d, t=%d)", a, cs, ct))
+	}
+	return f.PIndex(p)
+}

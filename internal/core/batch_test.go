@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"detshmem/internal/pgl"
+)
+
+// batchSchemes covers both offsetByKey branches (t = −1 and t ≥ 0 modules)
+// across q ∈ {2, 4, 8} and both indexer families.
+var batchSchemes = []struct{ m, n int }{
+	{1, 3}, {1, 4}, {1, 5}, {2, 3}, {3, 3},
+}
+
+// TestResolveCopiesMatchesCopyLocation pins the batched kernel to the scalar
+// path over every variable of each small scheme.
+func TestResolveCopiesMatchesCopyLocation(t *testing.T) {
+	for _, p := range batchSchemes {
+		s := newScheme(t, p.m, p.n)
+		idx, err := s.NewIndexer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := idx.M()
+		if total > 4096 {
+			total = 4096
+		}
+		mats := make([]pgl.Mat, total)
+		for i := range mats {
+			mats[i] = idx.Mat(uint64(i))
+		}
+		mods := make([]uint64, len(mats)*s.Copies)
+		offs := make([]uint32, len(mats)*s.Copies)
+		s.ResolveCopies(mats, s.Copies, mods, offs)
+		for i, a := range mats {
+			for c := 0; c < s.Copies; c++ {
+				wantMod, wantOff := s.CopyLocation(a, c)
+				pos := i*s.Copies + c
+				if mods[pos] != wantMod || offs[pos] != wantOff {
+					t.Fatalf("q=%d n=%d var %d copy %d: batch (%d, %d), scalar (%d, %d)",
+						s.Q, s.Deg, i, c, mods[pos], offs[pos], wantMod, wantOff)
+				}
+			}
+		}
+	}
+}
+
+// TestResolveModulesMatchesVarModules pins the modules-only kernel (the
+// compact-indexer build path) to VarModules.
+func TestResolveModulesMatchesVarModules(t *testing.T) {
+	for _, p := range batchSchemes {
+		s := newScheme(t, p.m, p.n)
+		idx, err := s.NewIndexer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := idx.M()
+		if total > 2048 {
+			total = 2048
+		}
+		mats := make([]pgl.Mat, total)
+		for i := range mats {
+			mats[i] = idx.Mat(uint64(i))
+		}
+		mods := make([]uint64, len(mats)*s.Copies)
+		s.ResolveModules(mats, s.Copies, mods)
+		var want []uint64
+		for i, a := range mats {
+			want = s.VarModules(want[:0], a)
+			for c, w := range want {
+				if got := mods[i*s.Copies+c]; got != w {
+					t.Fatalf("q=%d n=%d var %d copy %d: batch module %d, scalar %d", s.Q, s.Deg, i, c, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestResolveCopiesPartial checks the copies < q+1 form (what a
+// majority-only resolver would request).
+func TestResolveCopiesPartial(t *testing.T) {
+	s := newScheme(t, 2, 3)
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mats := []pgl.Mat{idx.Mat(0), idx.Mat(1), idx.Mat(idx.M() - 1)}
+	copies := s.Majority
+	mods := make([]uint64, len(mats)*copies)
+	offs := make([]uint32, len(mats)*copies)
+	s.ResolveCopies(mats, copies, mods, offs)
+	for i, a := range mats {
+		for c := 0; c < copies; c++ {
+			wantMod, wantOff := s.CopyLocation(a, c)
+			if mods[i*copies+c] != wantMod || offs[i*copies+c] != wantOff {
+				t.Fatalf("var %d copy %d mismatch", i, c)
+			}
+		}
+	}
+}
+
+func TestResolveCopiesRejectsBadCount(t *testing.T) {
+	s := newScheme(t, 1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for copies > q+1")
+		}
+	}()
+	s.ResolveCopies([]pgl.Mat{s.G.Identity()}, s.Copies+1, make([]uint64, s.Copies+1), make([]uint32, s.Copies+1))
+}
+
+func TestResolveCopiesZeroAlloc(t *testing.T) {
+	s := newScheme(t, 1, 5)
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mats := make([]pgl.Mat, 257) // force multiple internal blocks
+	for i := range mats {
+		mats[i] = idx.Mat(uint64(i) * 31 % idx.M())
+	}
+	mods := make([]uint64, len(mats)*s.Copies)
+	offs := make([]uint32, len(mats)*s.Copies)
+	if n := testing.AllocsPerRun(20, func() {
+		s.ResolveCopies(mats, s.Copies, mods, offs)
+	}); n != 0 {
+		t.Errorf("ResolveCopies allocates %v times per call, want 0", n)
+	}
+}

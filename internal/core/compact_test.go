@@ -1,0 +1,88 @@
+package core
+
+import "testing"
+
+// TestCompactMatchesEnumerated checks that the compact indexer is a bijection
+// onto the same variable set as the enumerated one (orderings differ — the
+// compact order is by minimum-module edge, the enumerated by canonical key —
+// but the sets of cosets must coincide, and each indexer must invert its own
+// Mat).
+func TestCompactMatchesEnumerated(t *testing.T) {
+	for _, p := range []struct{ m, n int }{{1, 4}, {2, 3}} {
+		s := newScheme(t, p.m, p.n)
+		en := NewEnumeratedIndexer(s)
+		cp := NewCompactIndexer(s)
+		if cp.M() != en.M() || cp.M() != s.NumVariables {
+			t.Fatalf("q=%d n=%d: compact M=%d, enumerated M=%d, scheme M=%d",
+				s.Q, s.Deg, cp.M(), en.M(), s.NumVariables)
+		}
+		seen := make([]bool, en.M())
+		for i := uint64(0); i < cp.M(); i++ {
+			a := cp.Mat(i)
+			// Round-trip through the compact inverse.
+			j, ok := cp.Index(a)
+			if !ok || j != i {
+				t.Fatalf("q=%d n=%d: compact round-trip of %d gave (%d, %v)", s.Q, s.Deg, i, j, ok)
+			}
+			// The coset must be a variable the enumerated indexer knows, each
+			// exactly once (so the compact order is a permutation of it).
+			e, ok := en.Index(a)
+			if !ok {
+				t.Fatalf("q=%d n=%d: compact variable %d unknown to enumerated indexer", s.Q, s.Deg, i)
+			}
+			if seen[e] {
+				t.Fatalf("q=%d n=%d: enumerated variable %d hit twice", s.Q, s.Deg, e)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+// TestCompactIndexAnyRepresentative verifies Index accepts non-canonical
+// representatives: every copy-module traversal of a variable's coset must
+// resolve to the same index.
+func TestCompactIndexAnyRepresentative(t *testing.T) {
+	s := newScheme(t, 2, 3)
+	cp := NewCompactIndexer(s)
+	for i := uint64(0); i < cp.M(); i += 97 {
+		a := cp.Mat(i)
+		for _, h := range s.G.H0Elements()[:5] {
+			j, ok := cp.Index(s.G.Mul(a, h))
+			if !ok || j != i {
+				t.Fatalf("variable %d via representative a·h: got (%d, %v)", i, j, ok)
+			}
+		}
+	}
+}
+
+// TestCompactIndexerQ8 builds the q=8 n=3 bijection — the configuration the
+// enumerated indexer cannot afford (O(q³) canonicalization per edge) — and
+// spot-checks round-trips plus the copy/location contract.
+func TestCompactIndexerQ8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("q=8 n=3 build in short mode")
+	}
+	s := newScheme(t, 3, 3)
+	cp := NewCompactIndexer(s)
+	if cp.M() != s.NumVariables {
+		t.Fatalf("M=%d, want %d", cp.M(), s.NumVariables)
+	}
+	for i := uint64(0); i < cp.M(); i += 1237 {
+		a := cp.Mat(i)
+		if j, ok := cp.Index(a); !ok || j != i {
+			t.Fatalf("round-trip of %d gave (%d, %v)", i, j, ok)
+		}
+		// Copies must land in q+1 pairwise-distinct modules (Lemma 1).
+		seen := make(map[uint64]bool, s.Copies)
+		for c := 0; c < s.Copies; c++ {
+			mod, off := s.CopyLocation(a, c)
+			if off >= s.ModuleSize || mod >= s.NumModules {
+				t.Fatalf("variable %d copy %d out of range: (%d, %d)", i, c, mod, off)
+			}
+			if seen[mod] {
+				t.Fatalf("variable %d: module %d holds two copies", i, mod)
+			}
+			seen[mod] = true
+		}
+	}
+}

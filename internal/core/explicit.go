@@ -24,10 +24,10 @@ import (
 // of PGL₂(2ⁿ)/H₀; the package's tests verify this exhaustively for n = 3, 5
 // and against edge enumeration for n = 7.
 //
-// Decoding an index costs O(log N): O(1) closed-form arithmetic for S₁–S₃
-// and a binary search over a counting function for S₄ (the S₄ exclusions
-// "τ | i" and "i ≡ k(s,0) − jρ (mod σ)" are arithmetic progressions, so
-// ranks are computable in O(1)).
+// Decoding an index costs O(1): closed-form arithmetic for S₁–S₃ and a
+// periodic unranking for S₄ (the S₄ exclusions "τ | i" and
+// "i ≡ k(s,0) − jρ (mod σ)" are arithmetic progressions with period σ, so
+// both ranking and unranking are computable in O(1)).
 type ExplicitIndexer struct {
 	s  *Scheme
 	qd *gf.Quad
@@ -132,7 +132,7 @@ func (e *ExplicitIndexer) matS4(off uint64) pgl.Mat {
 	if j == 3 {
 		panic("core: internal: S₄ rank exceeded per-s block")
 	}
-	i := e.searchS4(ks0, j, r)
+	i := e.unrankS4(ks0, j, r)
 	alpha := e.qd.Lambda(int(ks0))
 	beta := e.qd.Lambda(int(i + j*e.rho))
 	return e.matFromPair(alpha, beta)
@@ -172,19 +172,43 @@ func countCong(x, c, m uint64) uint64 {
 	return (x-c)/m + 1
 }
 
-// searchS4 finds the admissible i of rank r (0-based) for fixed (s, j) by
-// binary search on validS4Count; O(log ρ) = O(log N).
-func (e *ExplicitIndexer) searchS4(ks0, j, r uint64) uint64 {
-	lo, hi := uint64(1), e.rho-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if e.validS4Count(ks0, j, mid) >= r+1 {
-			hi = mid
-		} else {
-			lo = mid + 1
+// unrankS4 finds the admissible i of rank r (0-based) for fixed (s, j) in
+// closed form: the exclusions repeat with period σ (σ = 3τ puts exactly three
+// τ-multiples and at most one extra c_j offset in every window [kσ+1, kσ+σ]),
+// so whole periods contribute a fixed count and the residual rank is an order
+// statistic within one period against at most four sorted excluded offsets.
+// O(1) with a single division — this replaces an O(log ρ) binary search whose
+// per-probe counting divisions dominated decode time (S₄ holds the vast
+// majority of the variables: |S₄|/M → 1 as n grows).
+func (e *ExplicitIndexer) unrankS4(ks0, j, r uint64) uint64 {
+	c := e.cJ(ks0, j)
+	v := e.sigma - 3
+	cx := c%e.tau != 0 // c_j is an exclusion on top of the three τ-multiples
+	if cx {
+		v--
+	}
+	k := r / v
+	o := r%v + 1
+	// Walk o past the period's excluded offsets in increasing order; once one
+	// exceeds o the rest do too (o only grows by absorbing smaller ones).
+	ex := [4]uint64{e.tau, 2 * e.tau, e.sigma, ^uint64(0)}
+	if cx {
+		switch {
+		case c < e.tau:
+			ex = [4]uint64{c, e.tau, 2 * e.tau, e.sigma}
+		case c < 2*e.tau:
+			ex = [4]uint64{e.tau, c, 2 * e.tau, e.sigma}
+		default:
+			ex = [4]uint64{e.tau, 2 * e.tau, c, e.sigma}
 		}
 	}
-	return lo
+	for _, x := range ex {
+		if x > o {
+			break
+		}
+		o++
+	}
+	return k*e.sigma + o
 }
 
 // SetSizes reports (|S₁|, |S₂|, |S₃|, |S₄|) for inspection and tests.

@@ -110,8 +110,13 @@ func (s *Scheme) VarModules(dst []uint64, a pgl.Mat) []uint64 {
 
 // ModuleVarMat returns a representative of the variable whose copy sits at
 // offset k of module j: C_k^j = B_j·(1 p_k; 0 1) (Section 4, bijection 3).
+// The translation only shears the right column — B·(1 p; 0 1) =
+// (A, A·p+B; C, C·p+D) — so the general product's eight multiplies reduce
+// to two.
 func (s *Scheme) ModuleVarMat(j uint64, k uint32) pgl.Mat {
-	return s.G.Mul(s.ModuleMat(j), s.G.Translate(s.F.PElem(k)))
+	b := s.ModuleMat(j)
+	p := s.F.PElem(k)
+	return s.G.Canon(b.A, s.F.Add(s.F.Mul(b.A, p), b.B), b.C, s.F.Add(s.F.Mul(b.C, p), b.D))
 }
 
 // Offset computes the in-module offset of the copy of variable a stored in

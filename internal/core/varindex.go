@@ -28,12 +28,15 @@ type Inverter interface {
 }
 
 // NewIndexer returns the best indexer for the scheme: the explicit Theorem 8
-// bijection when it applies (q = 2, n odd), otherwise the enumerated one.
+// bijection when it applies (q = 2, n odd), otherwise the compact
+// minimum-module bijection — whose O(q)-per-edge build and 8-byte-per-
+// variable table open the q > 2 parameter range the enumerated indexer's
+// O(q³)-per-edge canonicalization priced out.
 func (s *Scheme) NewIndexer() (Indexer, error) {
 	if s.Q == 2 && s.Deg%2 == 1 {
 		return NewExplicitIndexer(s)
 	}
-	return NewEnumeratedIndexer(s), nil
+	return NewCompactIndexer(s), nil
 }
 
 // EnumeratedIndexer materializes the variable↔coset bijection by walking all
@@ -79,6 +82,12 @@ func (e *EnumeratedIndexer) Mat(i uint64) pgl.Mat { return e.mats[i] }
 func (e *EnumeratedIndexer) Index(m pgl.Mat) (uint64, bool) {
 	i, ok := e.idx[e.s.VarKey(m)]
 	return i, ok
+}
+
+// Bytes reports the resident size of the key array plus a map-entry estimate
+// (key + value + bucket overhead), for resolver-strategy memory accounting.
+func (e *EnumeratedIndexer) Bytes() uint64 {
+	return uint64(len(e.mats)) * (16 + 16 + 8 + 16)
 }
 
 func matLess(x, y pgl.Mat) bool {

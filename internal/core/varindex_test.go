@@ -126,7 +126,7 @@ func TestNewIndexerSelection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := idx4.(*EnumeratedIndexer); !ok {
-		t.Errorf("q=4: expected enumerated indexer, got %T", idx4)
+	if _, ok := idx4.(*CompactIndexer); !ok {
+		t.Errorf("q=4: expected compact indexer, got %T", idx4)
 	}
 }

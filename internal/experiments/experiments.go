@@ -72,6 +72,10 @@ type Options struct {
 	// servers the kill cell expects the harness (cmd/netcluster) to kill
 	// one server when the marker line appears (smembench -servers).
 	Servers []string
+	// Resolver pins E23 to one resolution strategy ("compiled", "computed"
+	// or "hybrid") plus the live per-op baseline; "" sweeps all of them
+	// (smembench -resolver).
+	Resolver string
 	// Recorder, when non-nil, is installed on every protocol system built
 	// through the shared constructor, capturing one event per MPC round
 	// (smembench -trace wires a ring-buffer tracer here).
@@ -163,6 +167,7 @@ func All() []Runner {
 		{"e20", "Consistency auditing: trace-checker cost and sampling-audit overhead", E20},
 		{"e21", "Multi-core scaling: lock-free rings and the batch API vs GOMAXPROCS", E21},
 		{"e22", "Networked MPC: in-process vs loopback-TCP vs TCP with a killed server", E22},
+		{"e23", "Address resolution at large (q, n): compiled vs computed vs hybrid", E23},
 	}
 }
 

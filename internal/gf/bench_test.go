@@ -61,3 +61,81 @@ func BenchmarkQuadPairUnpair(b *testing.B) {
 		_ = q.Pair(x, y)
 	}
 }
+
+// Batch-kernel micro-benchmarks: per-element cost of the vectorized forms vs
+// the scalar loops they replace, so kernel regressions show up in benchstat
+// directly rather than only through end-to-end resolution numbers.
+
+func benchVecOperands(b *testing.B, e *Ext) ([]uint32, []uint32, []uint32) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]uint32, 1024)
+	ys := make([]uint32, 1024)
+	for i := range xs {
+		xs[i] = uint32(rng.Intn(int(e.Order)-1)) + 1
+		ys[i] = uint32(rng.Intn(int(e.Order)-1)) + 1
+	}
+	return xs, ys, make([]uint32, 1024)
+}
+
+func BenchmarkMulScalarVec(b *testing.B) {
+	e := benchExt(b, 1, 9)
+	xs, _, dst := benchVecOperands(b, e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MulScalarVec(dst, xs, 7)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(xs)), "ns/elem")
+}
+
+func BenchmarkMulScalarLoop(b *testing.B) {
+	e := benchExt(b, 1, 9)
+	xs, _, dst := benchVecOperands(b, e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range xs {
+			dst[j] = e.Mul(x, 7)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(xs)), "ns/elem")
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	e := benchExt(b, 1, 9)
+	xs, ys, dst := benchVecOperands(b, e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MulVec(dst, xs, ys)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(xs)), "ns/elem")
+}
+
+func BenchmarkPowVec(b *testing.B) {
+	e := benchExt(b, 1, 9)
+	xs, _, dst := benchVecOperands(b, e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.PowVec(dst, xs, 13)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(xs)), "ns/elem")
+}
+
+func BenchmarkFrobVec(b *testing.B) {
+	e := benchExt(b, 1, 9)
+	xs, _, dst := benchVecOperands(b, e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.FrobVec(dst, xs)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(xs)), "ns/elem")
+}
+
+func BenchmarkBaseUnitLogVec(b *testing.B) {
+	e := benchExt(b, 1, 9)
+	xs, _, dst := benchVecOperands(b, e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.BaseUnitLogVec(dst, xs)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(xs)), "ns/elem")
+}

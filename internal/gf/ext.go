@@ -196,6 +196,18 @@ func (e *Ext) Exp(i int) uint32 { return e.exp[i%(int(e.Order)-1)] }
 // ("let x = γ^r …"); with full tables it is O(1).
 func (e *Ext) Log(a uint32) int { return int(e.log[a]) }
 
+// LogT returns the raw log-table entry of a: log_γ(a) in [0, Order−1) for
+// nonzero a, −1 for zero. Exported for fused log-domain kernels that hoist
+// logs across several uses and handle zeros themselves; everyone else should
+// use Log.
+func (e *Ext) LogT(a uint32) int32 { return e.log[a] }
+
+// ExpT returns γ^i for i in [0, 2(Order−1)): a raw read of the doubled
+// exponent table Mul uses internally, exported so fused log-domain kernels
+// can add two reduced exponents without a modular reduction. The argument
+// must already be range-reduced; use Exp when it is not.
+func (e *Ext) ExpT(i int32) uint32 { return e.exp[i] }
+
 // Gamma returns the primitive element γ (the class of the indeterminate).
 func (e *Ext) Gamma() uint32 { return 1 << e.bits }
 

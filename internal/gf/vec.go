@@ -1,0 +1,131 @@
+package gf
+
+// Batch kernels over packed element slices. The address-resolution hot path
+// evaluates the same field expression over a whole vector of operands, so
+// these kernels hoist everything that is invariant across the vector — the
+// discrete log of a fixed multiplier, the reduced exponent of a fixed power,
+// the subgroup index of a fixed quotient — out of the element loop, leaving
+// one or two table lookups per element. All kernels write into caller-owned
+// destination slices (reusable across calls, so steady-state resolution
+// allocates nothing); dst may alias an input.
+//
+// Lengths: every kernel processes exactly len(dst) elements and requires its
+// operand slices to be at least that long (shorter operands panic via the
+// bounds check).
+
+// MulScalarVec computes dst[i] = xs[i]·y. The log of y is looked up once; a
+// zero y zeroes dst without touching the tables.
+func (e *Ext) MulScalarVec(dst, xs []uint32, y uint32) {
+	if len(dst) == 0 {
+		return
+	}
+	xs = xs[:len(dst)]
+	if y == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	ly := e.log[y]
+	exp, lg := e.exp, e.log
+	for i, x := range xs {
+		if x == 0 {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = exp[lg[x]+ly] // exp table is doubled: no modular reduction
+	}
+}
+
+// MulVec computes dst[i] = xs[i]·ys[i].
+func (e *Ext) MulVec(dst, xs, ys []uint32) {
+	if len(dst) == 0 {
+		return
+	}
+	xs, ys = xs[:len(dst)], ys[:len(dst)]
+	exp, lg := e.exp, e.log
+	for i, x := range xs {
+		y := ys[i]
+		if x == 0 || y == 0 {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = exp[lg[x]+lg[y]]
+	}
+}
+
+// AddVec computes dst[i] = xs[i] + ys[i] (XOR in characteristic 2).
+func (e *Ext) AddVec(dst, xs, ys []uint32) {
+	if len(dst) == 0 {
+		return
+	}
+	xs, ys = xs[:len(dst)], ys[:len(dst)]
+	for i, x := range xs {
+		dst[i] = x ^ ys[i]
+	}
+}
+
+// InvVec computes dst[i] = xs[i]^{-1}, panicking on a zero entry (always a
+// caller bug, as with Inv).
+func (e *Ext) InvVec(dst, xs []uint32) {
+	if len(dst) == 0 {
+		return
+	}
+	xs = xs[:len(dst)]
+	n := int32(e.Order) - 1
+	exp, lg := e.exp, e.log
+	for i, x := range xs {
+		if x == 0 {
+			panic("gf: inverse of zero in extension field")
+		}
+		dst[i] = exp[n-lg[x]] // lg ∈ [0, n): n−lg ∈ (0, n], and exp[n] = exp[0]
+	}
+}
+
+// PowVec computes dst[i] = xs[i]^k for k >= 0 (with 0^0 = 1), the batched
+// exponentiation kernel: k is reduced modulo the group order once, so each
+// element costs one log lookup, one multiply, one modular reduction and one
+// exp lookup.
+func (e *Ext) PowVec(dst, xs []uint32, k int) {
+	if len(dst) == 0 {
+		return
+	}
+	xs = xs[:len(dst)]
+	if k == 0 {
+		for i := range dst {
+			dst[i] = 1
+		}
+		return
+	}
+	n := int64(e.Order) - 1
+	kr := int64(k) % n // log < 2^24 and kr < 2^24: the product fits int64
+	exp, lg := e.exp, e.log
+	for i, x := range xs {
+		if x == 0 {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = exp[int64(lg[x])*kr%n]
+	}
+}
+
+// FrobVec applies the q-power Frobenius dst[i] = xs[i]^q (the F_q-linear
+// field automorphism fixing exactly the base field).
+func (e *Ext) FrobVec(dst, xs []uint32) {
+	e.PowVec(dst, xs, int(e.Q))
+}
+
+// BaseUnitLogVec computes dst[i] = BaseUnitLog(xs[i]) for nonzero entries,
+// hoisting the subgroup index (q^n−1)/(q−1). Like BaseUnitLog, the result is
+// undefined for zero entries.
+func (e *Ext) BaseUnitLogVec(dst, xs []uint32) {
+	if len(dst) == 0 {
+		return
+	}
+	xs = xs[:len(dst)]
+	ugi := e.UnitGroupIndex()
+	lg := e.log
+	for i, x := range xs {
+		dst[i] = uint32(lg[x]) % ugi
+	}
+}

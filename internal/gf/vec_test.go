@@ -1,0 +1,143 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// vecExts covers q = 2, 4, 8 extensions.
+func vecExts(t *testing.T) []*Ext {
+	t.Helper()
+	var out []*Ext
+	for _, p := range []struct{ m, n int }{{1, 5}, {2, 3}, {3, 3}} {
+		e, err := NewExt(p.m, p.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func randElems(e *Ext, rng *rand.Rand, n int, nonzero bool) []uint32 {
+	xs := make([]uint32, n)
+	for i := range xs {
+		xs[i] = uint32(rng.Intn(int(e.Order)))
+		if nonzero && xs[i] == 0 {
+			xs[i] = 1
+		}
+	}
+	// Keep a few exact zeros in the mixed case to exercise the zero branch.
+	if !nonzero && n > 4 {
+		xs[0], xs[n/2] = 0, 0
+	}
+	return xs
+}
+
+// TestVecKernelsMatchScalar pins every vector kernel to its scalar
+// counterpart over random operands in all three base fields.
+func TestVecKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, e := range vecExts(t) {
+		xs := randElems(e, rng, 257, false)
+		ys := randElems(e, rng, 257, false)
+		nz := randElems(e, rng, 257, true)
+		dst := make([]uint32, len(xs))
+
+		y := nz[0]
+		e.MulScalarVec(dst, xs, y)
+		for i, x := range xs {
+			if want := e.Mul(x, y); dst[i] != want {
+				t.Fatalf("q=%d MulScalarVec[%d]: got %#x want %#x", e.Q, i, dst[i], want)
+			}
+		}
+		e.MulScalarVec(dst, xs, 0)
+		for i := range xs {
+			if dst[i] != 0 {
+				t.Fatalf("q=%d MulScalarVec by zero left %#x", e.Q, dst[i])
+			}
+		}
+		e.MulVec(dst, xs, ys)
+		for i := range xs {
+			if want := e.Mul(xs[i], ys[i]); dst[i] != want {
+				t.Fatalf("q=%d MulVec[%d]: got %#x want %#x", e.Q, i, dst[i], want)
+			}
+		}
+		e.AddVec(dst, xs, ys)
+		for i := range xs {
+			if want := e.Add(xs[i], ys[i]); dst[i] != want {
+				t.Fatalf("q=%d AddVec[%d]: got %#x want %#x", e.Q, i, dst[i], want)
+			}
+		}
+		e.InvVec(dst, nz)
+		for i, x := range nz {
+			if want := e.Inv(x); dst[i] != want {
+				t.Fatalf("q=%d InvVec[%d]: got %#x want %#x", e.Q, i, dst[i], want)
+			}
+		}
+		for _, k := range []int{0, 1, 2, int(e.Q), int(e.Order), 3*int(e.Order) + 7} {
+			e.PowVec(dst, xs, k)
+			for i, x := range xs {
+				if want := e.Pow(x, k); dst[i] != want {
+					t.Fatalf("q=%d PowVec[%d]^%d: got %#x want %#x", e.Q, i, k, dst[i], want)
+				}
+			}
+		}
+		e.FrobVec(dst, xs)
+		for i, x := range xs {
+			if want := e.Pow(x, int(e.Q)); dst[i] != want {
+				t.Fatalf("q=%d FrobVec[%d]: got %#x want %#x", e.Q, i, dst[i], want)
+			}
+		}
+		e.BaseUnitLogVec(dst, nz)
+		for i, x := range nz {
+			if want := e.BaseUnitLog(x); dst[i] != want {
+				t.Fatalf("q=%d BaseUnitLogVec[%d]: got %d want %d", e.Q, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestVecKernelsAlias checks dst-aliases-input, the form the in-place PGL
+// gather kernels use.
+func TestVecKernelsAlias(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	e, err := NewExt(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := randElems(e, rng, 64, false)
+	ys := randElems(e, rng, 64, false)
+	want := make([]uint32, len(xs))
+	e.MulVec(want, xs, ys)
+	got := append([]uint32(nil), xs...)
+	e.MulVec(got, got, ys)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aliased MulVec[%d]: got %#x want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestVecKernelsZeroAlloc: the kernels must not allocate — they are the inner
+// loop of the computed resolver strategy.
+func TestVecKernelsZeroAlloc(t *testing.T) {
+	e, err := NewExt(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	xs := randElems(e, rng, 512, true)
+	dst := make([]uint32, len(xs))
+	if n := testing.AllocsPerRun(20, func() {
+		e.MulScalarVec(dst, xs, 7)
+		e.MulVec(dst, dst, xs)
+		e.AddVec(dst, dst, xs)
+		e.PowVec(dst, xs, 5)
+		e.FrobVec(dst, xs)
+		e.InvVec(dst, xs)
+		e.BaseUnitLogVec(dst, xs)
+	}); n != 0 {
+		t.Errorf("vector kernels allocate %v times per pass, want 0", n)
+	}
+}

@@ -179,6 +179,78 @@ func TestEquivalenceWithInproc(t *testing.T) {
 	}
 }
 
+// TestThinClientComputedStrategy is the thin-client demonstration: a TCP
+// client under Strategy ResolverComputed carries no compiled table at all —
+// every batch resolves through the vectorized Section 4 kernels — while the
+// memory cells live on the remote servers. Values must match a plain
+// in-process system, so a client footprint of O(indexer) + O(cache lines)
+// replaces the O(M) table without observable difference.
+func TestThinClientComputedStrategy(t *testing.T) {
+	s := testScheme(t)
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := protocol.NewSystem(s, idx, protocol.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	_, addrs := startCluster(t, s, 2)
+	tr, err := Dial(testDialConfig(s, addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	thin, err := protocol.NewSystem(s, idx, protocol.Config{Transport: tr, Strategy: protocol.ResolverComputed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer thin.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	nv := int(s.NumVariables)
+	for batch := 0; batch < 12; batch++ {
+		sz := 1 + rng.Intn(16)
+		vars := make([]uint64, 0, sz)
+		seen := map[uint64]bool{}
+		for len(vars) < sz {
+			v := uint64(rng.Intn(nv))
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+		if batch%3 != 2 {
+			vals := make([]uint64, len(vars))
+			for i := range vals {
+				vals[i] = rng.Uint64()
+			}
+			if _, err := local.WriteBatch(vars, vals); err != nil {
+				t.Fatalf("local write: %v", err)
+			}
+			if _, err := thin.WriteBatch(vars, vals); err != nil {
+				t.Fatalf("thin write: %v", err)
+			}
+			continue
+		}
+		lv, _, err := local.ReadBatch(vars)
+		if err != nil {
+			t.Fatalf("local read: %v", err)
+		}
+		tv, _, err := thin.ReadBatch(vars)
+		if err != nil {
+			t.Fatalf("thin read: %v", err)
+		}
+		for i := range vars {
+			if lv[i] != tv[i] {
+				t.Fatalf("batch %d var %d: local %d, thin %d", batch, vars[i], lv[i], tv[i])
+			}
+		}
+	}
+}
+
 // TestServerDeathDegradesLikeModuleFaults kills one of four servers and
 // checks that (a) the whole range joins the fault set, (b) batches keep
 // completing for variables that retain a live majority, with correct

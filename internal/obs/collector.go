@@ -20,6 +20,16 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is a last-observed-value atomic gauge (Set overwrites; compare
+// MaxGauge, which only rises).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // MaxGauge tracks the maximum value ever observed (a high-water mark).
 type MaxGauge struct{ v atomic.Int64 }
 
@@ -134,6 +144,11 @@ type Collector struct {
 	FlusherParks Counter   // flusher parked on a genuinely idle ring
 	FlusherWakes Counter   // producer kicks that un-parked the flusher
 
+	// Resolver residency (ObserveResolverResidency, from a compiled
+	// resolver whose System's Observer is this collector).
+	ResolverShards Gauge // compiled blocks resident (1 = eager table)
+	ResolverBytes  Gauge // resident compiled-table bytes
+
 	// Consistency-audit level (ObserveAudit / ObserveAuditEviction, from
 	// the sampling auditor in internal/consistency).
 	AuditedOps      Counter // operations on sampled variables audited
@@ -227,6 +242,14 @@ func (c *Collector) ObserveAudit(violation bool) {
 // variable (audit coverage loss, not a consistency problem).
 func (c *Collector) ObserveAuditEviction() { c.AuditEvictions.Inc() }
 
+// ObserveResolverResidency records a compiled resolver's current residency:
+// resident compiled blocks and table bytes. Published once at attachment and
+// again after every lazy shard materialization.
+func (c *Collector) ObserveResolverResidency(shards int, bytes uint64) {
+	c.ResolverShards.Set(int64(shards))
+	c.ResolverBytes.Set(int64(bytes))
+}
+
 // Snapshot returns every scalar metric by name (histograms contribute their
 // count and sum). The map is freshly allocated; keys are stable and sorted
 // iteration gives a deterministic listing.
@@ -276,6 +299,8 @@ func (c *Collector) SnapshotInto(label string, dst map[string]int64) {
 		"max_ring_depth":            c.MaxRingDepth.Load(),
 		"flusher_parks_total":       c.FlusherParks.Load(),
 		"flusher_wakes_total":       c.FlusherWakes.Load(),
+		"resolver_compiled_shards":  c.ResolverShards.Load(),
+		"resolver_resident_bytes":   c.ResolverBytes.Load(),
 		"audit_sampled_total":       c.AuditedOps.Load(),
 		"audit_violations_total":    c.AuditViolations.Load(),
 		"audit_evictions_total":     c.AuditEvictions.Load(),
@@ -330,6 +355,8 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		{"max_ring_depth", "Deepest shard admission-ring occupancy observed.", "gauge", c.MaxRingDepth.Load()},
 		{"flusher_parks_total", "Shard flusher parks on an idle admission ring.", "counter", c.FlusherParks.Load()},
 		{"flusher_wakes_total", "Producer kicks that un-parked a shard flusher.", "counter", c.FlusherWakes.Load()},
+		{"resolver_compiled_shards", "Compiled resolver blocks resident (1 = eager table).", "gauge", c.ResolverShards.Load()},
+		{"resolver_resident_bytes", "Compiled resolver table bytes resident.", "gauge", c.ResolverBytes.Load()},
 		{"audit_sampled_total", "Operations audited by the sampling consistency audit.", "counter", c.AuditedOps.Load()},
 		{"audit_violations_total", "Audited reads contradicting the last known value.", "counter", c.AuditViolations.Load()},
 		{"audit_evictions_total", "Audit slots reclaimed for a different variable.", "counter", c.AuditEvictions.Load()},

@@ -177,6 +177,16 @@ type BatchObserver interface {
 	ObserveBatch(ev BatchEvent)
 }
 
+// ResolverObserver receives compiled-resolver residency updates: how many
+// compiled blocks are resident (1 for an eager table, the materialized shard
+// count in lazy mode) and the resident table bytes. A protocol System whose
+// Observer implements this interface wires it into its resolver, so lazy
+// table growth shows up live on /debug/vars and the Prometheus endpoint.
+// Collector implements it.
+type ResolverObserver interface {
+	ObserveResolverResidency(shards int, bytes uint64)
+}
+
 // MultiBatch fans batch events out to several observers, dropping nils. It
 // returns nil when nothing remains, so callers can assign the result
 // directly to an optional observer field.

@@ -34,6 +34,7 @@ func goldenCollector() *Collector {
 	c.ObserveAudit(false)
 	c.ObserveAudit(true)
 	c.ObserveAuditEviction()
+	c.ObserveResolverResidency(3, 49152)
 	return c
 }
 

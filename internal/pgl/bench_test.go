@@ -64,3 +64,53 @@ func BenchmarkCosetKeyHn1(b *testing.B) {
 		_, _ = g.CosetKeyHn1(mats[i&255])
 	}
 }
+
+// Batch-kernel micro-benchmarks: the vectorized involution product and coset
+// key against their scalar equivalents (per-element cost reported), so the
+// resolution kernels are gated by benchstat independently of the end-to-end
+// resolver benchmarks.
+
+func BenchmarkMulInvolutionVec(b *testing.B) {
+	g, mats := benchGroup(b)
+	dst := make([]Mat, len(mats))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MulInvolutionVec(dst, mats, 1)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(mats)), "ns/elem")
+}
+
+func BenchmarkMulInvolutionLoop(b *testing.B) {
+	g, mats := benchGroup(b)
+	dst := make([]Mat, len(mats))
+	inv := g.Involution(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, m := range mats {
+			dst[j] = g.Mul(m, inv)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(mats)), "ns/elem")
+}
+
+func BenchmarkCosetKeyHn1Vec(b *testing.B) {
+	g, mats := benchGroup(b)
+	ss := make([]uint32, len(mats))
+	ts := make([]int32, len(mats))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CosetKeyHn1Vec(ss, ts, mats)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(mats)), "ns/elem")
+}
+
+func BenchmarkCosetKeyHn1Loop(b *testing.B) {
+	g, mats := benchGroup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range mats {
+			_, _ = g.CosetKeyHn1(m)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(mats)), "ns/elem")
+}

@@ -1,0 +1,80 @@
+package pgl
+
+// Batched PGL₂ kernels for the address-resolution hot path. Copy-location
+// resolution evaluates the same short sequence of group operations over a
+// vector of variable representatives; the kernels below gather matrix columns
+// into contiguous scratch, run the gf vector kernels over them (hoisting the
+// per-copy-invariant operands), and normalize per element. Both kernels
+// process their input in fixed-size internal blocks, so arbitrarily long
+// vectors run with constant stack scratch and zero heap allocation.
+
+// vecBlock is the internal gather-block width of the batched kernels: large
+// enough to amortize the per-block loop machinery, small enough that the
+// column scratch stays comfortably in L1 and on the stack.
+const vecBlock = 64
+
+// Canon returns the canonical projective representative of (a b; c d). The
+// input must be nonsingular — Canon is the normalization step for callers
+// (batch kernels, specialized products) that construct matrices whose
+// nonsingularity is already guaranteed algebraically; use Make when it is not.
+func (g *Group) Canon(a, b, c, d uint32) Mat { return g.canon(a, b, c, d) }
+
+// MulInvolutionVec computes dst[i] = xs[i]·(α 1; 1 0) in canonical form: the
+// batched form of Mul(x, Involution(alpha)) that the per-copy step of batch
+// resolution runs. Right-multiplying (A B; C D) by the involution gives
+//
+//	(A·α+B  A; C·α+D  C)
+//
+// so the general product's eight field multiplies collapse to two per
+// element, both by the fixed α (one log lookup for the whole vector).
+// dst and xs may be the same slice.
+func (g *Group) MulInvolutionVec(dst, xs []Mat, alpha uint32) {
+	f := g.F
+	var as, bs, cs, ds, na, nc [vecBlock]uint32
+	for len(xs) > 0 {
+		n := len(xs)
+		if n > vecBlock {
+			n = vecBlock
+		}
+		for i := 0; i < n; i++ {
+			m := xs[i]
+			as[i], bs[i], cs[i], ds[i] = m.A, m.B, m.C, m.D
+		}
+		f.MulScalarVec(na[:n], as[:n], alpha)
+		f.AddVec(na[:n], na[:n], bs[:n])
+		f.MulScalarVec(nc[:n], cs[:n], alpha)
+		f.AddVec(nc[:n], nc[:n], ds[:n])
+		for i := 0; i < n; i++ {
+			dst[i] = g.canon(na[i], as[i], nc[i], cs[i])
+		}
+		xs, dst = xs[n:], dst[n:]
+	}
+}
+
+// CosetKeyHn1Vec computes the module-coset keys of xs: ss[i], ts[i] =
+// CosetKeyHn1(xs[i]). The scalar path's two divisions plus BaseUnitLog
+// (each an exp/log table round-trip) fuse into one log-domain reduction per
+// element, with the group order and subgroup index hoisted out of the loop.
+func (g *Group) CosetKeyHn1Vec(ss []uint32, ts []int32, xs []Mat) {
+	f := g.F
+	ugi := uint32(f.UnitGroupIndex())
+	ord := int32(f.Order) - 1
+	for i, m := range xs {
+		if m.C == 0 {
+			ss[i] = uint32(f.Log(m.A)) % ugi
+			ts[i] = -1
+			continue
+		}
+		det := f.Add(f.Mul(m.A, m.D), f.Mul(m.B, m.C))
+		lc := int32(f.Log(m.C))
+		ldet := int32(f.Log(det))
+		// log(det/c²) mod ord, then mod ugi (ugi divides ord, so reducing
+		// mod ord first preserves the residue).
+		ss[i] = uint32((ldet-2*lc+2*ord)%ord) % ugi
+		if m.A == 0 {
+			ts[i] = 0 // beta = a/c = 0
+		} else {
+			ts[i] = int32(f.Exp(int(int32(f.Log(m.A)) - lc + ord)))
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package pgl
+
+import (
+	"math/rand"
+	"testing"
+
+	"detshmem/internal/gf"
+)
+
+func vecGroups(t *testing.T) []*Group {
+	t.Helper()
+	var out []*Group
+	for _, p := range []struct{ m, n int }{{1, 5}, {2, 3}, {3, 3}} {
+		f, err := gf.NewExt(p.m, p.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, New(f))
+	}
+	return out
+}
+
+func randMats(g *Group, rng *rand.Rand, n int) []Mat {
+	mats := make([]Mat, n)
+	for i := range mats {
+		mats[i] = randMatB(g, rng)
+	}
+	return mats
+}
+
+// TestMulInvolutionVecMatchesMul pins the specialized two-multiply involution
+// product to the general Mul across q ∈ {2, 4, 8} and every α ∈ F_q.
+func TestMulInvolutionVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, g := range vecGroups(t) {
+		mats := randMats(g, rng, 157) // odd length: exercises the partial tail block
+		dst := make([]Mat, len(mats))
+		for alpha := uint32(0); alpha < g.F.Q; alpha++ {
+			g.MulInvolutionVec(dst, mats, alpha)
+			for i, m := range mats {
+				if want := g.Mul(m, g.Involution(alpha)); dst[i] != want {
+					t.Fatalf("q=%d α=%d [%d]: got %v want %v", g.F.Q, alpha, i, dst[i], want)
+				}
+			}
+		}
+		// In-place form.
+		inPlace := append([]Mat(nil), mats...)
+		g.MulInvolutionVec(inPlace, inPlace, 1)
+		for i, m := range mats {
+			if want := g.Mul(m, g.Involution(1)); inPlace[i] != want {
+				t.Fatalf("q=%d in-place [%d]: got %v want %v", g.F.Q, i, inPlace[i], want)
+			}
+		}
+	}
+}
+
+// TestCosetKeyHn1VecMatchesScalar pins the fused log-domain key kernel to
+// CosetKeyHn1, including the C == 0 (t = −1) branch.
+func TestCosetKeyHn1VecMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, g := range vecGroups(t) {
+		mats := randMats(g, rng, 153)
+		// Force some C == 0 canonical forms into the vector.
+		mats[0] = g.MustMake(g.F.Gamma(), 3, 0, 1)
+		mats[75] = g.Identity()
+		ss := make([]uint32, len(mats))
+		ts := make([]int32, len(mats))
+		g.CosetKeyHn1Vec(ss, ts, mats)
+		for i, m := range mats {
+			ws, wt := g.CosetKeyHn1(m)
+			if ss[i] != ws || ts[i] != wt {
+				t.Fatalf("q=%d [%d] %v: got (%d, %d) want (%d, %d)", g.F.Q, i, m, ss[i], ts[i], ws, wt)
+			}
+		}
+	}
+}
+
+func TestVecKernelsZeroAlloc(t *testing.T) {
+	g := vecGroups(t)[1]
+	rng := rand.New(rand.NewSource(23))
+	mats := randMats(g, rng, 300)
+	dst := make([]Mat, len(mats))
+	ss := make([]uint32, len(mats))
+	ts := make([]int32, len(mats))
+	if n := testing.AllocsPerRun(20, func() {
+		g.MulInvolutionVec(dst, mats, 2)
+		g.CosetKeyHn1Vec(ss, ts, dst)
+	}); n != 0 {
+		t.Errorf("pgl vector kernels allocate %v times per pass, want 0", n)
+	}
+}

@@ -1,0 +1,333 @@
+package protocol
+
+import (
+	"testing"
+
+	"detshmem/internal/affine"
+	"detshmem/internal/baseline"
+	"detshmem/internal/core"
+	"detshmem/internal/obs"
+)
+
+// TestAppendCopyAddrsMatchesCopyAddr is the mapper-matrix equivalence pin
+// for the bulk contract: for every scheme in the fuzz matrix (core q ∈
+// {2, 4, 8}, MV, single-copy, UW, affine) and a spread of batch shapes —
+// including lengths that straddle the internal block boundaries — the
+// batched resolution must equal the per-op sweep, grow append-style from a
+// non-empty prefix, and handle partial copy counts.
+func TestAppendCopyAddrsMatchesCopyAddr(t *testing.T) {
+	for _, m := range mapperFuzzSetup(t) {
+		t.Run(m.Name(), func(t *testing.T) {
+			M, c := m.NumVars(), m.Copies()
+			for _, nVars := range []int{0, 1, 63, 64, 65, 200} {
+				vars := make([]uint64, nVars)
+				for i := range vars {
+					vars[i] = (uint64(i)*2654435761 + 17) % M
+				}
+				for _, copies := range []int{c, m.ReadQuorum(), 1} {
+					mods := []uint64{^uint64(0)} // sentinel prefix
+					addrs := []uint64{42}
+					mods, addrs = AppendCopyAddrs(m, mods, addrs, vars, copies)
+					if mods[0] != ^uint64(0) || addrs[0] != 42 {
+						t.Fatal("bulk path clobbered the dst prefix")
+					}
+					if len(mods) != 1+nVars*copies || len(addrs) != 1+nVars*copies {
+						t.Fatalf("bulk appended %d/%d entries, want %d", len(mods)-1, len(addrs)-1, nVars*copies)
+					}
+					for i, v := range vars {
+						for k := 0; k < copies; k++ {
+							wm, wa := m.CopyAddr(v, k)
+							at := 1 + i*copies + k
+							if mods[at] != wm || addrs[at] != wa {
+								t.Fatalf("vars=%d copies=%d: copy %d of %d = (%d,%d), per-op (%d,%d)",
+									nVars, copies, k, v, mods[at], addrs[at], wm, wa)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAppendCopyAddrsZeroAlloc pins every native bulk implementation (core,
+// compiled table, affine, UW with its in-cap replication) at zero heap
+// allocations once the destination slices have capacity.
+func TestAppendCopyAddrsZeroAlloc(t *testing.T) {
+	for _, m := range mapperFuzzSetup(t) {
+		if _, ok := m.(BulkMapper); !ok {
+			continue
+		}
+		t.Run(m.Name(), func(t *testing.T) {
+			vars := make([]uint64, 200)
+			for i := range vars {
+				vars[i] = (uint64(i) * 2654435761) % m.NumVars()
+			}
+			c := m.Copies()
+			mods := make([]uint64, 0, len(vars)*c)
+			addrs := make([]uint64, 0, len(vars)*c)
+			if n := testing.AllocsPerRun(20, func() {
+				mods, addrs = AppendCopyAddrs(m, mods[:0], addrs[:0], vars, c)
+			}); n != 0 {
+				t.Errorf("bulk path allocates %v per call, want 0", n)
+			}
+		})
+	}
+}
+
+// strategySystem builds a q=2 core system under the given strategy.
+func strategySystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := core.New(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(s, idx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+// TestResolverStrategyEquivalence runs the same workload through all four
+// strategies — auto, compiled, computed, hybrid (private and shared cache) —
+// and checks they observe identical values: the resolution path must be
+// invisible to the memory semantics.
+func TestResolverStrategyEquivalence(t *testing.T) {
+	auto := strategySystem(t, Config{})
+	compiled := strategySystem(t, Config{Strategy: ResolverCompiled})
+	computed := strategySystem(t, Config{Strategy: ResolverComputed})
+	hybrid := strategySystem(t, Config{Strategy: ResolverHybrid, HotCacheSlots: 256})
+	shared := NewHotCache(auto.Mapper, 0)
+	hybridShared := strategySystem(t, Config{Strategy: ResolverHybrid, HotCache: shared})
+	systems := []*System{auto, compiled, computed, hybrid, hybridShared}
+
+	if compiled.resolver == nil {
+		t.Fatal("compiled strategy did not attach a resolver")
+	}
+	if computed.resolver != nil || computed.hot != nil {
+		t.Fatal("computed strategy attached a resolver or cache")
+	}
+	if hybrid.hot == nil || hybridShared.hot != shared {
+		t.Fatal("hybrid strategy cache wiring wrong")
+	}
+
+	M := auto.Mapper.NumVars()
+	n := int(auto.Mapper.NumModules())
+	vars := make([]uint64, 0, n)
+	vals := make([]uint64, 0, n)
+	for b := 0; b < 8; b++ {
+		vars, vals = vars[:0], vals[:0]
+		seen := map[uint64]bool{}
+		for i := 0; i < n; i++ {
+			v := (uint64(i)*2654435761 + uint64(b)*12289) % M
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+				vals = append(vals, uint64(b)<<32|uint64(i))
+			}
+		}
+		for _, sys := range systems {
+			if _, err := sys.WriteBatch(vars, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for si, sys := range systems {
+			got, _, err := sys.ReadBatch(vars)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range vars {
+				if got[i] != vals[i] {
+					t.Fatalf("batch %d system %d var %d: read %d, wrote %d", b, si, vars[i], got[i], vals[i])
+				}
+			}
+		}
+	}
+	hits, misses := shared.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("shared hot cache never exercised: hits=%d misses=%d", hits, misses)
+	}
+	if shared.ResidentBytes() <= uint64(shared.Slots())*8 {
+		t.Fatal("shared hot cache reports no resident rows")
+	}
+}
+
+// TestComputedStrategyUnwrapsCompiledMapper checks a System whose Mapper is
+// a compiled table but whose strategy forbids it resolves through the
+// underlying organization: the table must see no reads.
+func TestComputedStrategyUnwrapsCompiledMapper(t *testing.T) {
+	mv, err := baseline.NewMV(64, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CompileMapper(mv, CompileOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewGenericSystem(r, Config{Strategy: ResolverComputed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.bulkSrc != Mapper(mv) {
+		t.Fatal("computed strategy did not unwrap the compiled mapper")
+	}
+	if _, err := sys.WriteBatch([]uint64{1, 2, 3}, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Compiled() != 0 {
+		t.Fatalf("computed strategy materialized %d table vars", r.Compiled())
+	}
+}
+
+// TestResolverStrategyValidation pins the configuration error surface.
+func TestResolverStrategyValidation(t *testing.T) {
+	s, err := core.New(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCoreMapper(s, idx)
+	r, err := CompileMapper(m, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []ResolverStrategy{ResolverComputed, ResolverHybrid} {
+		if _, err := NewGenericSystem(m, Config{Strategy: strat, Resolver: r}); err == nil {
+			t.Errorf("%v accepted an attached resolver", strat)
+		}
+	}
+	if _, err := NewGenericSystem(m, Config{Strategy: ResolverCompiled, HotCache: NewHotCache(m, 0)}); err == nil {
+		t.Error("HotCache accepted outside the hybrid strategy")
+	}
+	if _, err := NewGenericSystem(m, Config{Strategy: ResolverStrategy(99)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	af, err := affine.New(61, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGenericSystem(m, Config{Strategy: ResolverHybrid, HotCache: NewHotCache(af, 0)}); err == nil {
+		t.Error("geometry-mismatched shared HotCache accepted")
+	}
+}
+
+// TestResolverStrategyStrings pins the flag spellings both ways.
+func TestResolverStrategyStrings(t *testing.T) {
+	for _, strat := range []ResolverStrategy{ResolverAuto, ResolverCompiled, ResolverComputed, ResolverHybrid} {
+		got, err := ParseResolverStrategy(strat.String())
+		if err != nil || got != strat {
+			t.Errorf("round-trip %v: got %v, err %v", strat, got, err)
+		}
+	}
+	if got, err := ParseResolverStrategy(""); err != nil || got != ResolverAuto {
+		t.Errorf("empty spelling: got %v, err %v", got, err)
+	}
+	if _, err := ParseResolverStrategy("tables"); err == nil {
+		t.Error("bad spelling accepted")
+	}
+}
+
+// TestStrategySteadyStateAllocs pins the computed and hybrid resolution
+// paths at zero allocations per batch in steady state: computed runs the
+// stack-scratch bulk kernels, hybrid must serve every lookup from published
+// rows once the working set is cached (the request set is chosen
+// slot-collision-free so direct-mapped eviction cannot thrash).
+func TestStrategySteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"computed", Config{Strategy: ResolverComputed, Recorder: obs.Nop, Observer: obs.NewCollector()}},
+		{"hybrid", Config{Strategy: ResolverHybrid, Recorder: obs.Nop, Observer: obs.NewCollector()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := strategySystem(t, tc.cfg)
+			m := sys.Mapper
+			n := int(m.NumModules())
+			reqs := make([]Request, 0, n)
+			seenVar := map[uint64]bool{}
+			seenSlot := map[uint64]bool{}
+			for i := 0; len(reqs) < n && i < 10*n; i++ {
+				v := (uint64(i) * 2654435761) % m.NumVars()
+				slot := mix(v) & (uint64(DefaultHotCacheSlots) - 1)
+				if seenVar[v] || seenSlot[slot] {
+					continue
+				}
+				seenVar[v], seenSlot[slot] = true, true
+				op := Read
+				if len(reqs)%2 == 0 {
+					op = Write
+				}
+				reqs = append(reqs, Request{Var: v, Op: op, Value: uint64(i)})
+			}
+			var res Result
+			if err := sys.AccessInto(reqs, &res); err != nil { // warm-up
+				t.Fatal(err)
+			}
+			if avg := testing.AllocsPerRun(50, func() {
+				if err := sys.AccessInto(reqs, &res); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Fatalf("%s strategy allocates %.2f per batch in steady state, want 0", tc.name, avg)
+			}
+		})
+	}
+}
+
+// TestHotCacheFillAndEvict exercises the direct-mapped overwrite: two
+// variables hashing to the same slot evict each other, and both resolve
+// correctly every time.
+func TestHotCacheFillAndEvict(t *testing.T) {
+	s, err := core.New(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCoreMapper(s, idx)
+	h := NewHotCache(m, 1) // every variable shares the single slot
+	if h.Slots() != 1 {
+		t.Fatalf("slots = %d, want 1", h.Slots())
+	}
+	for round := 0; round < 3; round++ {
+		for v := uint64(0); v < 8; v++ {
+			row := h.lookup(v)
+			if row == nil {
+				row = h.fill(m, v)
+			}
+			for c := 0; c < m.Copies(); c++ {
+				wm, wa := m.CopyAddr(v, c)
+				if uint64(row[c].module) != wm || row[c].addr != wa {
+					t.Fatalf("round %d var %d copy %d: cached (%d,%d), want (%d,%d)",
+						round, v, c, row[c].module, row[c].addr, wm, wa)
+				}
+			}
+		}
+	}
+	hits, misses := h.Stats()
+	if hits != 0 || misses != 24 {
+		t.Fatalf("single-slot thrash: hits=%d misses=%d, want 0/24", hits, misses)
+	}
+	if got, want := h.ResidentBytes(), uint64(8)+8+24+uint64(m.Copies())*16; got != want {
+		t.Fatalf("ResidentBytes = %d, want %d", got, want)
+	}
+	if err := h.compatibleWith(m); err != nil {
+		t.Fatal(err)
+	}
+	af, _ := affine.New(61, 3)
+	if err := h.compatibleWith(af); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}

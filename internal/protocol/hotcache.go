@@ -1,0 +1,225 @@
+package protocol
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DefaultHotCacheSlots is the slot count NewHotCache uses when the caller
+// passes 0: 4096 rows ≈ 64 KiB of cached assignments at q+1 = 3 — small
+// enough to live in L2, large enough that Zipf-like traffic resolves almost
+// entirely from cache.
+const DefaultHotCacheSlots = 1 << 12
+
+// HotCache is the bounded hot-coset cache behind ResolverHybrid: a fixed
+// power-of-two array of slots, each holding an atomically published
+// immutable row (the resolved copies of one variable). Lookups are
+// lock-free and a miss resolves through the mapper's bulk path and publishes
+// the row, overwriting whatever previously hashed to the slot (direct-mapped
+// eviction). Zipf-like traffic concentrates on a tiny working set, so a
+// small cache converges to all-hits — with resident memory bounded by the
+// slot count, independent of M, unlike the compiled table.
+//
+// A HotCache is safe for concurrent use and is meant to be shared, exactly
+// like a CompiledResolver: any number of Systems (all shards of a sharded
+// service, say) over mappers with identical geometry may reference one cache
+// via Config.HotCache.
+type HotCache struct {
+	mask      uint64
+	copies    int
+	vars      uint64
+	modules   uint64
+	addrSpace uint64
+	slots     []atomic.Pointer[hotRow]
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// hotRow is one published cache entry: the variable it resolves and its
+// dense copy row. Rows are immutable after publication.
+type hotRow struct {
+	v   uint64
+	row []packedAssignment
+}
+
+// NewHotCache builds a cache for mappers with m's geometry. slots is rounded
+// up to a power of two; 0 means DefaultHotCacheSlots.
+func NewHotCache(m Mapper, slots int) *HotCache {
+	if slots <= 0 {
+		slots = DefaultHotCacheSlots
+	}
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	return &HotCache{
+		mask:      uint64(n - 1),
+		copies:    m.Copies(),
+		vars:      m.NumVars(),
+		modules:   m.NumModules(),
+		addrSpace: m.AddrSpace(),
+		slots:     make([]atomic.Pointer[hotRow], n),
+	}
+}
+
+// compatibleWith checks that m has the geometry the cache was built for
+// (used when Config.HotCache pairs a shared cache with a System's Mapper).
+func (h *HotCache) compatibleWith(m Mapper) error {
+	if m.NumVars() != h.vars || m.Copies() != h.copies ||
+		m.NumModules() != h.modules || m.AddrSpace() != h.addrSpace {
+		return fmt.Errorf("protocol: hot cache built for M=%d copies=%d does not match mapper %s (M=%d, copies=%d)",
+			h.vars, h.copies, m.Name(), m.NumVars(), m.Copies())
+	}
+	return nil
+}
+
+// mix is splitmix64's finalizer: slot selection must scatter adjacent
+// variable indices (range-partitioned shards hand each System a contiguous
+// stripe) across the whole slot array.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// lookup returns v's cached row, or nil on miss (wrong resident or empty
+// slot).
+func (h *HotCache) lookup(v uint64) []packedAssignment {
+	if r := h.slots[mix(v)&h.mask].Load(); r != nil && r.v == v {
+		h.hits.Add(1)
+		return r.row
+	}
+	return nil
+}
+
+// fill resolves v through m's bulk path and publishes the row. The miss path
+// allocates the published row (misses are the amortized-out cold tail;
+// steady-state traffic resolves in lookup without allocating). Callers with a
+// vector of variables should use AppendCopyAddrs instead, which batches a
+// whole block's misses into one bulk resolution.
+func (h *HotCache) fill(m Mapper, v uint64) []packedAssignment {
+	h.misses.Add(1)
+	var vb [1]uint64
+	var mb, ab [64]uint64
+	vb[0] = v
+	var mods, addrs []uint64
+	if h.copies <= len(mb) {
+		mods, addrs = AppendCopyAddrs(m, mb[:0], ab[:0], vb[:], h.copies)
+	} else {
+		mods, addrs = AppendCopyAddrs(m, nil, nil, vb[:], h.copies)
+	}
+	row := make([]packedAssignment, h.copies)
+	for c := range row {
+		row[c] = packedAssignment{module: int64(mods[c]), addr: addrs[c]}
+	}
+	h.slots[mix(v)&h.mask].Store(&hotRow{v: v, row: row})
+	return row
+}
+
+// AppendCopyAddrs resolves vars through the cache — published row on a hit,
+// m's bulk path plus publication on a miss — appending every variable's full
+// copy row in vars-major, copy-minor order. This is the cache-fronted
+// counterpart of the package-level AppendCopyAddrs, shared by the hybrid
+// strategy's benchmark cells; m must have the geometry the cache was built
+// for.
+//
+// Misses are batched: within each block, missing variables are collected and
+// resolved through one bulk call, so the bulk kernel's fixed scratch is paid
+// once per block rather than once per miss (the difference between a hybrid
+// that beats per-op resolution and one that loses to it at realistic hit
+// rates). Only the published rows of missed variables allocate; an all-hit
+// pass appends without allocating.
+func (h *HotCache) AppendCopyAddrs(m Mapper, mods, addrs []uint64, vars []uint64) ([]uint64, []uint64) {
+	cp := h.copies
+	blockVars := bulkMaxVars
+	if blockVars*cp > bulkMaxOps {
+		blockVars = bulkMaxOps / cp
+	}
+	if blockVars < 1 {
+		blockVars = 1 // cp > bulkMaxOps: degenerate, bulk scratch reallocs
+	}
+	var missV [bulkMaxVars]uint64
+	var missAt [bulkMaxVars]int
+	var mb, ab [bulkMaxOps]uint64
+	for base := 0; base < len(vars); base += blockVars {
+		blk := vars[base:]
+		if len(blk) > blockVars {
+			blk = blk[:blockVars]
+		}
+		// Extend the outputs to the block's full row span up front so hit and
+		// miss rows can land at their final (vars-major) positions directly.
+		out := len(mods)
+		for range blk {
+			for c := 0; c < cp; c++ {
+				mods = append(mods, 0)
+				addrs = append(addrs, 0)
+			}
+		}
+		nm := 0
+		for i, v := range blk {
+			if row := h.lookup(v); row != nil {
+				o := out + i*cp
+				for c := range row {
+					mods[o+c] = uint64(row[c].module)
+					addrs[o+c] = row[c].addr
+				}
+			} else {
+				missV[nm] = v
+				missAt[nm] = out + i*cp
+				nm++
+			}
+		}
+		if nm == 0 {
+			continue
+		}
+		h.misses.Add(uint64(nm))
+		bmods, baddrs := AppendCopyAddrs(m, mb[:0], ab[:0], missV[:nm], cp)
+		// Slab-allocate the block's published rows and headers: two
+		// allocations per block instead of two per miss keeps the allocator
+		// (and GC assists against a large live heap) off the miss path even
+		// when a huge variable space holds the hit rate down. A resident row
+		// pins its block's slab until every sibling row is evicted, so true
+		// retention can exceed ResidentBytes by up to the block size; the
+		// cache stays bounded, just with a coarser constant.
+		slab := make([]packedAssignment, nm*cp)
+		hdrs := make([]hotRow, nm)
+		for k := 0; k < nm; k++ {
+			row := slab[k*cp : (k+1)*cp : (k+1)*cp]
+			o := missAt[k]
+			for c := 0; c < cp; c++ {
+				mod, ad := bmods[k*cp+c], baddrs[k*cp+c]
+				row[c] = packedAssignment{module: int64(mod), addr: ad}
+				mods[o+c] = mod
+				addrs[o+c] = ad
+			}
+			hdrs[k] = hotRow{v: missV[k], row: row}
+			h.slots[mix(missV[k])&h.mask].Store(&hdrs[k])
+		}
+	}
+	return mods, addrs
+}
+
+// Stats reports cumulative lookup hits and misses across all sharing
+// Systems.
+func (h *HotCache) Stats() (hits, misses uint64) {
+	return h.hits.Load(), h.misses.Load()
+}
+
+// Slots returns the (power-of-two) slot count.
+func (h *HotCache) Slots() int { return len(h.slots) }
+
+// ResidentBytes reports the cache's current memory footprint: the slot
+// array plus every published row (entry header, slice header, assignments).
+func (h *HotCache) ResidentBytes() uint64 {
+	total := uint64(len(h.slots)) * 8
+	for i := range h.slots {
+		if h.slots[i].Load() != nil {
+			total += 8 + 24 + uint64(h.copies)*16
+		}
+	}
+	return total
+}

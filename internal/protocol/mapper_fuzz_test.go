@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"detshmem/internal/affine"
 	"detshmem/internal/baseline"
 	"detshmem/internal/core"
 )
@@ -54,6 +55,20 @@ func mapperFuzzSetup(t testing.TB) []Mapper {
 		add(sh, err)
 		uw, err := baseline.NewUW(64, 4096, 3, 999)
 		add(uw, err)
+		// Appended after the originals so positional uses ([0] = core q=2,
+		// [2] = MV) stay valid: the q=8 core scheme (compact indexer) and
+		// the affine Θ(N²) companion organization.
+		s8, err := core.New(3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx8, err := s8.NewIndexer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		add(NewCoreMapper(s8, idx8), nil)
+		af, err := affine.New(61, 3)
+		add(af, err)
 	})
 	return mapperFuzzSet
 }
@@ -88,6 +103,24 @@ func FuzzMapperContract(f *testing.F) {
 				addrs[addr] = i
 				if mod2, addr2 := m.CopyAddr(v, i); mod2 != mod || addr2 != addr {
 					t.Fatalf("%s: CopyAddr(%d,%d) not deterministic", m.Name(), v, i)
+				}
+			}
+			// Bulk contract: AppendCopyAddrs must equal the per-op sweep in
+			// vars-major copy-minor order, for full and partial copy counts.
+			vars := [3]uint64{v, (v * 2654435761) % m.NumVars(), (v + 1) % m.NumVars()}
+			for _, copies := range []int{c, r} {
+				mods, addrs := AppendCopyAddrs(m, nil, nil, vars[:], copies)
+				if len(mods) != len(vars)*copies || len(addrs) != len(vars)*copies {
+					t.Fatalf("%s: bulk returned %d/%d entries, want %d", m.Name(), len(mods), len(addrs), len(vars)*copies)
+				}
+				for i, vv := range vars {
+					for k := 0; k < copies; k++ {
+						wm, wa := m.CopyAddr(vv, k)
+						if mods[i*copies+k] != wm || addrs[i*copies+k] != wa {
+							t.Fatalf("%s: bulk copy %d of %d = (%d,%d), per-op (%d,%d)",
+								m.Name(), k, vv, mods[i*copies+k], addrs[i*copies+k], wm, wa)
+						}
+					}
 				}
 			}
 		}

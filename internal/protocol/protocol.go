@@ -109,6 +109,69 @@ const (
 	PolicyFixedMajority
 )
 
+// ResolverStrategy selects how a System turns variable indices into copy
+// addresses — the table-memory vs recompute-cost vs cache-hit-rate frontier:
+//
+//   - compiled: O(1) table reads, but the table is dense in M (lazy-sharded
+//     above DefaultLazyThreshold) — fastest when the table fits and stays
+//     warm;
+//   - computed: no table at all — every batch runs the vectorized Section 4
+//     kernels (BulkMapper), paying algebra per op but constant memory, the
+//     fit for thin netmpc clients and for large-(q, n) schemes whose table
+//     would not fit;
+//   - hybrid: computed resolution behind a bounded hot-coset cache — Zipf
+//     traffic resolves at table speed from a few-MiB cache regardless of M.
+type ResolverStrategy uint8
+
+const (
+	// ResolverAuto (the zero value) keeps the historical behavior: use the
+	// configured resolver (or the mapper itself when already compiled, or a
+	// lazy private resolver under the deprecated CacheAddresses flag), and
+	// resolve live through the mapper's batched path otherwise.
+	ResolverAuto ResolverStrategy = iota
+	// ResolverCompiled requires a compiled table: the configured resolver if
+	// any, else CompileMapper with default options (eager below the lazy
+	// threshold, sharded-lazy above).
+	ResolverCompiled
+	// ResolverComputed forbids the table: every batch resolves live through
+	// the bulk mapper contract. A System whose Mapper is a CompiledResolver
+	// resolves through the underlying organization instead of the table.
+	ResolverComputed
+	// ResolverHybrid is computed resolution behind a HotCache (the
+	// configured shared one, or a private cache of HotCacheSlots slots).
+	ResolverHybrid
+)
+
+// String names the strategy as the benchmarks label it.
+func (s ResolverStrategy) String() string {
+	switch s {
+	case ResolverAuto:
+		return "auto"
+	case ResolverCompiled:
+		return "compiled"
+	case ResolverComputed:
+		return "computed"
+	case ResolverHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("ResolverStrategy(%d)", uint8(s))
+}
+
+// ParseResolverStrategy maps the -resolver flag spellings to strategies.
+func ParseResolverStrategy(s string) (ResolverStrategy, error) {
+	switch s {
+	case "", "auto":
+		return ResolverAuto, nil
+	case "compiled":
+		return ResolverCompiled, nil
+	case "computed":
+		return ResolverComputed, nil
+	case "hybrid":
+		return ResolverHybrid, nil
+	}
+	return 0, fmt.Errorf("protocol: unknown resolver strategy %q (want auto, compiled, computed or hybrid)", s)
+}
+
 // Machine abstracts the interconnect executing one synchronous request
 // round: reqs[p] is the module processor p addresses (or mpc.Idle), grant[p]
 // reports whether p's request was the one its module served. Cost() is the
@@ -170,6 +233,17 @@ type Config struct {
 	// and frontends; it must have been compiled from a mapper with the
 	// same geometry as this system's.
 	Resolver *CompiledResolver
+	// Strategy selects the resolution path (see ResolverStrategy). The zero
+	// value keeps the historical resolver selection. ResolverComputed and
+	// ResolverHybrid reject a non-nil Resolver.
+	Strategy ResolverStrategy
+	// HotCache shares a bounded hot-coset cache across Systems under
+	// ResolverHybrid (geometry-checked); nil builds a private cache. Setting
+	// it with any other strategy is a configuration error.
+	HotCache *HotCache
+	// HotCacheSlots sizes the private hybrid cache (rounded up to a power of
+	// two); 0 means DefaultHotCacheSlots. Ignored when HotCache is set.
+	HotCacheSlots int
 	//
 	// Deprecated: CacheAddresses memoized each variable's copy addresses in
 	// a per-System unbounded map that was neither shared across Systems nor
@@ -194,9 +268,15 @@ type System struct {
 	store store
 	ts    uint64 // batch timestamp, incremented per Access
 
-	// resolver serves compiled copy addresses; nil means live CopyAddr
-	// resolution through the Mapper.
+	// resolver serves compiled copy addresses; nil means live batched
+	// resolution through bulkSrc (behind hot when the strategy is hybrid).
 	resolver *CompiledResolver
+	// bulkSrc is the mapper live resolution runs against: the Mapper itself,
+	// or the underlying organization when the Mapper is a compiled table the
+	// strategy refuses to use.
+	bulkSrc Mapper
+	// hot is the hybrid strategy's bounded row cache; nil otherwise.
+	hot *HotCache
 
 	// Machine reuse: rebuilding interconnect state per batch is wasteful
 	// when consecutive batches have the same processor count.
@@ -222,6 +302,9 @@ type System struct {
 	mreqs     []int64
 	grant     []bool
 	tasks     []taskRef
+	varsBuf   []uint64 // bulk path: the batch's variable vector
+	bulkMods  []uint64 // bulk path: resolved modules, vars-major
+	bulkAddrs []uint64 // bulk path: resolved addresses, vars-major
 
 	// Fault-layer scratch, touched only when fv is non-nil (see fault.go).
 	liveBids []int32  // ungranted in-flight bids per request in the current phase
@@ -290,13 +373,66 @@ func NewGenericSystem(m Mapper, cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
-	return &System{
+	bulkSrc := m
+	var hot *HotCache
+	switch cfg.Strategy {
+	case ResolverAuto:
+		// Historical selection, already made above.
+	case ResolverCompiled:
+		if resolver == nil {
+			var err error
+			if resolver, err = CompileMapper(m, CompileOptions{}); err != nil {
+				return nil, err
+			}
+		}
+	case ResolverComputed, ResolverHybrid:
+		if cfg.Resolver != nil {
+			return nil, fmt.Errorf("protocol: strategy %v conflicts with an attached compiled resolver", cfg.Strategy)
+		}
+		resolver = nil
+		if r, ok := m.(*CompiledResolver); ok {
+			// The Mapper happens to be a compiled table: resolve through the
+			// organization it was compiled from instead of the table.
+			bulkSrc = r.Mapper()
+		}
+		if cfg.Strategy == ResolverHybrid {
+			hot = cfg.HotCache
+			if hot == nil {
+				hot = NewHotCache(bulkSrc, cfg.HotCacheSlots)
+			} else if err := hot.compatibleWith(m); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("protocol: unknown resolver strategy %d", cfg.Strategy)
+	}
+	if cfg.HotCache != nil && cfg.Strategy != ResolverHybrid {
+		return nil, fmt.Errorf("protocol: HotCache requires Strategy ResolverHybrid, got %v", cfg.Strategy)
+	}
+	sys := &System{
 		Mapper:   m,
 		cfg:      cfg,
 		store:    newStore(m.AddrSpace()),
 		resolver: resolver,
+		bulkSrc:  bulkSrc,
+		hot:      hot,
 		seen:     make(map[uint64]struct{}),
-	}, nil
+	}
+	sys.observeResolver()
+	return sys, nil
+}
+
+// observeResolver wires the configured batch observer into the resolver's
+// residency gauges when both sides support it (obs.Collector implements
+// obs.ResolverObserver), so compiled-table growth is visible on
+// expvar/Prometheus alongside the batch metrics.
+func (sys *System) observeResolver() {
+	if sys.resolver == nil {
+		return
+	}
+	if o, ok := sys.cfg.Observer.(obs.ResolverObserver); ok {
+		sys.resolver.Observe(o)
+	}
 }
 
 func isCompiled(m Mapper) bool {
@@ -693,12 +829,14 @@ func (sys *System) obtainMachine(procs int) (Machine, int, error) {
 
 // resolveCopies computes the (module, address) of every copy of every
 // requested variable into the reused scratch buffer — from the compiled
-// table when a resolver is attached, live through the Mapper otherwise.
+// table when a resolver is attached, through the hot-coset cache under the
+// hybrid strategy, and through the mapper's batched bulk contract otherwise.
 func (sys *System) resolveCopies(reqs []Request) []assignment {
 	nCopies := sys.Mapper.Copies()
 	out := grow(sys.copies, len(reqs)*nCopies)
 	sys.copies = out
-	if sys.resolver != nil {
+	switch {
+	case sys.resolver != nil:
 		for r := range reqs {
 			row := sys.resolver.row(reqs[r].Var)
 			base := r * nCopies
@@ -706,12 +844,35 @@ func (sys *System) resolveCopies(reqs []Request) []assignment {
 				out[base+c] = assignment{req: int32(r), cpy: int16(c), module: row[c].module, addr: row[c].addr}
 			}
 		}
-		return out
-	}
-	for r := range reqs {
-		for c := 0; c < nCopies; c++ {
-			mod, addr := sys.Mapper.CopyAddr(reqs[r].Var, c)
-			out[r*nCopies+c] = assignment{req: int32(r), cpy: int16(c), module: int64(mod), addr: addr}
+	case sys.hot != nil:
+		for r := range reqs {
+			v := reqs[r].Var
+			row := sys.hot.lookup(v)
+			if row == nil {
+				row = sys.hot.fill(sys.bulkSrc, v)
+			}
+			base := r * nCopies
+			for c := 0; c < nCopies; c++ {
+				out[base+c] = assignment{req: int32(r), cpy: int16(c), module: row[c].module, addr: row[c].addr}
+			}
+		}
+	default:
+		// Live batched resolution: gather the variable vector, resolve it in
+		// one bulk call (vectorized kernels for BulkMappers), expand into
+		// assignments. All buffers are reused, so the steady state is
+		// allocation-free.
+		vars := grow(sys.varsBuf, len(reqs))
+		sys.varsBuf = vars
+		for i := range reqs {
+			vars[i] = reqs[i].Var
+		}
+		mods, addrs := AppendCopyAddrs(sys.bulkSrc, sys.bulkMods[:0], sys.bulkAddrs[:0], vars, nCopies)
+		sys.bulkMods, sys.bulkAddrs = mods, addrs
+		for r := range reqs {
+			base := r * nCopies
+			for c := 0; c < nCopies; c++ {
+				out[base+c] = assignment{req: int32(r), cpy: int16(c), module: int64(mods[base+c]), addr: addrs[base+c]}
+			}
 		}
 	}
 	return out

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"detshmem/internal/obs"
 )
 
 // packedAssignment is one compiled copy location: the module serving the
@@ -66,6 +68,10 @@ type CompiledResolver struct {
 
 	table  []packedAssignment // eager: len = vars·copies, immutable
 	shards []resolverShard    // lazy: one entry per shardVars variables
+
+	// observer, when set (Observe), receives a residency update at
+	// attachment and after every lazy shard materialization.
+	observer atomic.Pointer[obs.ResolverObserver]
 }
 
 // CompileMapper compiles m's address map. The eager table is built in
@@ -171,6 +177,7 @@ func (r *CompiledResolver) materialize(sh *resolverShard, shard uint64) *[]packe
 		}
 	}
 	sh.table.Store(&t)
+	r.publishResidency()
 	return &t
 }
 
@@ -190,6 +197,46 @@ func (r *CompiledResolver) Compiled() uint64 {
 		}
 	}
 	return n
+}
+
+// CompiledShards reports how many compiled blocks are resident: always 1
+// for an eager table, the materialized shard count in lazy mode.
+func (r *CompiledResolver) CompiledShards() int {
+	if r.table != nil {
+		return 1
+	}
+	n := 0
+	for i := range r.shards {
+		if r.shards[i].table.Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentBytes reports the resolver's resident table memory: 16 bytes per
+// compiled copy entry (grows shard-wise with the touched working set in
+// lazy mode).
+func (r *CompiledResolver) ResidentBytes() uint64 {
+	return r.Compiled() * uint64(r.copies) * 16
+}
+
+// Observe attaches a residency observer (obs.Collector implements the
+// interface): the current residency is published immediately and again after
+// every lazy shard materialization, so lazy table growth is visible on
+// expvar/Prometheus without polling. Later calls replace the observer.
+func (r *CompiledResolver) Observe(o obs.ResolverObserver) {
+	r.observer.Store(&o)
+	r.publishResidency()
+}
+
+// publishResidency pushes the current shard count and byte footprint to the
+// attached observer, if any. Called off the read hot path (attachment and
+// shard materialization only); the residency scan is O(shards).
+func (r *CompiledResolver) publishResidency() {
+	if p := r.observer.Load(); p != nil {
+		(*p).ObserveResolverResidency(r.CompiledShards(), r.ResidentBytes())
+	}
 }
 
 // compatibleWith checks that m has the geometry the resolver was compiled

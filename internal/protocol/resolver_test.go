@@ -7,6 +7,7 @@ import (
 
 	"detshmem/internal/baseline"
 	"detshmem/internal/core"
+	"detshmem/internal/obs"
 )
 
 // TestCompiledResolverEquivalence proves the compiled table is byte-identical
@@ -28,7 +29,14 @@ func TestCompiledResolverEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				for v := uint64(0); v < m.NumVars(); v++ {
+				// Sweep every variable on small mappers; stride large ones
+				// (the q=8 core scheme has 266k variables) so ~32k spread
+				// over every lazy shard are still checked.
+				step := uint64(1)
+				if m.NumVars() > 1<<15 {
+					step = m.NumVars() >> 15
+				}
+				for v := uint64(0); v < m.NumVars(); v += step {
 					for c := 0; c < m.Copies(); c++ {
 						wantMod, wantAddr := m.CopyAddr(v, c)
 						gotMod, gotAddr := r.CopyAddr(v, c)
@@ -235,6 +243,76 @@ func TestResolverGeometryMismatch(t *testing.T) {
 	}
 	if _, err := NewGenericSystem(mv, Config{Resolver: r}); err == nil {
 		t.Fatal("mismatched resolver accepted")
+	}
+}
+
+// TestResolverResidencyGauges checks CompiledShards/ResidentBytes and the
+// obs wiring: an attached collector sees the residency at attachment, every
+// lazy materialization pushes an update, and an eager table reports one
+// resident block of vars·copies·16 bytes.
+func TestResolverResidencyGauges(t *testing.T) {
+	m := mapperFuzzSetup(t)[2] // MV baseline: 4096 vars = several lazy shards
+
+	eager, err := CompileMapper(m, CompileOptions{Eager: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eager.CompiledShards(); got != 1 {
+		t.Fatalf("eager CompiledShards() = %d, want 1", got)
+	}
+	wantBytes := m.NumVars() * uint64(m.Copies()) * 16
+	if got := eager.ResidentBytes(); got != wantBytes {
+		t.Fatalf("eager ResidentBytes() = %d, want %d", got, wantBytes)
+	}
+
+	lazy, err := CompileMapper(m, CompileOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := obs.NewCollector()
+	lazy.Observe(c)
+	if c.ResolverShards.Load() != 0 || c.ResolverBytes.Load() != 0 {
+		t.Fatalf("fresh lazy resolver published shards=%d bytes=%d, want 0/0",
+			c.ResolverShards.Load(), c.ResolverBytes.Load())
+	}
+	lazy.CopyAddr(0, 0) // touch shard 0
+	if got := c.ResolverShards.Load(); got != 1 {
+		t.Fatalf("after one touch ResolverShards = %d, want 1", got)
+	}
+	if got, want := c.ResolverBytes.Load(), int64(shardVars*m.Copies()*16); got != want {
+		t.Fatalf("after one touch ResolverBytes = %d, want %d", got, want)
+	}
+	lazy.CopyAddr(shardVars, 0) // touch shard 1
+	if got := c.ResolverShards.Load(); got != 2 {
+		t.Fatalf("after second shard ResolverShards = %d, want 2", got)
+	}
+	if got := lazy.CompiledShards(); got != 2 {
+		t.Fatalf("CompiledShards() = %d, want 2", got)
+	}
+}
+
+// TestSystemWiresResolverObserver checks NewGenericSystem attaches a
+// collector Observer to its resolver, so lazy growth during real batches
+// lands on the gauges without any explicit Observe call.
+func TestSystemWiresResolverObserver(t *testing.T) {
+	mv, err := baseline.NewMV(64, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := obs.NewCollector()
+	sys, err := NewGenericSystem(mv, Config{CacheAddresses: true, Observer: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ResolverShards.Load() != 0 {
+		t.Fatalf("gauge non-zero before any access: %d", c.ResolverShards.Load())
+	}
+	if _, err := sys.WriteBatch([]uint64{1, 2, 3}, []uint64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if c.ResolverShards.Load() == 0 || c.ResolverBytes.Load() == 0 {
+		t.Fatalf("gauges not updated by lazy materialization: shards=%d bytes=%d",
+			c.ResolverShards.Load(), c.ResolverBytes.Load())
 	}
 }
 

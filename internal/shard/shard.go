@@ -131,6 +131,8 @@ type shardState struct {
 // gets its own protocol.System (own store, own MPC engine) over the same
 // mapper; with cfg.Protocol.Resolver nil, one resolver is compiled here and
 // shared by all shards, so the address table is built (and held) once.
+// Under Strategy ResolverComputed or ResolverHybrid no table is compiled at
+// all; hybrid shards share one hot-coset cache the same way.
 func New(m protocol.Mapper, cfg Config) (*Service, error) {
 	if m == nil {
 		return nil, fmt.Errorf("shard: nil mapper")
@@ -167,15 +169,27 @@ func New(m protocol.Mapper, cfg Config) (*Service, error) {
 		}
 	}
 	pcfg := cfg.Protocol
-	if pcfg.Resolver == nil {
-		if r, ok := m.(*protocol.CompiledResolver); ok {
-			pcfg.Resolver = r
-		} else {
-			r, err := protocol.CompileMapper(m, protocol.CompileOptions{})
-			if err != nil {
-				return nil, fmt.Errorf("shard: compiling resolver: %w", err)
+	switch pcfg.Strategy {
+	case protocol.ResolverComputed, protocol.ResolverHybrid:
+		// Table-free strategies: never auto-compile. Under hybrid, one
+		// shared hot-coset cache serves every shard (unless the caller
+		// supplied their own), mirroring the single shared table below —
+		// resident cache memory stays bounded by the slot count rather than
+		// growing per shard.
+		if pcfg.Strategy == protocol.ResolverHybrid && pcfg.HotCache == nil {
+			pcfg.HotCache = protocol.NewHotCache(m, pcfg.HotCacheSlots)
+		}
+	default:
+		if pcfg.Resolver == nil {
+			if r, ok := m.(*protocol.CompiledResolver); ok {
+				pcfg.Resolver = r
+			} else {
+				r, err := protocol.CompileMapper(m, protocol.CompileOptions{})
+				if err != nil {
+					return nil, fmt.Errorf("shard: compiling resolver: %w", err)
+				}
+				pcfg.Resolver = r
 			}
-			pcfg.Resolver = r
 		}
 	}
 	s := &Service{shards: make([]*shardState, cfg.Shards)}

@@ -330,6 +330,52 @@ func TestSharedResolver(t *testing.T) {
 	}
 }
 
+// TestResolverStrategies runs the sharded service table-free (computed) and
+// cache-backed (hybrid): round-trips must match the compiled default, no
+// shard may compile a table, and hybrid shards must share one hot cache.
+func TestResolverStrategies(t *testing.T) {
+	for _, strat := range []protocol.ResolverStrategy{protocol.ResolverComputed, protocol.ResolverHybrid} {
+		t.Run(strat.String(), func(t *testing.T) {
+			svc := newService(t, 3, Config{
+				Shards:   3,
+				Pipeline: true,
+				Protocol: protocol.Config{Strategy: strat, HotCacheSlots: 512},
+			})
+			for v := uint64(0); v < 40; v++ {
+				if err := svc.Write(v, v*13+3); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for v := uint64(0); v < 40; v++ {
+				got, err := svc.Read(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != v*13+3 {
+					t.Fatalf("read %d = %d, want %d", v, got, v*13+3)
+				}
+			}
+		})
+	}
+	// A caller-shared hybrid cache is accepted and actually used.
+	m := testMapper(t, 3)
+	hc := protocol.NewHotCache(m, 256)
+	svc, err := New(m, Config{Shards: 2, Protocol: protocol.Config{Strategy: protocol.ResolverHybrid, HotCache: hc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Write(7, 77); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := svc.Read(7); err != nil || got != 77 {
+		t.Fatalf("read = %d, %v", got, err)
+	}
+	if hits, misses := hc.Stats(); hits+misses == 0 {
+		t.Fatal("shared hot cache saw no traffic")
+	}
+}
+
 // TestExplicitFlushWaits: Flush on the pipelined dispatcher must not return
 // until every batch sealed so far committed. Stats are accounted before
 // futures complete (read-your-ops), so after Flush every submitted op must
