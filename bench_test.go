@@ -1058,3 +1058,62 @@ func BenchmarkE23Resolver(b *testing.B) {
 	})
 	_ = sink
 }
+
+// BenchmarkE24Repair measures the self-healing repair cycle behind E24 at CI
+// scale (q=2, n=5): each iteration wipes one module, re-admits it, and runs
+// a fixed read/write block to completion. With repair=on the module comes
+// back through RecoverPending — barred from read quorums until the
+// background sweep has rebuilt and certified its copies, which the
+// iteration drains to empty — so ns/op carries the full rebuild cost. With
+// repair=off the module is legacy-Recovered straight to live and the same
+// block runs with no repair work: the delta is the price of never serving a
+// stale copy. Sub-benchmark names carry "repair=" for the bench-regression
+// gate.
+func BenchmarkE24Repair(b *testing.B) {
+	run := func(b *testing.B, repair bool) {
+		s, idx := mustScheme(b, 1, 5)
+		fs := mpc.NewFaultSet()
+		sys, err := protocol.NewSystem(s, idx, protocol.Config{
+			MaxIterationsPerPhase: 2048,
+			NewMachine: func(cfg mpc.Config) (protocol.Machine, error) {
+				return mpc.NewFailingShared(cfg, fs)
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const block = 64
+		vars := make([]uint64, block)
+		vals := make([]uint64, block)
+		for i := range vars {
+			vars[i] = uint64(i*7+3) % s.NumVariables
+			vals[i] = uint64(i + 1)
+		}
+		if _, err := sys.WriteBatch(vars, vals); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := uint64(i) % s.NumModules
+			fs.Fail(m)
+			if repair {
+				fs.RecoverPending(m)
+			} else {
+				fs.Recover(m)
+			}
+			if _, err := sys.WriteBatch(vars, vals); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := sys.ReadBatch(vars); err != nil {
+				b.Fatal(err)
+			}
+			for fs.RepairCount() > 0 {
+				if !sys.RepairStep() {
+					b.Fatalf("repair stalled with backlog %d", fs.RepairCount())
+				}
+			}
+		}
+	}
+	b.Run("repair=on", func(b *testing.B) { run(b, true) })
+	b.Run("repair=off", func(b *testing.B) { run(b, false) })
+}

@@ -14,6 +14,14 @@
 //
 // On SIGTERM or SIGINT the server drains: in-flight rounds are answered,
 // new frames and connections are refused, and the process exits 0.
+//
+// The stores are in-memory, so a restarted memserver is a wiped memserver.
+// Every process mints a fresh store generation (logged at startup and
+// carried in each handshake ack); a client that reconnects and sees the
+// generation change re-admits the range through its repair queue — the
+// modules serve writes immediately but count toward read quorums only after
+// the self-healing sweep has rebuilt and certified them — instead of
+// silently trusting the empty store.
 package main
 
 import (
@@ -72,8 +80,8 @@ func main() {
 	}
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
-	fmt.Printf("memserver: ready on %s serving modules [%d,%d) of %d (q=%d n=%d)\n",
-		ln.Addr(), lo, hi, s.NumModules, s.Q, s.Deg)
+	fmt.Printf("memserver: ready on %s serving modules [%d,%d) of %d (q=%d n=%d) gen %#x\n",
+		ln.Addr(), lo, hi, s.NumModules, s.Q, s.Deg, sv.Gen())
 	if err := serve(sv, ln, sigc, *grace); err != nil {
 		fmt.Fprintf(os.Stderr, "memserver: %v\n", err)
 		os.Exit(1)

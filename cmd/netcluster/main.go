@@ -1,19 +1,30 @@
 // netcluster is the CI harness for the networked MPC: it launches a
-// loopback cluster of memserver processes, drives smembench's E22 through
-// them over TCP with tracing on, SIGKILLs one server when the experiment
-// arms its degraded phase, and then certifies the aftermath:
+// loopback cluster of memserver processes, drives smembench through them
+// over TCP with tracing on, injects the experiment's process-level fault
+// when the marker line arms it, and then certifies the aftermath:
 //
-//   - smembench itself must exit 0 — its kill cell gates the op-stranding
-//     rate against the exact post-kill bound and certifies every cell's
-//     recorded client trace;
-//   - the benchmark JSON must confirm the kill cell stayed within bound;
+//   - smembench itself must exit 0 — its degraded cell gates itself and
+//     certifies every cell's recorded client trace;
+//   - the benchmark JSON must confirm the degraded cell stayed within bound;
 //   - cmd/consistencycheck must re-certify the dumped traces offline;
 //   - the surviving memservers must drain and exit 0 on SIGTERM.
+//
+// Two drills, selected with -exp:
+//
+//	e22  (default) SIGKILL one server at the kill marker and leave it dead:
+//	     the quorum re-selection drill, gated on the exact stranding bound;
+//	e24  SIGKILL one server at the repair marker and immediately restart it
+//	     on the same address with an empty store: the self-healing drill.
+//	     The reborn server's generation token must route its range through
+//	     the repair queue, the sweep must rebuild every lost copy over the
+//	     wire, and every committed value must read back exactly. The
+//	     restarted victim is then a full survivor and must drain cleanly.
 //
 // Any failure exits nonzero. Usage (CI builds the binaries first):
 //
 //	go build -o bin/ ./cmd/...
 //	./bin/netcluster -bin ./bin -servers 4 -quick -out /tmp/netcluster
+//	./bin/netcluster -bin ./bin -exp e24 -out /tmp/netcluster-repair
 package main
 
 import (
@@ -31,11 +42,13 @@ import (
 	"time"
 )
 
-// Keep in sync with the producers: memserver's readiness line and E22's
-// kill marker (internal/experiments/e22.go).
+// Keep in sync with the producers: memserver's readiness line, E22's kill
+// marker (internal/experiments/e22.go) and E24's repair-drill marker
+// (internal/experiments/e24.go).
 const (
-	readyPrefix = "memserver: ready on "
-	killMarker  = "e22: degraded phase armed -- kill one memserver now"
+	readyPrefix  = "memserver: ready on "
+	killMarker   = "e22: degraded phase armed -- kill one memserver now"
+	repairMarker = "e24: repair drill armed -- kill one memserver now and restart it wiped on the same address"
 )
 
 func main() {
@@ -46,10 +59,15 @@ func main() {
 		quick   = flag.Bool("quick", true, "pass -quick to smembench")
 		out     = flag.String("out", "", "directory for trace and JSON artifacts (default: a temp dir)")
 		victim  = flag.Int("victim", 1, "index of the server to SIGKILL at the marker")
+		exp     = flag.String("exp", "e22", "drill to run: e22 (kill) or e24 (wipe-restart repair)")
 		timeout = flag.Duration("timeout", 10*time.Minute, "overall watchdog")
 	)
 	flag.Parse()
-	if err := run(*bin, *servers, *n, *victim, *quick, *out, *timeout); err != nil {
+	if *exp != "e22" && *exp != "e24" {
+		fmt.Fprintf(os.Stderr, "netcluster: unknown -exp %q\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(*bin, *servers, *n, *victim, *quick, *out, *exp, *timeout); err != nil {
 		fmt.Fprintf(os.Stderr, "netcluster: FAIL: %v\n", err)
 		os.Exit(1)
 	}
@@ -63,7 +81,7 @@ type server struct {
 	done chan error
 }
 
-func run(bin string, k, n, victim int, quick bool, out string, timeout time.Duration) error {
+func run(bin string, k, n, victim int, quick bool, out, exp string, timeout time.Duration) error {
 	if victim < 0 || victim >= k {
 		return fmt.Errorf("victim %d out of range [0,%d)", victim, k)
 	}
@@ -101,11 +119,18 @@ func run(bin string, k, n, victim int, quick bool, out string, timeout time.Dura
 		addrs[i] = sv.addr
 	}
 
-	// Drive E22 over the cluster, killing the victim at the marker.
+	// Drive the experiment over the cluster, injecting the victim's fault
+	// at the marker.
+	marker := killMarker
 	tracePath := filepath.Join(out, "e22trace.json")
 	benchPath := filepath.Join(out, "BENCH_PR8.json")
+	if exp == "e24" {
+		marker = repairMarker
+		tracePath = filepath.Join(out, "e24trace.json")
+		benchPath = filepath.Join(out, "BENCH_PR10.json")
+	}
 	args := []string{
-		"-exp", "e22", "-transport", "tcp",
+		"-exp", exp, "-transport", "tcp",
 		"-servers", strings.Join(addrs, ","),
 		"-trace", tracePath, "-jsonout", benchPath,
 	}
@@ -122,16 +147,30 @@ func run(bin string, k, n, victim int, quick bool, out string, timeout time.Dura
 		return fmt.Errorf("starting smembench: %w", err)
 	}
 	killed := false
+	restarted := false
 	sc := bufio.NewScanner(stdout)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)
-		if strings.Contains(line, killMarker) && !killed {
+		if strings.Contains(line, marker) && !killed {
 			killed = true
 			fmt.Printf("netcluster: SIGKILL server %d (%s)\n", victim, cluster[victim].addr)
 			if err := cluster[victim].cmd.Process.Kill(); err != nil {
 				return fmt.Errorf("killing server %d: %w", victim, err)
+			}
+			if exp == "e24" {
+				// Wipe-restart: a fresh memserver process — empty store, new
+				// generation token — rebinds the victim's address while the
+				// clients are mid-reconnect.
+				<-cluster[victim].done
+				sv, err := startServerAt(bin, victim, k, n, cluster[victim].addr, deadline)
+				if err != nil {
+					return fmt.Errorf("restarting server %d: %w", victim, err)
+				}
+				cluster[victim] = sv
+				restarted = true
+				fmt.Printf("netcluster: server %d restarted wiped on %s\n", victim, sv.addr)
 			}
 		}
 	}
@@ -139,11 +178,11 @@ func run(bin string, k, n, victim int, quick bool, out string, timeout time.Dura
 		return fmt.Errorf("smembench: %w", err)
 	}
 	if !killed {
-		return fmt.Errorf("smembench finished without printing the kill marker %q", killMarker)
+		return fmt.Errorf("smembench finished without printing the marker %q", marker)
 	}
 
-	// The stranding gate, re-checked from the JSON the run wrote.
-	if err := checkBench(benchPath); err != nil {
+	// The degraded cell's gate, re-checked from the JSON the run wrote.
+	if err := checkBench(benchPath, exp); err != nil {
 		return err
 	}
 
@@ -155,16 +194,20 @@ func run(bin string, k, n, victim int, quick bool, out string, timeout time.Dura
 	}
 
 	// Survivors must drain and exit 0 on SIGTERM (the graceful-shutdown
-	// contract); the killed victim reports its SIGKILL.
+	// contract). In the e22 drill the killed victim stays dead and reports
+	// its SIGKILL; in the e24 drill the restarted victim is a full survivor
+	// held to the same contract.
+	survivors := 0
 	for i, sv := range cluster {
-		if i == victim {
+		if i == victim && !restarted {
 			<-sv.done
 			continue
 		}
+		survivors++
 		sv.cmd.Process.Signal(syscall.SIGTERM)
 	}
 	for i, sv := range cluster {
-		if i == victim {
+		if i == victim && !restarted {
 			continue
 		}
 		select {
@@ -176,15 +219,21 @@ func run(bin string, k, n, victim int, quick bool, out string, timeout time.Dura
 			return fmt.Errorf("server %d hung on SIGTERM", i)
 		}
 	}
-	fmt.Printf("netcluster: %d survivors drained cleanly; artifacts in %s\n", k-1, out)
+	fmt.Printf("netcluster: %d survivors drained cleanly; artifacts in %s\n", survivors, out)
 	return nil
 }
 
 // startServer launches one memserver on a kernel-chosen port and waits for
 // its readiness line to learn the address.
 func startServer(bin string, i, k, n int, deadline time.Time) (*server, error) {
+	return startServerAt(bin, i, k, n, "127.0.0.1:0", deadline)
+}
+
+// startServerAt launches one memserver on the given address — the e24 drill
+// uses it to rebind a killed victim's port with a fresh (wiped) process.
+func startServerAt(bin string, i, k, n int, addr string, deadline time.Time) (*server, error) {
 	cmd := exec.Command(filepath.Join(bin, "memserver"),
-		"-addr", "127.0.0.1:0", "-m", "1", "-n", strconv.Itoa(n),
+		"-addr", addr, "-m", "1", "-n", strconv.Itoa(n),
 		"-index", strconv.Itoa(i), "-servers", strconv.Itoa(k))
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
@@ -221,26 +270,34 @@ func startServer(bin string, i, k, n int, deadline time.Time) (*server, error) {
 	}
 }
 
-// checkBench re-validates the kill cell's stranding gate and certification
-// flags from the benchmark JSON smembench wrote.
-func checkBench(path string) error {
+// checkBench re-validates the degraded cell's gate and certification flags
+// from the benchmark JSON smembench wrote. The e22 drill requires its
+// tcp-kill1 row; the e24 drill requires a tcp-drill row whose repair
+// backlog fully drained.
+func checkBench(path, exp string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	var rep struct {
 		Rows []struct {
-			Cell        string  `json:"cell"`
-			Certified   bool    `json:"certified"`
-			WithinBound bool    `json:"within_bound"`
-			StrandRate  float64 `json:"strand_rate"`
-			Bound       float64 `json:"bound"`
+			Cell           string  `json:"cell"`
+			Certified      bool    `json:"certified"`
+			WithinBound    bool    `json:"within_bound"`
+			StrandRate     float64 `json:"strand_rate"`
+			Bound          float64 `json:"bound"`
+			BacklogDrained bool    `json:"backlog_drained"`
+			RepairedMods   int64   `json:"repaired_modules"`
 		} `json:"rows"`
 	}
 	if err := json.Unmarshal(blob, &rep); err != nil {
 		return fmt.Errorf("parsing %s: %w", path, err)
 	}
-	seenKill := false
+	want := "tcp-kill1"
+	if exp == "e24" {
+		want = "tcp-drill"
+	}
+	seen := false
 	for _, r := range rep.Rows {
 		if !r.Certified {
 			return fmt.Errorf("%s: cell %q not certified", path, r.Cell)
@@ -248,13 +305,22 @@ func checkBench(path string) error {
 		if !r.WithinBound {
 			return fmt.Errorf("%s: cell %q stranding %.4f above bound %.4f", path, r.Cell, r.StrandRate, r.Bound)
 		}
-		if r.Cell == "tcp-kill1" {
-			seenKill = true
+		if r.Cell != want {
+			continue
+		}
+		seen = true
+		switch want {
+		case "tcp-kill1":
 			fmt.Printf("netcluster: kill cell stranding %.4f <= bound %.4f, certified\n", r.StrandRate, r.Bound)
+		case "tcp-drill":
+			if !r.BacklogDrained {
+				return fmt.Errorf("%s: tcp-drill repair backlog did not drain", path)
+			}
+			fmt.Printf("netcluster: repair drill rebuilt %d modules, backlog drained, certified\n", r.RepairedMods)
 		}
 	}
-	if !seenKill {
-		return fmt.Errorf("%s: no tcp-kill1 row", path)
+	if !seen {
+		return fmt.Errorf("%s: no %s row", path, want)
 	}
 	return nil
 }

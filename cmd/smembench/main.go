@@ -1,4 +1,4 @@
-// Command smembench regenerates the experiment tables E1–E23 (the paper's
+// Command smembench regenerates the experiment tables E1–E24 (the paper's
 // analytical claims as measurements, plus the extensions). See DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for recorded results.
 //

@@ -1,0 +1,773 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"detshmem/internal/consistency"
+	"detshmem/internal/frontend"
+	"detshmem/internal/mpc"
+	"detshmem/internal/netmpc"
+	"detshmem/internal/protocol"
+	"detshmem/internal/shard"
+)
+
+// e24DrillMarker is the stdout line E24's TCP drill prints when it is ready
+// for an external harness (cmd/netcluster) to SIGKILL one memserver and
+// restart it — wiped, fresh store generation — on the same address. The
+// harness matches it verbatim; keep the two in sync.
+const e24DrillMarker = "e24: repair drill armed -- kill one memserver now and restart it wiped on the same address"
+
+// e24Cadence is the churn cadence: how long each module stays failed before
+// it is re-admitted through the repair queue.
+const e24Cadence = 100 * time.Microsecond
+
+// E24 measures the self-healing repair subsystem (PR 10) under module
+// churn. Four cells:
+//
+//	baseline    no faults — the rounds-per-op reference;
+//	repair-on   continuous Fail → RecoverPending churn at a 100µs cadence.
+//	            Every re-admitted module is rebuilt by the repair sweep
+//	            (pumped by batches and the dispatcher's idle loop) before it
+//	            counts toward read quorums again. Gates: zero stranded
+//	            operations, the backlog fully drained after the churn stops,
+//	            and normal-traffic round inflation over the baseline within
+//	            1.10×;
+//	repair-off  the counterfactual: the same workload while failed modules
+//	            accumulate and nothing repairs them. The observed stranding
+//	            is gated against the exact Γ-map bound (the fraction of
+//	            workload variables whose live copies fell below their
+//	            majority, plus 6σ sampling noise and slack), with the
+//	            independent-fault binomial reference reported next to it;
+//	tcp-drill   (transport tcp) the wipe-restart drill over a loopback
+//	            memserver cluster: committed values are written, one server
+//	            is killed and restarted with an empty store, the
+//	            generation-token handshake routes its range through the
+//	            repair queue instead of silently re-admitting zeroed cells,
+//	            the sweep rebuilds every lost copy over the wire, and every
+//	            committed value must read back exactly.
+//
+// Every cell's client trace is recorded and certified with the black-box
+// consistency checker. JSON output goes to BENCH_PR10.json.
+func E24(w io.Writer, o Options) error {
+	n, clients, opsPer := 7, 8, 600
+	if o.Quick {
+		n, clients, opsPer = 5, 4, 250
+	}
+	const nServers = 4
+	inst, err := newE7Instance(n)
+	if err != nil {
+		return err
+	}
+	resolver, err := protocol.CompileMapper(inst.pp, protocol.CompileOptions{})
+	if err != nil {
+		return err
+	}
+	nVars := 48
+	if !o.Quick {
+		nVars = 64
+	}
+	vars := make([]uint64, nVars)
+	for i := range vars {
+		vars[i] = uint64(i*7+3) % inst.s.NumVariables
+	}
+	rec := o.Consistency
+	if rec == nil {
+		rec = consistency.NewRecorder()
+	}
+	rep := e24Report{
+		Experiment: "e24-self-healing-repair",
+		Quick:      o.Quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Host:       Host(),
+		Degree:     n,
+		Servers:    nServers,
+		Clients:    clients,
+		CadenceUS:  float64(e24Cadence) / float64(time.Microsecond),
+		External:   len(o.Servers) > 0,
+	}
+
+	fprintf(w, "E24 Self-healing repair: q=2 n=%d (%d modules), %d clients, churn cadence %v\n",
+		n, inst.s.NumModules, clients, e24Cadence)
+	fprintf(w, "%-12s %10s %9s %9s %10s %10s %s\n",
+		"cell", "ops", "stranded", "blocked", "rounds/op", "strandrate", "verdict")
+
+	runInproc := o.Transport == "" || o.Transport == "inproc"
+	runTCP := o.Transport == "" || o.Transport == "tcp"
+
+	if runInproc {
+		base, err := e24BaselineCell(w, o, rec, inst, resolver, clients, opsPer, vars)
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows, base)
+
+		on, err := e24ChurnCell(w, o, rec, inst, resolver, clients, opsPer, vars, base.RoundsPerOp)
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows, on)
+
+		off, err := e24AccumulateCell(w, o, rec, inst, resolver, clients, opsPer, vars)
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows, off)
+	}
+
+	if runTCP {
+		row, err := e24DrillCell(w, o, rec, inst, resolver, nServers, vars)
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	fprintf(w, "\n")
+
+	if path := o.jsonPath("BENCH_PR10.json"); path != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("e24: writing %s: %w", path, err)
+		}
+		fprintf(w, "  (wrote %s)\n\n", path)
+	}
+	return nil
+}
+
+type e24Report struct {
+	Experiment string   `json:"experiment"`
+	Quick      bool     `json:"quick"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Host       HostInfo `json:"host"`
+	Degree     int      `json:"degree"`
+	Servers    int      `json:"servers"`
+	Clients    int      `json:"clients"`
+	CadenceUS  float64  `json:"churn_cadence_us"`
+	External   bool     `json:"external_servers"`
+	Rows       []e24Row `json:"rows"`
+}
+
+type e24Row struct {
+	Cell      string  `json:"cell"`
+	Ops       int64   `json:"ops"`
+	Stranded  int64   `json:"stranded"`
+	Blocked   int64   `json:"blocked"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// RoundsPerOp is normal batch traffic only (repair rounds are kept out
+	// of the protocol's batch books); Inflation is this cell's RoundsPerOp
+	// over the baseline cell's.
+	RoundsPerOp float64 `json:"rounds_per_op,omitempty"`
+	Inflation   float64 `json:"round_inflation,omitempty"`
+	// Repair-side accounting, from the obs collectors.
+	RepairRounds   int64 `json:"repair_rounds,omitempty"`
+	RepairedMods   int64 `json:"repaired_modules,omitempty"`
+	BacklogDrained bool  `json:"backlog_drained,omitempty"`
+	// Stranding gate (repair-off cell): observed vs the exact Γ-map rate.
+	StrandRate  float64              `json:"strand_rate"`
+	ExactRate   float64              `json:"exact_rate,omitempty"`
+	BinomRate   float64              `json:"binom_rate,omitempty"`
+	Bound       float64              `json:"bound,omitempty"`
+	WithinBound bool                 `json:"within_bound"`
+	FailedMods  int                  `json:"failed_modules,omitempty"`
+	Certified   bool                 `json:"certified"`
+	ServerStats []netmpc.ServerStats `json:"server_stats,omitempty"`
+}
+
+// e24Service builds the one-shard pipelined service every in-process cell
+// uses, with per-shard collectors on (repair accounting flows through them).
+func e24Service(o Options, inst *e7Instance, resolver *protocol.CompiledResolver, fs *mpc.FaultSet) (*shard.Service, error) {
+	pcfg := o.instrument(protocol.Config{Resolver: resolver})
+	if fs != nil {
+		pcfg.NewMachine = func(mcfg mpc.Config) (protocol.Machine, error) {
+			return mpc.NewFailingShared(mcfg, fs)
+		}
+		pcfg.FaultAttempts = 64
+		pcfg.MaxIterationsPerPhase = 2048
+	}
+	return shard.New(inst.pp, shard.Config{
+		Shards:   1,
+		Pipeline: true,
+		Observe:  true,
+		Protocol: pcfg,
+	})
+}
+
+// e24Drive is e22's windowed async driver extended for the repair regime:
+// ErrQuorumUnreachable means stranded (live copies below quorum — with
+// repair on this must never happen), while a plain incomplete verdict means
+// blocked (the quorum was only unreachable because re-admitted modules were
+// still uncertified — the op failed cleanly and nothing was lost). Both are
+// recorded as failed operations so the consistency checker drops them.
+func e24Drive(svc *shard.Service, rr *consistency.RunRecorder, clients, opsPerClient int, vars []uint64, seed int64) (total, stranded, blocked int64, err error) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cr := rr.Client(c)
+			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+			type slot struct {
+				fut   *frontend.Future
+				write bool
+				v     uint64
+				val   uint64
+			}
+			pending := make([]slot, 0, e22Window)
+			var done, lost, held int64
+			drain := func() bool {
+				for _, s := range pending {
+					got, werr := s.fut.Wait()
+					done++
+					if werr != nil {
+						if errors.Is(werr, protocol.ErrQuorumUnreachable) {
+							lost++
+						} else if errors.Is(werr, protocol.ErrIncomplete) {
+							held++
+						} else {
+							errs <- werr
+							return false
+						}
+						cr.Record(s.write, s.v, s.val, true)
+						continue
+					}
+					if s.write {
+						cr.Record(true, s.v, s.val, false)
+					} else {
+						cr.Record(false, s.v, got, false)
+					}
+				}
+				pending = pending[:0]
+				return true
+			}
+			flush := func() {
+				mu.Lock()
+				total += done
+				stranded += lost
+				blocked += held
+				mu.Unlock()
+			}
+			for i := 0; i < opsPerClient; i++ {
+				v := vars[rng.Intn(len(vars))]
+				var s slot
+				var serr error
+				if rng.Intn(100) < 40 {
+					s = slot{write: true, v: v, val: cr.WriteValue()}
+					s.fut, serr = svc.WriteAsync(v, s.val)
+				} else {
+					s = slot{v: v}
+					s.fut, serr = svc.ReadAsync(v)
+				}
+				if serr != nil {
+					errs <- serr
+					flush()
+					return
+				}
+				pending = append(pending, s)
+				if len(pending) == e22Window && !drain() {
+					flush()
+					return
+				}
+			}
+			drain()
+			flush()
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err = <-errs:
+	default:
+	}
+	return total, stranded, blocked, err
+}
+
+// e24DrainRepair drives light traffic until the fault set's repair backlog
+// is empty: batches pump a repair step each, and Flush wakes any parked
+// dispatcher so its idle loop keeps sweeping.
+func e24DrainRepair(svc *shard.Service, fs *mpc.FaultSet, probe uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for fs.RepairCount() > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("e24: repair backlog stuck at %d", fs.RepairCount())
+		}
+		if _, err := svc.Read(probe); err != nil && !errors.Is(err, protocol.ErrIncomplete) {
+			return err
+		}
+		if err := svc.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// e24RepairCounters sums the per-shard collectors' repair accounting.
+func e24RepairCounters(svc *shard.Service) (rounds, certified int64) {
+	for i := 0; i < svc.Shards(); i++ {
+		snap := svc.Collector(i).Snapshot()
+		rounds += snap["repair_rounds_total"]
+		certified += snap["repair_certified_total"]
+	}
+	return rounds, certified
+}
+
+// e24BaselineCell is the no-fault reference: its rounds-per-op anchors the
+// repair-on cell's inflation gate.
+func e24BaselineCell(w io.Writer, o Options, rec *consistency.Recorder, inst *e7Instance, resolver *protocol.CompiledResolver, clients, opsPer int, vars []uint64) (e24Row, error) {
+	svc, err := e24Service(o, inst, resolver, nil)
+	if err != nil {
+		return e24Row{}, err
+	}
+	rr := rec.Run("e24/baseline", consistency.ContractTotalOrder, clients)
+	start := time.Now()
+	ops, stranded, blocked, err := e24Drive(svc, rr, clients, opsPer, vars, o.Seed+1001)
+	if ferr := svc.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		svc.Close()
+		return e24Row{}, err
+	}
+	st := svc.Stats()
+	if cerr := svc.Close(); cerr != nil {
+		return e24Row{}, cerr
+	}
+	elapsed := time.Since(start)
+	if stranded+blocked > 0 {
+		return e24Row{}, fmt.Errorf("e24: baseline cell failed %d ops", stranded+blocked)
+	}
+	row := e24Row{
+		Cell:        "baseline",
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		RoundsPerOp: float64(st.Total.TotalRounds) / float64(st.Total.OpsIn),
+		Inflation:   1,
+		WithinBound: true,
+	}
+	if row.Certified, err = e22Certify(rec, "e24/baseline"); err != nil {
+		return row, err
+	}
+	fprintf(w, "%-12s %10d %9d %9d %10.2f %10.4f %s\n",
+		row.Cell, row.Ops, int64(0), int64(0), row.RoundsPerOp, 0.0, "certified")
+	return row, nil
+}
+
+// e24ChurnCell is the tentpole cell: continuous Fail → RecoverPending churn
+// with the repair subsystem rebuilding every re-admitted module before it
+// rejoins read quorums. Nothing may strand, the backlog must drain once the
+// storm stops, and normal traffic must not pay more than 10% extra rounds.
+func e24ChurnCell(w io.Writer, o Options, rec *consistency.Recorder, inst *e7Instance, resolver *protocol.CompiledResolver, clients, opsPer int, vars []uint64, baseRounds float64) (e24Row, error) {
+	fs := mpc.NewFaultSet()
+	svc, err := e24Service(o, inst, resolver, fs)
+	if err != nil {
+		return e24Row{}, err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			svc.Close()
+		}
+	}()
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		m := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fs.Fail(m)
+			time.Sleep(e24Cadence)
+			fs.RecoverPending(m)
+			m = (m + 13) % inst.s.NumModules
+		}
+	}()
+
+	rr := rec.Run("e24/repair-on", consistency.ContractTotalOrder, clients)
+	start := time.Now()
+	ops, stranded, blocked, err := e24Drive(svc, rr, clients, opsPer, vars, o.Seed+1002)
+	close(stop)
+	churn.Wait()
+	if ferr := svc.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return e24Row{}, err
+	}
+	// Storm over: re-admit anything still failed and drain the backlog.
+	for _, m := range fs.Modules() {
+		fs.RecoverPending(m)
+	}
+	if err := e24DrainRepair(svc, fs, vars[0], 60*time.Second); err != nil {
+		return e24Row{}, err
+	}
+	st := svc.Stats()
+	repairRounds, repairedMods := e24RepairCounters(svc)
+	if cerr := svc.Close(); cerr != nil {
+		return e24Row{}, cerr
+	}
+	closed = true
+	elapsed := time.Since(start)
+
+	row := e24Row{
+		Cell:           "repair-on",
+		Ops:            ops,
+		Stranded:       stranded,
+		Blocked:        blocked,
+		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(ops),
+		OpsPerSec:      float64(ops) / elapsed.Seconds(),
+		RoundsPerOp:    float64(st.Total.TotalRounds) / float64(st.Total.OpsIn),
+		RepairRounds:   repairRounds,
+		RepairedMods:   repairedMods,
+		BacklogDrained: true,
+		StrandRate:     float64(stranded) / float64(ops),
+	}
+	row.Inflation = row.RoundsPerOp / baseRounds
+	row.WithinBound = stranded == 0 && row.Inflation <= 1.10
+	if row.Certified, err = e22Certify(rec, "e24/repair-on"); err != nil {
+		return row, err
+	}
+	verdict := fmt.Sprintf("certified, repaired %d modules in %d rounds, inflation %.3fx", repairedMods, repairRounds, row.Inflation)
+	if stranded > 0 {
+		verdict = fmt.Sprintf("STRANDED %d OPS WITH REPAIR ON", stranded)
+	} else if row.Inflation > 1.10 {
+		verdict = fmt.Sprintf("ROUND INFLATION %.3fx ABOVE 1.10x", row.Inflation)
+	}
+	fprintf(w, "%-12s %10d %9d %9d %10.2f %10.4f %s\n",
+		row.Cell, row.Ops, stranded, blocked, row.RoundsPerOp, row.StrandRate, verdict)
+	if !row.WithinBound {
+		return row, fmt.Errorf("e24: repair-on cell out of bounds: %s", verdict)
+	}
+	return row, nil
+}
+
+// e24AccumulateCell is the counterfactual: failures accumulate mid-run and
+// nothing repairs them, so stranding converges to the exact Γ-map rate —
+// the regime PR 10 exists to eliminate.
+func e24AccumulateCell(w io.Writer, o Options, rec *consistency.Recorder, inst *e7Instance, resolver *protocol.CompiledResolver, clients, opsPer int, vars []uint64) (e24Row, error) {
+	fs := mpc.NewFaultSet()
+	svc, err := e24Service(o, inst, resolver, fs)
+	if err != nil {
+		return e24Row{}, err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			svc.Close()
+		}
+	}()
+
+	rr := rec.Run("e24/repair-off", consistency.ContractTotalOrder, clients)
+	start := time.Now()
+	ops1, stranded1, blocked1, err := e24Drive(svc, rr, clients, opsPer/2, vars, o.Seed+1003)
+	if err != nil {
+		return e24Row{}, err
+	}
+	if err := svc.Flush(); err != nil {
+		return e24Row{}, err
+	}
+	if stranded1+blocked1 > 0 {
+		return e24Row{}, fmt.Errorf("e24: repair-off cell failed %d ops before the faults", stranded1+blocked1)
+	}
+
+	// Kill a majority of the first few workload variables' copies and leave
+	// them dead: those variables are now provably stranded, and the exact
+	// rate follows from the fault set through the Γ map.
+	var buf []uint64
+	nVictims := len(vars) / 8
+	for _, v := range vars[:nVictims] {
+		buf = inst.s.VarModules(buf[:0], inst.idx.Mat(v))
+		dead := inst.s.Copies - inst.s.Majority + 1
+		for _, m := range buf[:dead] {
+			fs.Fail(m)
+		}
+	}
+	failedMods := fs.Count()
+	exact := e24ExactStrandRate(inst, fs, vars)
+	binom := e22BinomRate(inst.s.Copies, inst.s.Majority, float64(failedMods)/float64(inst.s.NumModules))
+
+	ops2, stranded2, blocked2, err := e24Drive(svc, rr, clients, opsPer-opsPer/2, vars, o.Seed+1004)
+	if err != nil {
+		return e24Row{}, err
+	}
+	if ferr := svc.Flush(); ferr != nil {
+		return e24Row{}, ferr
+	}
+	st := svc.Stats()
+	if cerr := svc.Close(); cerr != nil {
+		return e24Row{}, cerr
+	}
+	closed = true
+	elapsed := time.Since(start)
+
+	rate := float64(stranded2) / float64(ops2)
+	sigma := math.Sqrt(exact * (1 - exact) / float64(ops2))
+	bound := exact + 6*sigma + 0.03
+	row := e24Row{
+		Cell:        "repair-off",
+		Ops:         ops1 + ops2,
+		Stranded:    stranded2,
+		Blocked:     blocked1 + blocked2,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops1+ops2),
+		OpsPerSec:   float64(ops1+ops2) / elapsed.Seconds(),
+		RoundsPerOp: float64(st.Total.TotalRounds) / float64(st.Total.OpsIn),
+		StrandRate:  rate,
+		ExactRate:   exact,
+		BinomRate:   binom,
+		Bound:       bound,
+		WithinBound: rate <= bound && exact > 0,
+		FailedMods:  failedMods,
+	}
+	if row.Certified, err = e22Certify(rec, "e24/repair-off"); err != nil {
+		return row, err
+	}
+	verdict := fmt.Sprintf("certified, %d/%d stranded, rate %.4f <= bound %.4f (exact %.4f, binom %.4f)",
+		stranded2, ops2, rate, bound, exact, binom)
+	if rate > bound {
+		verdict = fmt.Sprintf("STRANDING ABOVE BOUND: %.4f > %.4f", rate, bound)
+	}
+	fprintf(w, "%-12s %10d %9d %9d %10.2f %10.4f %s\n",
+		row.Cell, row.Ops, stranded2, row.Blocked, row.RoundsPerOp, rate, verdict)
+	if rate > bound {
+		return row, fmt.Errorf("e24: repair-off stranding %.4f exceeds bound %.4f", rate, bound)
+	}
+	if exact == 0 {
+		return row, fmt.Errorf("e24: repair-off cell stranded no variables — the counterfactual shows nothing")
+	}
+	return row, nil
+}
+
+// e24ExactStrandRate is e22's exact Γ-map rate over a raw fault set: the
+// fraction of workload variables whose live copies are below the majority.
+func e24ExactStrandRate(inst *e7Instance, fs *mpc.FaultSet, vars []uint64) float64 {
+	strandedVars := 0
+	var buf []uint64
+	for _, v := range vars {
+		buf = inst.s.VarModules(buf[:0], inst.idx.Mat(v))
+		live := 0
+		for _, m := range buf {
+			if !fs.Failed(m) {
+				live++
+			}
+		}
+		if live < inst.s.Majority {
+			strandedVars++
+		}
+	}
+	return float64(strandedVars) / float64(len(vars))
+}
+
+// e24DrillCell runs the wipe-restart drill over TCP: write committed values,
+// kill one memserver, restart it with an empty store on the same address,
+// and prove the generation-token handshake routes the range through repair —
+// the backlog appears, drains over the wire, and every committed value reads
+// back exactly. With external servers the kill and restart are the
+// harness's job (cmd/netcluster), signalled by the marker line.
+func e24DrillCell(w io.Writer, o Options, rec *consistency.Recorder, inst *e7Instance, resolver *protocol.CompiledResolver, nServers int, vars []uint64) (e24Row, error) {
+	addrs := o.Servers
+	var local []*netmpc.Server
+	var err error
+	if len(addrs) == 0 {
+		local, addrs, err = e22Cluster(inst, nServers)
+		if err != nil {
+			return e24Row{}, err
+		}
+		defer func() {
+			for _, sv := range local {
+				sv.Close()
+			}
+		}()
+	}
+	k := len(addrs)
+	const victim = 1
+
+	tr, err := netmpc.Dial(netmpc.Config{
+		Servers:      addrs,
+		Q:            inst.s.Q,
+		N:            uint32(inst.s.Deg),
+		Modules:      int64(inst.s.NumModules),
+		AddrSpace:    inst.s.NumModules * uint64(inst.s.ModuleSize),
+		StoreID:      3,
+		RoundTimeout: 3 * time.Second,
+		ReconnectMin: 10 * time.Millisecond,
+		ReconnectMax: 200 * time.Millisecond,
+	})
+	if err != nil {
+		return e24Row{}, err
+	}
+	defer tr.Close()
+	svc, err := shard.New(inst.pp, shard.Config{
+		Shards:    1,
+		Pipeline:  true,
+		Observe:   true,
+		Protocol:  o.instrument(protocol.Config{Resolver: resolver}),
+		Transport: func(int) protocol.Transport { return tr },
+	})
+	if err != nil {
+		return e24Row{}, err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			svc.Close()
+		}
+	}()
+	fs := tr.FaultSet()
+
+	// Drill variables: exactly one copy on the victim server, so the wipe
+	// costs each variable one copy — which the sweep must rebuild over the
+	// wire — while an intact majority survives on the other servers. The Γ
+	// map can cluster a variable's copies into one server's contiguous
+	// range at some (q, n), so scan the whole variable space rather than
+	// just the workload set.
+	var drill []uint64
+	copies := inst.pp.Copies()
+	for v := uint64(0); v < inst.s.NumVariables && len(drill) < 32; v++ {
+		onVictim := 0
+		for c := 0; c < copies; c++ {
+			mod, _ := inst.pp.CopyAddr(v, c)
+			if netmpc.ServerFor(int64(mod), int64(inst.s.NumModules), k) == victim {
+				onVictim++
+			}
+		}
+		if onVictim == 1 {
+			drill = append(drill, v)
+		}
+	}
+	if len(drill) < 4 {
+		return e24Row{}, fmt.Errorf("e24: only %d variables have exactly one copy on server %d of %d", len(drill), victim, k)
+	}
+
+	rr := rec.Run("e24/tcp-drill", consistency.ContractTotalOrder, 1)
+	cr := rr.Client(0)
+	model := make(map[uint64]uint64, len(drill))
+	start := time.Now()
+	for _, v := range drill {
+		val := cr.WriteValue()
+		if err := svc.Write(v, val); err != nil {
+			return e24Row{}, fmt.Errorf("e24: model write %d: %w", v, err)
+		}
+		cr.Record(true, v, val, false)
+		model[v] = val
+	}
+	if err := svc.Flush(); err != nil {
+		return e24Row{}, err
+	}
+
+	// Kill and wiped-restart the victim. In-process clusters do it
+	// themselves; external clusters print the marker for the harness.
+	if len(local) > 0 {
+		local[victim].Close()
+	} else {
+		fprintf(w, "%s\n", e24DrillMarker)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for fs.Count() == 0 {
+		if time.Now().After(deadline) {
+			return e24Row{}, fmt.Errorf("e24: no server death observed within 60s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(local) > 0 {
+		ln, err := net.Listen("tcp", addrs[victim])
+		if err != nil {
+			return e24Row{}, fmt.Errorf("e24: rebinding %s: %w", addrs[victim], err)
+		}
+		lo, hi := netmpc.Range(victim, k, int64(inst.s.NumModules))
+		sv := netmpc.NewServer(netmpc.ServerConfig{
+			Q:         inst.s.Q,
+			N:         uint32(inst.s.Deg),
+			Modules:   inst.s.NumModules,
+			AddrSpace: inst.s.NumModules * uint64(inst.s.ModuleSize),
+			RangeLo:   uint64(lo),
+			RangeHi:   uint64(hi),
+		})
+		go sv.Serve(ln)
+		local[victim] = sv
+	}
+	for fs.Count() > 0 {
+		if time.Now().After(deadline) {
+			return e24Row{}, fmt.Errorf("e24: wiped server did not reconnect within 60s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The reborn store announced a new generation, so its whole range must
+	// be queued for repair — this is the line the old silent re-admission
+	// bug lived on.
+	if fs.RepairCount() == 0 {
+		return e24Row{}, fmt.Errorf("e24: wiped restart was re-admitted without entering repair")
+	}
+	backlog := fs.RepairCount()
+	if err := e24DrainRepair(svc, fs, drill[0], 120*time.Second); err != nil {
+		return e24Row{}, err
+	}
+
+	// Every committed value must read back exactly — no zero-timestamp
+	// quorum may have won while the range was under repair.
+	wrong := 0
+	for _, v := range drill {
+		got, err := svc.Read(v)
+		if err != nil {
+			return e24Row{}, fmt.Errorf("e24: post-repair read %d: %w", v, err)
+		}
+		cr.Record(false, v, got, false)
+		if got != model[v] {
+			wrong++
+			fprintf(w, "e24: variable %d read %d after repair, want %d\n", v, got, model[v])
+		}
+	}
+	repairRounds, repairedMods := e24RepairCounters(svc)
+	if cerr := svc.Close(); cerr != nil {
+		return e24Row{}, cerr
+	}
+	closed = true
+	elapsed := time.Since(start)
+
+	ops := int64(2 * len(drill))
+	row := e24Row{
+		Cell:           "tcp-drill",
+		Ops:            ops,
+		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(ops),
+		OpsPerSec:      float64(ops) / elapsed.Seconds(),
+		RepairRounds:   repairRounds,
+		RepairedMods:   repairedMods,
+		BacklogDrained: true,
+		WithinBound:    wrong == 0,
+		FailedMods:     backlog,
+		ServerStats:    tr.Stats(),
+	}
+	var err2 error
+	if row.Certified, err2 = e22Certify(rec, "e24/tcp-drill"); err2 != nil {
+		return row, err2
+	}
+	verdict := fmt.Sprintf("certified, %d modules rebuilt over the wire in %d rounds, %d values intact",
+		repairedMods, repairRounds, len(drill))
+	if wrong > 0 {
+		verdict = fmt.Sprintf("%d OF %d VALUES LOST ACROSS THE WIPE", wrong, len(drill))
+	}
+	fprintf(w, "%-12s %10d %9d %9d %10s %10.4f %s\n",
+		row.Cell, row.Ops, int64(0), int64(0), "-", 0.0, verdict)
+	if wrong > 0 {
+		return row, fmt.Errorf("e24: %d committed values lost across the wipe-restart", wrong)
+	}
+	return row, nil
+}

@@ -168,6 +168,7 @@ func All() []Runner {
 		{"e21", "Multi-core scaling: lock-free rings and the batch API vs GOMAXPROCS", E21},
 		{"e22", "Networked MPC: in-process vs loopback-TCP vs TCP with a killed server", E22},
 		{"e23", "Address resolution at large (q, n): compiled vs computed vs hybrid", E23},
+		{"e24", "Self-healing repair: churn with repair on/off, wipe-restart drill over TCP", E24},
 	}
 }
 

@@ -57,6 +57,15 @@ type BatchBackend interface {
 	AccessInto(reqs []protocol.Request, res *protocol.Result) error
 }
 
+// RepairBackend is the optional self-healing hook: backends that expose a
+// repair backlog (as *protocol.System does) get it pumped from the
+// dispatcher's idle slack, so recovered modules rebuild even when no client
+// traffic is flowing to piggyback repair rounds on.
+type RepairBackend interface {
+	RepairBacklog() int
+	RepairStep() bool
+}
+
 // ErrClosed is returned by operations submitted after Close.
 var ErrClosed = errors.New("frontend: closed")
 
@@ -84,7 +93,8 @@ type Config struct {
 // use by any number of goroutines.
 type Frontend struct {
 	backend Backend
-	batch   BatchBackend // non-nil when backend supports the reuse path
+	batch   BatchBackend  // non-nil when backend supports the reuse path
+	repair  RepairBackend // non-nil when backend exposes a repair backlog
 	cfg     Config
 
 	ops chan op
@@ -212,6 +222,9 @@ func New(b Backend, cfg Config) (*Frontend, error) {
 	if bb, ok := b.(BatchBackend); ok {
 		f.batch = bb
 	}
+	if rb, ok := b.(RepairBackend); ok {
+		f.repair = rb
+	}
 	go f.dispatch()
 	return f, nil
 }
@@ -318,7 +331,7 @@ func (f *Frontend) dispatch() {
 			if p.Distinct() > 0 {
 				f.flush(p, obs.FlushIdle)
 			}
-			o = <-f.ops
+			o = f.nextIdle()
 		}
 		switch o.kind {
 		case opRead, opWrite:
@@ -350,6 +363,27 @@ func (f *Frontend) dispatch() {
 			return
 		}
 	}
+}
+
+// nextIdle blocks for the next operation. While the backend has repair work
+// queued, the idle slack goes into pumping it — one repair round per poll of
+// the submission queue, so an admitted operation is picked up within a
+// round. A paused backlog (RepairStep false: repair is waiting for a fault
+// to clear) falls through to a plain blocking receive rather than spinning.
+func (f *Frontend) nextIdle() op {
+	if f.repair != nil {
+		for f.repair.RepairBacklog() > 0 {
+			select {
+			case o := <-f.ops:
+				return o
+			default:
+			}
+			if !f.repair.RepairStep() {
+				break
+			}
+		}
+	}
+	return <-f.ops
 }
 
 // flush issues the batch's requests to the backend, accounts the batch

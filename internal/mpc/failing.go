@@ -16,10 +16,24 @@ func (m *Machine) Cost() uint64 { return m.round }
 // faultState is one immutable snapshot of the failed-module set. Mutators
 // build a fresh snapshot and publish it atomically, so Round can load one
 // pointer and see a consistent set for the whole round.
+//
+// Besides the failed set it carries the repairing set: modules that have
+// come back (RecoverPending) but whose copies have not yet been rebuilt
+// from surviving majorities. Repairing modules serve bids normally — they
+// count toward write quorums immediately — but the protocol layer bars them
+// from read quorums until their repair epoch is certified, because their
+// store may be stale (in-process recovery) or reborn empty (a wiped
+// memserver restart).
 type faultState struct {
-	epoch uint64   // bumped on every effective Fail/Recover
+	epoch uint64   // bumped on every effective Fail/Recover/RecoverPending/Certify
 	bits  []uint64 // bitmask of failed module ids
 	count int      // number of failed modules
+	// Repair state: a bitmask mirror for the hot read-gating lookup plus a
+	// generation per repairing module. Certification is fenced on the
+	// generation, so a module wiped again mid-repair (a second restart)
+	// cannot be certified by the sweep that started before the re-wipe.
+	rbits []uint64          // bitmask of repairing module ids
+	rgen  map[uint64]uint64 // repairing module -> repair generation (>0)
 }
 
 var healthyState = &faultState{}
@@ -27,6 +41,11 @@ var healthyState = &faultState{}
 func (s *faultState) failed(mod int64) bool {
 	w := int(mod >> 6)
 	return w >= 0 && w < len(s.bits) && s.bits[w]>>(uint64(mod)&63)&1 == 1
+}
+
+func (s *faultState) repairing(mod int64) bool {
+	w := int(mod >> 6)
+	return w >= 0 && w < len(s.rbits) && s.rbits[w]>>(uint64(mod)&63)&1 == 1
 }
 
 // FaultSet is a dynamic crash-fault model for memory modules: a set of
@@ -43,6 +62,10 @@ func (s *faultState) failed(mod int64) bool {
 type FaultSet struct {
 	mu    sync.Mutex
 	state atomic.Pointer[faultState]
+	// genSeq mints repair generations (guarded by mu). It never resets, so
+	// every RecoverPending — including a re-arm of a module already under
+	// repair — gets a generation no earlier sweep could have captured.
+	genSeq uint64
 }
 
 // NewFaultSet builds a fault set with the given modules already failed.
@@ -55,9 +78,45 @@ func NewFaultSet(failed ...uint64) *FaultSet {
 	return fs
 }
 
-// mutate installs a new snapshot with module m set (fail) or cleared
-// (recover), returning whether the set actually changed.
-func (fs *FaultSet) mutate(m uint64, fail bool) bool {
+// moduleState is a module's position in the fail/repair lifecycle.
+type moduleState uint8
+
+const (
+	stLive moduleState = iota
+	stFailed
+	stRepairing
+)
+
+// clone copies cur into a fresh snapshot with room for bit w in both masks
+// and the epoch bumped.
+func (fs *FaultSet) clone(cur *faultState, w int) *faultState {
+	n, rn := len(cur.bits), len(cur.rbits)
+	if w >= n {
+		n = w + 1
+	}
+	if w >= rn {
+		rn = w + 1
+	}
+	next := &faultState{
+		epoch: cur.epoch + 1,
+		bits:  make([]uint64, n),
+		rbits: make([]uint64, rn),
+		count: cur.count,
+		rgen:  make(map[uint64]uint64, len(cur.rgen)),
+	}
+	copy(next.bits, cur.bits)
+	copy(next.rbits, cur.rbits)
+	for k, v := range cur.rgen {
+		next.rgen[k] = v
+	}
+	return next
+}
+
+// mutate installs a new snapshot moving module m to the target state,
+// returning whether the visible set changed. A transition to stRepairing
+// always takes effect (it re-arms the repair generation even when m is
+// already repairing).
+func (fs *FaultSet) mutate(m uint64, target moduleState) bool {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	cur := fs.state.Load()
@@ -65,35 +124,111 @@ func (fs *FaultSet) mutate(m uint64, fail bool) bool {
 		cur = healthyState
 	}
 	w, b := int(m>>6), uint64(1)<<(m&63)
-	set := w < len(cur.bits) && cur.bits[w]&b != 0
-	if set == fail {
+	failed := w < len(cur.bits) && cur.bits[w]&b != 0
+	repairing := w < len(cur.rbits) && cur.rbits[w]&b != 0
+	switch target {
+	case stFailed:
+		if failed {
+			return false
+		}
+	case stLive:
+		if !failed && !repairing {
+			return false
+		}
+	}
+	next := fs.clone(cur, w)
+	if failed != (target == stFailed) {
+		if target == stFailed {
+			next.bits[w] |= b
+			next.count++
+		} else {
+			next.bits[w] &^= b
+			next.count--
+		}
+	}
+	if target == stRepairing {
+		next.rbits[w] |= b
+		fs.genSeq++
+		next.rgen[m] = fs.genSeq
+	} else {
+		next.rbits[w] &^= b
+		delete(next.rgen, m)
+	}
+	fs.state.Store(next)
+	return !repairing || target != stRepairing
+}
+
+// Fail marks module m as crashed; bids addressed to it are dropped from the
+// next round on. A repairing module that fails leaves the repairing set (its
+// in-flight repair sweep can no longer certify it). It reports whether the
+// set changed (false if m was already failed). Safe to call concurrently
+// with Round.
+func (fs *FaultSet) Fail(m uint64) bool { return fs.mutate(m, stFailed) }
+
+// Recover marks module m as live again — immediately, with no repair gate.
+// This is the legacy transition for in-process recovery, where the module's
+// store survived the outage: stale copies are value-safe under the quorum
+// intersection rule, they just contribute no freshness. Deployments that
+// want the copies rebuilt use RecoverPending instead. It reports whether
+// the set changed. Safe to call concurrently with Round.
+func (fs *FaultSet) Recover(m uint64) bool { return fs.mutate(m, stLive) }
+
+// RecoverPending moves module m into the repairing state: it serves bids
+// again from the next round on (write quorums count it immediately), but
+// stays barred from read quorums until the repair scheduler rebuilds its
+// copies from surviving majorities and certifies it (Certify). Calling it
+// on a module already under repair re-arms the repair generation — the
+// transition a wiped server restarting twice mid-repair needs. It reports
+// whether m was newly moved into the repairing state (false on a re-arm).
+// Safe to call concurrently with Round.
+func (fs *FaultSet) RecoverPending(m uint64) bool { return fs.mutate(m, stRepairing) }
+
+// Certify completes module m's repair: if m is still repairing with the
+// given generation, it becomes fully live (readable) again. A stale
+// generation — the module failed or was re-armed after the caller's sweep
+// began — leaves the state untouched, so a certification can never leak a
+// store the sweep did not actually rebuild. It reports whether m was
+// certified. Safe to call concurrently with Round.
+func (fs *FaultSet) Certify(m, gen uint64) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	cur := fs.state.Load()
+	if cur == nil {
+		cur = healthyState
+	}
+	if cur.rgen[m] != gen || gen == 0 {
 		return false
 	}
-	n := len(cur.bits)
-	if fail && w >= n {
-		n = w + 1
-	}
-	next := &faultState{epoch: cur.epoch + 1, bits: make([]uint64, n), count: cur.count}
-	copy(next.bits, cur.bits)
-	if fail {
-		next.bits[w] |= b
-		next.count++
-	} else {
-		next.bits[w] &^= b
-		next.count--
-	}
+	w, b := int(m>>6), uint64(1)<<(m&63)
+	next := fs.clone(cur, w)
+	next.rbits[w] &^= b
+	delete(next.rgen, m)
 	fs.state.Store(next)
 	return true
 }
 
-// Fail marks module m as crashed; bids addressed to it are dropped from the
-// next round on. It reports whether the set changed (false if m was already
-// failed). Safe to call concurrently with Round.
-func (fs *FaultSet) Fail(m uint64) bool { return fs.mutate(m, true) }
+// Repairing reports whether module m is currently under repair.
+func (fs *FaultSet) Repairing(m uint64) bool { return fs.snapshot().repairing(int64(m)) }
 
-// Recover marks module m as live again. It reports whether the set changed.
-// Safe to call concurrently with Round.
-func (fs *FaultSet) Recover(m uint64) bool { return fs.mutate(m, false) }
+// RepairGen returns module m's current repair generation, or 0 when m is
+// not repairing.
+func (fs *FaultSet) RepairGen(m uint64) uint64 { return fs.snapshot().rgen[m] }
+
+// RepairCount returns the number of modules currently under repair.
+func (fs *FaultSet) RepairCount() int { return len(fs.snapshot().rgen) }
+
+// AppendRepairing appends the currently repairing module ids to buf in
+// increasing order and returns the extended slice.
+func (fs *FaultSet) AppendRepairing(buf []uint64) []uint64 {
+	s := fs.snapshot()
+	for w, word := range s.rbits {
+		for word != 0 {
+			buf = append(buf, uint64(w)<<6|uint64(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return buf
+}
 
 // snapshot returns the current immutable state (never nil).
 func (fs *FaultSet) snapshot() *faultState {
@@ -245,6 +380,39 @@ func (f *Failing) FaultEpoch() uint64 { return f.faults.Epoch() }
 // FaultCount returns the number of currently failed modules. Part of
 // protocol.FaultView.
 func (f *Failing) FaultCount() int { return f.faults.Count() }
+
+// RecoverPending marks module m as repairing (serving, write-countable,
+// read-barred) from the next round on, effective until the repair scheduler
+// certifies it. It returns an error if m is out of range.
+func (f *Failing) RecoverPending(m uint64) error {
+	if m >= uint64(f.modules) {
+		return fmt.Errorf("mpc: recovered module %d out of range [0,%d)", m, f.modules)
+	}
+	f.faults.RecoverPending(m)
+	return nil
+}
+
+// ModuleRepairing reports whether module m is under repair as of the latest
+// snapshot. Part of protocol.RepairView.
+func (f *Failing) ModuleRepairing(m int64) bool {
+	return m >= 0 && f.faults.snapshot().repairing(m)
+}
+
+// RepairGeneration returns module m's repair generation (0 when not
+// repairing). Part of protocol.RepairView.
+func (f *Failing) RepairGeneration(m uint64) uint64 { return f.faults.RepairGen(m) }
+
+// RepairCount returns the number of modules under repair. Part of
+// protocol.RepairView.
+func (f *Failing) RepairCount() int { return f.faults.RepairCount() }
+
+// AppendRepairing appends the repairing module ids to buf. Part of
+// protocol.RepairView.
+func (f *Failing) AppendRepairing(buf []uint64) []uint64 { return f.faults.AppendRepairing(buf) }
+
+// CertifyRepair completes module m's repair if gen is still current. Part of
+// protocol.RepairView.
+func (f *Failing) CertifyRepair(m, gen uint64) bool { return f.faults.Certify(m, gen) }
 
 // Round filters out requests to failed modules and runs the inner round.
 // The fault set is sampled once, so the whole round sees one consistent

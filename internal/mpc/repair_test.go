@@ -1,0 +1,217 @@
+package mpc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRepairLifecycle walks one module through the full
+// fail -> repairing -> certified lifecycle and checks every observable.
+func TestRepairLifecycle(t *testing.T) {
+	fs := NewFaultSet()
+	const m = 7
+
+	if fs.Repairing(m) || fs.RepairCount() != 0 || fs.RepairGen(m) != 0 {
+		t.Fatalf("fresh set has repair state")
+	}
+
+	if !fs.Fail(m) {
+		t.Fatalf("Fail(%d) = false on fresh set", m)
+	}
+	if !fs.RecoverPending(m) {
+		t.Fatalf("RecoverPending(%d) = false on failed module", m)
+	}
+	if fs.Failed(m) {
+		t.Errorf("module %d still failed after RecoverPending", m)
+	}
+	if !fs.Repairing(m) {
+		t.Errorf("module %d not repairing after RecoverPending", m)
+	}
+	if fs.RepairCount() != 1 {
+		t.Errorf("RepairCount = %d, want 1", fs.RepairCount())
+	}
+	gen := fs.RepairGen(m)
+	if gen == 0 {
+		t.Fatalf("RepairGen(%d) = 0 while repairing", m)
+	}
+	if got := fs.AppendRepairing(nil); len(got) != 1 || got[0] != m {
+		t.Errorf("AppendRepairing = %v, want [%d]", got, m)
+	}
+
+	if fs.Certify(m, gen+1) {
+		t.Errorf("Certify with wrong generation succeeded")
+	}
+	if fs.Certify(m, 0) {
+		t.Errorf("Certify with zero generation succeeded")
+	}
+	if !fs.Certify(m, gen) {
+		t.Fatalf("Certify(%d, %d) = false", m, gen)
+	}
+	if fs.Repairing(m) || fs.Failed(m) || fs.RepairCount() != 0 {
+		t.Errorf("module %d not fully live after certification", m)
+	}
+	if fs.Certify(m, gen) {
+		t.Errorf("second Certify with stale generation succeeded")
+	}
+}
+
+// TestRepairReArmFencesCertification pins the double-wipe fence: a module
+// re-armed (second RecoverPending) while a sweep is in flight must not be
+// certifiable with the sweep's captured generation.
+func TestRepairReArmFencesCertification(t *testing.T) {
+	fs := NewFaultSet()
+	const m = 3
+	fs.Fail(m)
+	fs.RecoverPending(m)
+	first := fs.RepairGen(m)
+
+	// Second restart mid-repair: re-arm. Reports false (not newly
+	// repairing) but must mint a fresh generation.
+	if fs.RecoverPending(m) {
+		t.Errorf("re-arm RecoverPending reported newly-repairing")
+	}
+	second := fs.RepairGen(m)
+	if second == first {
+		t.Fatalf("re-arm did not advance generation (%d)", first)
+	}
+	if fs.Certify(m, first) {
+		t.Fatalf("stale-generation certification succeeded after re-arm")
+	}
+	if !fs.Repairing(m) {
+		t.Fatalf("module left repairing state on stale certification")
+	}
+	if !fs.Certify(m, second) {
+		t.Fatalf("current-generation certification failed")
+	}
+}
+
+// TestRepairFailClearsRepairing: a module that crashes again mid-repair is
+// failed, not repairing, and the old sweep can no longer certify it.
+func TestRepairFailClearsRepairing(t *testing.T) {
+	fs := NewFaultSet()
+	const m = 11
+	fs.Fail(m)
+	fs.RecoverPending(m)
+	gen := fs.RepairGen(m)
+
+	if !fs.Fail(m) {
+		t.Fatalf("Fail on repairing module = false")
+	}
+	if fs.Repairing(m) {
+		t.Errorf("failed module still repairing")
+	}
+	if !fs.Failed(m) {
+		t.Errorf("module not failed")
+	}
+	if fs.Certify(m, gen) {
+		t.Errorf("certified a module that failed mid-repair")
+	}
+	if fs.Failed(m) == false {
+		t.Errorf("certification attempt resurrected a failed module")
+	}
+
+	// Plain Recover from repairing state also clears it (legacy path).
+	fs.RecoverPending(m)
+	if !fs.Recover(m) {
+		t.Fatalf("Recover on repairing module = false")
+	}
+	if fs.Repairing(m) || fs.Failed(m) {
+		t.Errorf("Recover left repair/fail state: repairing=%v failed=%v",
+			fs.Repairing(m), fs.Failed(m))
+	}
+}
+
+// TestRepairEpochAdvances: every repair transition must bump the epoch so
+// protocol-layer re-filters notice.
+func TestRepairEpochAdvances(t *testing.T) {
+	fs := NewFaultSet()
+	const m = 5
+	e0 := fs.Epoch()
+	fs.Fail(m)
+	e1 := fs.Epoch()
+	fs.RecoverPending(m)
+	e2 := fs.Epoch()
+	fs.RecoverPending(m) // re-arm
+	e3 := fs.Epoch()
+	fs.Certify(m, fs.RepairGen(m))
+	e4 := fs.Epoch()
+	if !(e0 < e1 && e1 < e2 && e2 < e3 && e3 < e4) {
+		t.Fatalf("epochs not strictly increasing: %d %d %d %d %d", e0, e1, e2, e3, e4)
+	}
+}
+
+// TestRepairingServesRounds: a repairing module is not failed, so its bids
+// are served (write quorums can count it immediately).
+func TestRepairingServesRounds(t *testing.T) {
+	f, err := NewFailing(Config{Procs: 4, Modules: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	f.Faults().Fail(2)
+	grant := make([]bool, 4)
+	f.Round([]int64{2, 2, 3, Idle}, grant)
+	if grant[0] || grant[1] {
+		t.Fatalf("failed module served a bid")
+	}
+
+	f.Faults().RecoverPending(2)
+	if !f.ModuleRepairing(2) {
+		t.Fatalf("ModuleRepairing(2) = false after RecoverPending")
+	}
+	if f.ModuleFailed(2) {
+		t.Fatalf("ModuleFailed(2) = true while repairing")
+	}
+	f.Round([]int64{2, Idle, Idle, Idle}, grant)
+	if !grant[0] {
+		t.Fatalf("repairing module did not serve a bid")
+	}
+
+	gen := f.RepairGeneration(2)
+	if !f.CertifyRepair(2, gen) {
+		t.Fatalf("CertifyRepair failed")
+	}
+	if f.ModuleRepairing(2) {
+		t.Fatalf("still repairing after CertifyRepair")
+	}
+}
+
+// TestRepairConcurrentChurn hammers the repair transitions from several
+// goroutines; run under -race this pins the snapshot discipline.
+func TestRepairConcurrentChurn(t *testing.T) {
+	fs := NewFaultSet()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := uint64(g * 16)
+			for i := 0; i < 2000; i++ {
+				fs.Fail(m + uint64(i%16))
+				fs.RecoverPending(m + uint64(i%16))
+				if gen := fs.RepairGen(m + uint64(i%16)); gen != 0 {
+					fs.Certify(m+uint64(i%16), gen)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]uint64, 0, 64)
+		for i := 0; i < 2000; i++ {
+			buf = fs.AppendRepairing(buf[:0])
+			_ = fs.RepairCount()
+			_ = fs.Epoch()
+		}
+	}()
+	wg.Wait()
+	// Drain: certify everything left.
+	for _, m := range fs.AppendRepairing(nil) {
+		fs.Certify(m, fs.RepairGen(m))
+	}
+	if n := fs.RepairCount(); n != 0 {
+		t.Fatalf("repair set not drained: %d left", n)
+	}
+}

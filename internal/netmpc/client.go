@@ -93,6 +93,23 @@ func (c *Client) FaultEpoch() uint64 { return c.t.fs.Epoch() }
 // FaultCount implements protocol.FaultView.
 func (c *Client) FaultCount() int { return c.t.fs.Count() }
 
+// ModuleRepairing implements protocol.RepairView: a module range re-admitted
+// after a generation-mismatch reconnect (wiped store) stays barred from read
+// quorums until the repair sweep certifies it.
+func (c *Client) ModuleRepairing(m int64) bool { return c.t.fs.Repairing(uint64(m)) }
+
+// RepairGeneration implements protocol.RepairView.
+func (c *Client) RepairGeneration(m uint64) uint64 { return c.t.fs.RepairGen(m) }
+
+// RepairCount implements protocol.RepairView.
+func (c *Client) RepairCount() int { return c.t.fs.RepairCount() }
+
+// AppendRepairing implements protocol.RepairView.
+func (c *Client) AppendRepairing(buf []uint64) []uint64 { return c.t.fs.AppendRepairing(buf) }
+
+// CertifyRepair implements protocol.RepairView.
+func (c *Client) CertifyRepair(m, gen uint64) bool { return c.t.fs.Certify(m, gen) }
+
 // Cost implements protocol.Machine: rounds executed so far.
 func (c *Client) Cost() uint64 { return c.round }
 

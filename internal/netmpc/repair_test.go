@@ -1,0 +1,217 @@
+package netmpc
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"detshmem/internal/core"
+	"detshmem/internal/protocol"
+)
+
+// spreadVars returns variables whose three copies land on three distinct
+// servers of a k-way cluster — the placement where losing one server can
+// never destroy a committed write (writes touch two copies; at most one is
+// on any single server).
+func spreadVars(sys *protocol.System, s *core.Scheme, k int) []uint64 {
+	var out []uint64
+	modules := int64(s.NumModules)
+	for v := uint64(0); v < s.NumVariables; v++ {
+		seen := map[int]bool{}
+		distinct := true
+		for c := 0; c < sys.Mapper.Copies(); c++ {
+			mod, _ := sys.Mapper.CopyAddr(v, c)
+			si := ServerFor(int64(mod), modules, k)
+			if seen[si] {
+				distinct = false
+				break
+			}
+			seen[si] = true
+		}
+		if distinct {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// copyServer returns the server index owning copy c of v.
+func copyServer(sys *protocol.System, s *core.Scheme, k int, v uint64, c int) int {
+	mod, _ := sys.Mapper.CopyAddr(v, c)
+	return ServerFor(int64(mod), int64(s.NumModules), k)
+}
+
+// wipeRestart closes servers[i], waits until the client observes the death,
+// then rebinds a brand-new server (fresh in-memory store, fresh generation)
+// on the same address and waits for the reconnect to land.
+func wipeRestart(t *testing.T, s *core.Scheme, servers []*Server, addrs []string, i, k int, tr *Transport, sys *protocol.System, probe []uint64) {
+	t.Helper()
+	oldGen := servers[i].Gen()
+	servers[i].Close()
+	waitFor(t, 5*time.Second, func() bool {
+		_, _, err := sys.ReadBatch(probe)
+		if err != nil && !errors.Is(err, protocol.ErrIncomplete) {
+			t.Fatalf("degraded read: %v", err)
+		}
+		return tr.FaultSet().Count() > 0
+	})
+	ln, err := net.Listen("tcp", addrs[i])
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addrs[i], err)
+	}
+	servers[i] = NewServer(serverConfigFor(s, i, k))
+	if servers[i].Gen() == oldGen {
+		t.Fatalf("restarted server minted the same generation %d", oldGen)
+	}
+	go servers[i].Serve(ln)
+	t.Cleanup(servers[i].Close)
+	waitFor(t, 5*time.Second, func() bool { return tr.FaultSet().Count() == 0 })
+}
+
+// TestWipeRestartRepairsOverWire is the happy self-healing path over a real
+// cluster: one server is killed and restarted with an empty store. The
+// generation token in the handshake tells the client the store is reborn, so
+// the range is re-admitted through RecoverPending, the repair sweep rebuilds
+// every lost copy over the wire from surviving read majorities (repair
+// writes use put-if-newer, wire op 2), and after certification every read
+// returns the committed value.
+func TestWipeRestartRepairsOverWire(t *testing.T) {
+	s := testScheme(t)
+	const k = 3
+	servers, addrs := startCluster(t, s, k)
+	tr, err := Dial(testDialConfig(s, addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	sys := newTCPSystem(t, s, tr)
+
+	vars := spreadVars(sys, s, k)
+	if len(vars) < 4 {
+		t.Fatalf("only %d fully spread variables; scheme/cluster shape unusable", len(vars))
+	}
+	vals := make([]uint64, len(vars))
+	model := make(map[uint64]uint64, len(vars))
+	for i, v := range vars {
+		vals[i] = 1000 + uint64(i)
+		model[v] = vals[i]
+	}
+	if _, err := sys.WriteBatch(vars, vals); err != nil {
+		t.Fatal(err)
+	}
+
+	wipeRestart(t, s, servers, addrs, 1, k, tr, sys, vars[:2])
+	if sys.RepairBacklog() == 0 {
+		t.Fatalf("wiped restart was re-admitted without entering repair")
+	}
+
+	// Drain the repair backlog explicitly (shard dispatchers do this from
+	// their idle loop; batch traffic pumps it too).
+	deadline := time.Now().Add(10 * time.Second)
+	for sys.RepairBacklog() > 0 {
+		if !sys.RepairStep() && time.Now().After(deadline) {
+			t.Fatalf("repair backlog stuck at %d", sys.RepairBacklog())
+		}
+	}
+
+	got, _, err := sys.ReadBatch(vars)
+	if err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+	for i, v := range vars {
+		if got[i] != model[v] {
+			t.Fatalf("var %d = %d after repair, want %d", v, got[i], model[v])
+		}
+	}
+}
+
+// TestWipeRestartNeverServesZeroQuorum is the satellite regression pinned by
+// PR 10: wipe-restart every server except the one holding copy 0, then crash
+// that last server. Each victim's only fresh copy is now locked in the
+// crashed store while two reborn zero-timestamp copies are live. Pre-fix,
+// the wiped ranges were re-admitted as fully live, so a read quorum of two
+// zero-timestamp cells silently outvoted the committed write — reads
+// returned 0 with no error. Post-fix the wiped ranges are barred from read
+// quorums until repair certifies them, and repair refuses to certify while
+// the fresh copy sits in a crashed store, so every read either errors
+// ErrIncomplete or returns the true value. A zero-timestamp quorum never
+// wins.
+func TestWipeRestartNeverServesZeroQuorum(t *testing.T) {
+	s := testScheme(t)
+	const k = 3
+	servers, addrs := startCluster(t, s, k)
+	tr, err := Dial(testDialConfig(s, addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	sys := newTCPSystem(t, s, tr)
+
+	// Victims: fully spread variables whose copy 0 lives on server 0; their
+	// other two copies land on servers 1 and 2, the ones we will wipe.
+	var victims []uint64
+	for _, v := range spreadVars(sys, s, k) {
+		if copyServer(sys, s, k, v, 0) == 0 {
+			victims = append(victims, v)
+		}
+	}
+	if len(victims) == 0 {
+		t.Fatalf("no victim variables with copy 0 on server 0")
+	}
+	vals := make([]uint64, len(victims))
+	model := make(map[uint64]uint64, len(victims))
+	for i, v := range victims {
+		vals[i] = 7000 + uint64(i)
+		model[v] = vals[i]
+	}
+	if _, err := sys.WriteBatch(victims, vals); err != nil {
+		t.Fatal(err)
+	}
+
+	// Servers 1 and 2 die and restart wiped, one at a time: every victim's
+	// non-zero copies are now reborn zero-timestamp cells (or, post-fix,
+	// possibly already rebuilt — copy 0 is still up at this point).
+	wipeRestart(t, s, servers, addrs, 1, k, tr, sys, victims[:1])
+	wipeRestart(t, s, servers, addrs, 2, k, tr, sys, victims[:1])
+
+	// Server 0 crashes and stays down: any victim copy that repair has not
+	// yet rebuilt is unrecoverable until it returns. The only reachable
+	// "quorum" is the two reborn copies — pre-fix both zero-timestamp, and
+	// that quorum completed and served 0.
+	servers[0].Close()
+	waitFor(t, 5*time.Second, func() bool { return tr.FaultSet().Count() > 0 })
+
+	for try := 0; try < 20; try++ {
+		got, m, err := sys.ReadBatch(victims)
+		if err != nil {
+			if !errors.Is(err, protocol.ErrIncomplete) {
+				t.Fatalf("try %d: %v", try, err)
+			}
+			unfinished := map[int]bool{}
+			for _, r := range m.Unfinished {
+				unfinished[r] = true
+			}
+			for i, v := range victims {
+				if !unfinished[i] && got[i] != model[v] {
+					t.Fatalf("try %d: var %d completed with %d, want %d or unfinished", try, v, got[i], model[v])
+				}
+			}
+			continue
+		}
+		for i, v := range victims {
+			if got[i] != model[v] {
+				t.Fatalf("try %d: read returned %d for var %d, want %d — a zero-timestamp quorum won", try, got[i], v, model[v])
+			}
+		}
+	}
+
+	// The repair sweep must not have certified the wiped range while the
+	// fresh copies were locked in the crashed store: the backlog is intact.
+	for i := 0; i < 8; i++ {
+		sys.RepairStep()
+	}
+	if sys.RepairBacklog() == 0 {
+		t.Fatalf("repair certified the wiped range while its source majority was down")
+	}
+}

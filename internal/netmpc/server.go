@@ -65,20 +65,35 @@ type Server struct {
 	wg       sync.WaitGroup
 	draining atomic.Bool
 
+	// gen is the store generation: minted once per server lifetime, carried
+	// in every handshake ack. The stores are in-memory, so a restart IS a
+	// wipe — a client comparing generations across a reconnect learns whether
+	// the cells it wrote still exist.
+	gen uint64
+
 	// frames and grants count served round frames and granted bids, for
 	// tests and operational logging.
 	frames atomic.Uint64
 	grants atomic.Uint64
 }
 
-// NewServer builds a server for the given geometry and module range.
+// genSeq disambiguates servers minted in the same clock tick (tests start
+// whole clusters in a few microseconds).
+var genSeq atomic.Uint64
+
+// NewServer builds a server for the given geometry and module range, minting
+// a fresh store generation.
 func NewServer(cfg ServerConfig) *Server {
 	return &Server{
 		cfg:    cfg,
+		gen:    uint64(time.Now().UnixNano())<<8 | (genSeq.Add(1)&0xff | 1),
 		conns:  make(map[net.Conn]struct{}),
 		stores: make(map[uint32]*store),
 	}
 }
+
+// Gen returns the server's store generation.
+func (s *Server) Gen() uint64 { return s.gen }
 
 // Serve accepts connections on ln until the listener closes, blocking the
 // caller. It returns nil after a Shutdown/Close-initiated stop and the
@@ -233,6 +248,7 @@ func (s *Server) handle(conn net.Conn) {
 		AddrSpace: s.cfg.AddrSpace,
 		RangeLo:   s.cfg.RangeLo,
 		RangeHi:   s.cfg.RangeHi,
+		Gen:       s.gen,
 	}
 	if scratch, err = writeMsg(conn, scratch, &ack); err != nil {
 		return
@@ -298,10 +314,16 @@ func (s *Server) serveRound(st *store, frame *RoundFrame, reply *RoundReply, win
 	for _, i := range winners {
 		b := &frame.Bids[i]
 		g := Grant{Proc: b.Proc}
-		if b.Op == 0 { // protocol.Read
+		switch b.Op {
+		case 0: // protocol.Read
 			c := st.cells[b.Addr]
 			g.Value, g.TS = c.val, c.ts
-		} else {
+		case 2: // repair-write: install only if strictly newer, so a rebuild
+			// never clobbers a concurrent normal write that already landed.
+			if c := st.cells[b.Addr]; b.TS > c.ts {
+				st.cells[b.Addr] = cell{val: b.Value, ts: b.TS}
+			}
+		default: // protocol.Write
 			st.cells[b.Addr] = cell{val: b.Value, ts: b.TS}
 		}
 		reply.Grants = append(reply.Grants, g)

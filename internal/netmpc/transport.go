@@ -86,10 +86,16 @@ func ServerFor(m, modules int64, nServers int) int {
 
 // srv is the per-server connection state.
 type srv struct {
-	idx      int
-	addr     string
-	lo, hi   int64 // owned module range, [lo, hi)
-	t        *Transport
+	idx    int
+	addr   string
+	lo, hi int64 // owned module range, [lo, hi)
+	t      *Transport
+	// gen is the store generation the server reported at the last accepted
+	// handshake. A reconnect whose ack carries a different generation means
+	// the store died with the old process: the module range is re-admitted
+	// through RecoverPending (repair before read quorums) instead of
+	// Recover. Written under writeMu.
+	gen      uint64
 	up       atomic.Bool
 	reconn   atomic.Bool // a reconnect loop is running
 	writeMu  sync.Mutex  // guards conn swap + writes
@@ -152,12 +158,13 @@ func Dial(cfg Config) (*Transport, error) {
 	for i, addr := range cfg.Servers {
 		lo, hi := Range(i, len(cfg.Servers), cfg.Modules)
 		s := &srv{idx: i, addr: addr, lo: lo, hi: hi, t: t, replies: make(chan *RoundReply, 8)}
-		conn, err := t.dialServer(s)
+		conn, gen, err := t.dialServer(s)
 		if err != nil {
 			t.Close()
 			return nil, fmt.Errorf("netmpc: server %d (%s): %w", i, addr, err)
 		}
 		s.conn = conn
+		s.gen = gen
 		s.up.Store(true)
 		t.servers = append(t.servers, s)
 		t.wg.Add(1)
@@ -214,12 +221,12 @@ func (t *Transport) logf(format string, args ...any) {
 	}
 }
 
-// dialServer opens and handshakes one connection, returning typed errors on
-// parameter disagreement.
-func (t *Transport) dialServer(s *srv) (net.Conn, error) {
+// dialServer opens and handshakes one connection, returning the server's
+// store generation and typed errors on parameter disagreement.
+func (t *Transport) dialServer(s *srv) (net.Conn, uint64, error) {
 	conn, err := net.DialTimeout("tcp", s.addr, t.cfg.DialTimeout)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
@@ -237,19 +244,19 @@ func (t *Transport) dialServer(s *srv) (net.Conn, error) {
 	}
 	if _, err := hello.WriteTo(conn); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	var ack HandshakeAck
 	if _, err := ack.ReadFrom(conn); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	if err := ackError(&ack); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	conn.SetDeadline(time.Time{})
-	return conn, nil
+	return conn, ack.Gen, nil
 }
 
 // ackError maps a handshake ack onto the typed error taxonomy.
@@ -325,7 +332,14 @@ func (s *srv) markDown(conn net.Conn, cause error) {
 }
 
 // reconnectLoop redials with exponential backoff until the server answers a
-// valid handshake again, then recovers its module range in the fault set.
+// valid handshake again, then re-admits its module range into the fault
+// set. Re-admission is gated on the store generation the ack carries: the
+// generation the client remembers means the store survived (a network
+// partition) and the range goes straight to Recover; a new generation means
+// the server restarted with an empty store — Recover here is exactly the
+// pre-PR-10 bug where a quorum of reborn zero-timestamp cells could outvote
+// the last committed write — so the range enters RecoverPending and serves
+// read quorums only after the repair sweep certifies it.
 // Parameter-mismatch rejections keep retrying at max backoff: an operator
 // may be mid-redeploy, and the range stays failed until geometry agrees.
 func (s *srv) reconnectLoop() {
@@ -337,7 +351,7 @@ func (s *srv) reconnectLoop() {
 		if s.t.closed.Load() {
 			return
 		}
-		conn, err := s.t.dialServer(s)
+		conn, gen, err := s.t.dialServer(s)
 		if err != nil {
 			s.lastErr.Store(errBox{err})
 			backoff *= 2
@@ -363,15 +377,24 @@ func (s *srv) reconnectLoop() {
 			break
 		}
 		s.conn = conn
+		sameStore := gen == s.gen
+		s.gen = gen
 		s.writeMu.Unlock()
 		s.up.Store(true)
 		s.recon.Inc()
 		s.t.wg.Add(1)
 		go s.readLoop(conn)
-		for m := s.lo; m < s.hi; m++ {
-			s.t.fs.Recover(uint64(m))
+		if sameStore {
+			for m := s.lo; m < s.hi; m++ {
+				s.t.fs.Recover(uint64(m))
+			}
+			s.t.logf("netmpc: server %d (%s) reconnected, store intact", s.idx, s.addr)
+		} else {
+			for m := s.lo; m < s.hi; m++ {
+				s.t.fs.RecoverPending(uint64(m))
+			}
+			s.t.logf("netmpc: server %d (%s) reconnected with a fresh store generation; range [%d,%d) queued for repair", s.idx, s.addr, s.lo, s.hi)
 		}
-		s.t.logf("netmpc: server %d (%s) reconnected", s.idx, s.addr)
 		return
 	}
 }

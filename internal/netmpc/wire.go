@@ -31,8 +31,9 @@ import (
 
 // Version is the wire-protocol version carried by the handshake. Bump it on
 // any frame-layout change; mismatched peers fail the handshake with
-// ErrVersionMismatch.
-const Version uint16 = 1
+// ErrVersionMismatch. Version 2 added HandshakeAck.Gen, the store-generation
+// token that gates re-admission after a reconnect.
+const Version uint16 = 2
 
 // Frame type tags.
 const (
@@ -102,6 +103,15 @@ const (
 // HandshakeAck is the server's reply: its own version and geometry, and a
 // status code. On any non-OK status the server closes the connection after
 // the ack, and the client maps the code to the matching typed error.
+//
+// Gen is the server's store generation: a token minted once per store
+// lifetime (process start, or explicit wipe). A client that reconnects and
+// sees the generation it remembers knows the store survived — a transient
+// network partition — and may re-admit the module range as-is. A different
+// generation means the server restarted with a fresh (empty) store: the
+// range must go through copy repair before it serves read quorums, or a
+// quorum of reborn zero-timestamp cells could outvote the last committed
+// write.
 type HandshakeAck struct {
 	Version   uint16
 	Status    uint8
@@ -110,6 +120,7 @@ type HandshakeAck struct {
 	AddrSpace uint64
 	RangeLo   uint64
 	RangeHi   uint64
+	Gen       uint64
 }
 
 // Bid is one processor's request in one round: the target module, the
@@ -121,7 +132,7 @@ type Bid struct {
 	Module uint64
 	Claim  uint64
 	Addr   uint64
-	Op     uint8 // 0 read, 1 write (protocol.Op)
+	Op     uint8 // 0 read, 1 write, 2 repair-write (protocol.Op)
 	Value  uint64
 	TS     uint64
 }
@@ -163,7 +174,7 @@ type RoundReply struct {
 func (h *Handshake) BinarySize() int { return headerSize + 2 + 4 + 4 + 8 + 8 + 4 + 8 + 8 }
 
 // BinarySize returns the number of bytes WriteTo emits.
-func (a *HandshakeAck) BinarySize() int { return headerSize + 2 + 1 + 4 + 4 + 8 + 8 + 8 + 8 }
+func (a *HandshakeAck) BinarySize() int { return headerSize + 2 + 1 + 4 + 4 + 8 + 8 + 8 + 8 + 8 }
 
 // BinarySize returns the number of bytes WriteTo emits.
 func (f *RoundFrame) BinarySize() int { return headerSize + 8 + 8 + 4 + len(f.Bids)*bidSize }
@@ -214,7 +225,8 @@ func (a *HandshakeAck) append(b []byte) []byte {
 	b = binary.BigEndian.AppendUint64(b, a.Modules)
 	b = binary.BigEndian.AppendUint64(b, a.AddrSpace)
 	b = binary.BigEndian.AppendUint64(b, a.RangeLo)
-	return binary.BigEndian.AppendUint64(b, a.RangeHi)
+	b = binary.BigEndian.AppendUint64(b, a.RangeHi)
+	return binary.BigEndian.AppendUint64(b, a.Gen)
 }
 
 func (a *HandshakeAck) decode(p []byte) error {
@@ -229,6 +241,7 @@ func (a *HandshakeAck) decode(p []byte) error {
 	a.AddrSpace = binary.BigEndian.Uint64(p[19:])
 	a.RangeLo = binary.BigEndian.Uint64(p[27:])
 	a.RangeHi = binary.BigEndian.Uint64(p[35:])
+	a.Gen = binary.BigEndian.Uint64(p[43:])
 	return nil
 }
 

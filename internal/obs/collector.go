@@ -123,6 +123,13 @@ type Collector struct {
 	//                            (compare with RoundsPerBatch for the
 	//                            per-fault-count round inflation)
 
+	// Repair layer (ObserveRepair, from the background repair scheduler).
+	RepairedCopies  Counter // target copies rebuilt by repair writes
+	RepairSalvaged  Counter // variables rebuilt without a sound source majority
+	RepairRounds    Counter // MPC rounds spent on repair waves
+	RepairCertified Counter // modules certified fully live
+	RepairBacklog   Gauge   // modules under repair after the latest step
+
 	// Round level (RecordRound, from the MPC engines).
 	MPCRounds     Counter   // rounds recorded
 	MPCRequests   Counter   // Σ per-round live requests
@@ -196,6 +203,23 @@ func (c *Collector) ObserveBatch(ev BatchEvent) {
 		c.FailedModules.Observe(int64(ev.FailedModules))
 		c.FaultRounds.Observe(int64(ev.Rounds))
 	}
+}
+
+// ObserveRepair folds one background-repair step into the cumulative
+// metrics. The step's MPC traffic (rounds, issued, granted bids) is added
+// to the batch-level Rounds/IssuedBids/GrantedBids counters: the protocol
+// deliberately keeps repair out of its per-batch Metrics books, so without
+// this fold a round-level trace would show more rounds than the batch
+// metrics account for and the exact crosscheck would fail.
+func (c *Collector) ObserveRepair(ev RepairEvent) {
+	c.RepairedCopies.Add(int64(ev.Copies))
+	c.RepairSalvaged.Add(int64(ev.Salvaged))
+	c.RepairRounds.Add(int64(ev.Rounds))
+	c.RepairCertified.Add(int64(ev.Certified))
+	c.RepairBacklog.Set(int64(ev.Backlog))
+	c.Rounds.Add(int64(ev.Rounds))
+	c.IssuedBids.Add(int64(ev.Issued))
+	c.GrantedBids.Add(int64(ev.Granted))
 }
 
 // ObserveQueueDepth samples the frontend submission-queue depth at
@@ -304,6 +328,11 @@ func (c *Collector) SnapshotInto(label string, dst map[string]int64) {
 		"audit_sampled_total":       c.AuditedOps.Load(),
 		"audit_violations_total":    c.AuditViolations.Load(),
 		"audit_evictions_total":     c.AuditEvictions.Load(),
+		"repaired_copies_total":     c.RepairedCopies.Load(),
+		"repair_salvaged_total":     c.RepairSalvaged.Load(),
+		"repair_rounds_total":       c.RepairRounds.Load(),
+		"repair_certified_total":    c.RepairCertified.Load(),
+		"repair_backlog":            c.RepairBacklog.Load(),
 	}
 	for cause := FlushCause(0); cause < numFlushCauses; cause++ {
 		m["flushes_"+cause.String()+"_total"] = c.Flushes[cause].Load()
@@ -360,6 +389,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		{"audit_sampled_total", "Operations audited by the sampling consistency audit.", "counter", c.AuditedOps.Load()},
 		{"audit_violations_total", "Audited reads contradicting the last known value.", "counter", c.AuditViolations.Load()},
 		{"audit_evictions_total", "Audit slots reclaimed for a different variable.", "counter", c.AuditEvictions.Load()},
+		{"repaired_copies_total", "Copies rebuilt onto repairing modules by repair writes.", "counter", c.RepairedCopies.Load()},
+		{"repair_salvaged_total", "Variables rebuilt without a sound source majority.", "counter", c.RepairSalvaged.Load()},
+		{"repair_rounds_total", "MPC rounds spent on background repair waves.", "counter", c.RepairRounds.Load()},
+		{"repair_certified_total", "Modules certified fully live after rebuild.", "counter", c.RepairCertified.Load()},
+		{"repair_backlog", "Modules still under repair after the latest step.", "gauge", c.RepairBacklog.Load()},
 	}
 	for _, s := range scalars {
 		if err := writeScalar(w, s.name, s.help, s.typ, s.value); err != nil {

@@ -177,6 +177,29 @@ type BatchObserver interface {
 	ObserveBatch(ev BatchEvent)
 }
 
+// RepairEvent is one background-repair step's work, as reported by
+// protocol.System after every budget-bounded repair chunk (the per-batch
+// pump and the shard dispatcher's idle-loop pump alike). Rounds, Issued and
+// Granted are the step's MPC traffic: the protocol keeps repair out of its
+// batch books (Metrics.TotalRounds/IssuedBids), so a collector that also
+// records round traces must fold these in to keep the trace-vs-metrics
+// crosscheck exact — Collector.ObserveRepair does.
+type RepairEvent struct {
+	Copies    int // target copies rebuilt (repair writes granted)
+	Salvaged  int // variables rebuilt without a sound source majority
+	Rounds    int // MPC rounds the step drove
+	Issued    int // repair bids handed to the interconnect
+	Granted   int // repair bids granted
+	Certified int // modules certified fully live by this step
+	Backlog   int // modules still under repair after the step
+}
+
+// RepairObserver receives one event per background-repair step. Collector
+// implements it.
+type RepairObserver interface {
+	ObserveRepair(ev RepairEvent)
+}
+
 // ResolverObserver receives compiled-resolver residency updates: how many
 // compiled blocks are resident (1 for an eager table, the materialized shard
 // count in lazy mode) and the resident table bytes. A protocol System whose
@@ -211,6 +234,31 @@ type multiBatch []BatchObserver
 func (m multiBatch) ObserveBatch(ev BatchEvent) {
 	for _, o := range m {
 		o.ObserveBatch(ev)
+	}
+}
+
+// ObserveRepair forwards repair-step events to every member that observes
+// them. Without this, chaining a per-shard collector after a configured
+// observer (shard.Config.Observe plus protocol.Config.Observer) would
+// silently sever the repair accounting for both: protocol.System discovers
+// its RepairObserver by type-asserting the one configured Observer, and a
+// bare []BatchObserver fan-out would fail that assertion even though every
+// member implements it.
+func (m multiBatch) ObserveRepair(ev RepairEvent) {
+	for _, o := range m {
+		if ro, ok := o.(RepairObserver); ok {
+			ro.ObserveRepair(ev)
+		}
+	}
+}
+
+// ObserveResolverResidency forwards resolver-residency updates the same
+// way, for the same reason.
+func (m multiBatch) ObserveResolverResidency(shards int, bytes uint64) {
+	for _, o := range m {
+		if ro, ok := o.(ResolverObserver); ok {
+			ro.ObserveResolverResidency(shards, bytes)
+		}
 	}
 }
 

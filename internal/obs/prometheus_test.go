@@ -35,6 +35,7 @@ func goldenCollector() *Collector {
 	c.ObserveAudit(true)
 	c.ObserveAuditEviction()
 	c.ObserveResolverResidency(3, 49152)
+	c.ObserveRepair(RepairEvent{Copies: 6, Salvaged: 1, Rounds: 4, Issued: 9, Granted: 8, Certified: 2, Backlog: 1})
 	return c
 }
 

@@ -28,6 +28,23 @@ type FaultView interface {
 // one more in case a recovery lands between them.
 const defaultFaultAttempts = 2
 
+// barred reports whether module m may not count toward a quorum for op.
+// Failed modules serve nothing. Repairing modules (recovered but not yet
+// rebuilt — see RepairView) serve writes — the written copy receives fresh
+// data, so counting it is sound and lets a degraded write quorum recover
+// immediately — but are barred from read quorums until certification: their
+// store may be stale or reborn empty, and a read quorum containing one
+// could return a value older than the last committed write. Correctness is
+// preserved because a read quorum drawn from the non-repairing copies is
+// still a read quorum of the full copy set, so it intersects every write
+// quorum, and the intersecting copy is trustworthy.
+func (sys *System) barred(fv FaultView, op Op, m int64) bool {
+	if fv.ModuleFailed(m) {
+		return true
+	}
+	return op == Read && sys.rv != nil && sys.rv.ModuleRepairing(m)
+}
+
 // selectLive builds the phase task list for request r with the fault set in
 // view. Under PolicyAllCancel, failed copies are skipped and later live
 // copies slide up into the cluster's processor slots (quorum re-selection
@@ -42,10 +59,11 @@ func (sys *System) selectLive(fv FaultView, tasks []taskRef, reqs []Request, cop
 	sys.touchedC[r] = 0
 	sys.liveBids[r] = 0
 	base := r * nCopies
+	op := reqs[r].Op
 	if sys.cfg.Policy == PolicyFixedMajority {
 		liveCnt := int32(0)
 		for j := 0; j < inFlight; j++ {
-			if !fv.ModuleFailed(copies[base+j].module) {
+			if !sys.barred(fv, op, copies[base+j].module) {
 				liveCnt++
 			}
 		}
@@ -64,7 +82,7 @@ func (sys *System) selectLive(fv FaultView, tasks []taskRef, reqs []Request, cop
 	assigned := 0
 	for c := 0; c < nCopies && assigned < inFlight; c++ {
 		a := copies[base+c]
-		if fv.ModuleFailed(a.module) {
+		if sys.barred(fv, op, a.module) {
 			continue
 		}
 		tasks = append(tasks, taskRef{proc: int32(procBase + assigned), a: a})
@@ -89,16 +107,17 @@ func (sys *System) queueRetry(r int32) {
 }
 
 // refilterTasks runs when the fault epoch moved mid-phase: bids addressed
-// at newly failed modules are dropped and, under PolicyAllCancel, replaced
-// by a spare live copy never selected this phase (reusing the freed
-// processor slot). Requests whose in-flight bids fell below their remaining
-// quorum are shed to the retry pass — their surviving bids would otherwise
-// spin against the iteration cap without ever completing.
-func (sys *System) refilterTasks(fv FaultView, tasks []taskRef, copies []assignment, nCopies int, res *Result) []taskRef {
+// at newly failed modules (or, for reads, modules freshly entering repair)
+// are dropped and, under PolicyAllCancel, replaced by a spare live copy
+// never selected this phase (reusing the freed processor slot). Requests
+// whose in-flight bids fell below their remaining quorum are shed to the
+// retry pass — their surviving bids would otherwise spin against the
+// iteration cap without ever completing.
+func (sys *System) refilterTasks(fv FaultView, tasks []taskRef, reqs []Request, copies []assignment, nCopies int, res *Result) []taskRef {
 	out := tasks[:0]
 	for _, t := range tasks {
 		r := t.a.req
-		if sys.remaining[r] <= 0 || !fv.ModuleFailed(t.a.module) {
+		if sys.remaining[r] <= 0 || !sys.barred(fv, reqs[r].Op, t.a.module) {
 			out = append(out, t)
 			continue
 		}
@@ -110,7 +129,7 @@ func (sys *System) refilterTasks(fv FaultView, tasks []taskRef, copies []assignm
 					continue
 				}
 				a := copies[base+c]
-				if fv.ModuleFailed(a.module) {
+				if sys.barred(fv, reqs[r].Op, a.module) {
 					continue
 				}
 				sys.usedMask[r] |= 1 << uint(c)
@@ -185,7 +204,7 @@ func (sys *System) retryStranded(fv FaultView, machine Machine, geo int, reqs []
 					if sys.touchedC[r]&(1<<uint(c)) != 0 {
 						continue
 					}
-					if !fv.ModuleFailed(copies[base+c].module) {
+					if !sys.barred(fv, reqs[r].Op, copies[base+c].module) {
 						cnt++
 					}
 				}
@@ -204,7 +223,7 @@ func (sys *System) retryStranded(fv FaultView, machine Machine, geo int, reqs []
 						continue
 					}
 					a := copies[base+c]
-					if fv.ModuleFailed(a.module) {
+					if sys.barred(fv, reqs[r].Op, a.module) {
 						continue
 					}
 					tasks = append(tasks, taskRef{proc: int32(p), a: a})
@@ -253,7 +272,7 @@ func (sys *System) driveRetryWave(fv FaultView, machine Machine, tasks []taskRef
 			epoch = e
 			n := 0
 			for _, t := range tasks {
-				if sys.remaining[t.a.req] > 0 && fv.ModuleFailed(t.a.module) {
+				if sys.remaining[t.a.req] > 0 && sys.barred(fv, reqs[t.a.req].Op, t.a.module) {
 					continue // dropped; the next attempt re-selects
 				}
 				tasks[n] = t
@@ -304,7 +323,10 @@ func (sys *System) driveRetryWave(fv FaultView, machine Machine, tasks []taskRef
 // liveQuorumLost reports whether request r's variable currently has fewer
 // live copies than its quorum — the ErrQuorumUnreachable verdict. Under the
 // pinned-majority ablation only the pinned copies count (redundancy without
-// routing freedom is not fault tolerance).
+// routing freedom is not fault tolerance). Repairing modules deliberately
+// count as live here: a read blocked only by in-flight repair is transient
+// (the sweep will certify the copies), so it reports ErrIncomplete — retry
+// later — not the stranded verdict.
 func (sys *System) liveQuorumLost(fv FaultView, reqs []Request, r, nCopies int) bool {
 	limit := nCopies
 	if sys.cfg.Policy == PolicyFixedMajority {

@@ -41,6 +41,12 @@ const (
 	Read Op = iota
 	// Write replaces the variable's value.
 	Write
+	// opRepair is the internal repair-write operation: the module installs
+	// the carried (value, timestamp) pair only if the timestamp is newer
+	// than the cell's, so a rebuild can never clobber a concurrent normal
+	// write. It never appears in user Requests; the repair scheduler stages
+	// it directly (see repair.go).
+	opRepair
 )
 
 // Request is one processor's access request for a batch. Variables within a
@@ -88,6 +94,16 @@ type Metrics struct {
 	// RetryRounds counts the MPC rounds spent in post-phase retry passes
 	// (already included in TotalRounds).
 	RetryRounds int
+	// Repair metrics cover the background-repair step this batch pumped
+	// (AccessInto runs one budget-bounded repair chunk after the batch's own
+	// work when modules are under repair). RepairRounds are NOT included in
+	// TotalRounds or IssuedBids — repair work is accounted through
+	// obs.RepairEvent so the round-trace crosscheck balances on both the
+	// per-batch and the idle-loop pump paths.
+	RepairedCopies int // target copies rebuilt by this batch's repair step
+	RepairSalvaged int // variables rebuilt without a sound source majority
+	RepairRounds   int // MPC rounds the repair step drove
+	RepairCertified int // modules certified fully live by this batch's step
 }
 
 // Result carries read values (aligned with the request slice; zero for
@@ -218,6 +234,11 @@ type Config struct {
 	// between attempts rescues the request. 0 means the default (2);
 	// negative disables retries.
 	FaultAttempts int
+	// RepairBudget bounds the variables one background-repair step scans
+	// (see RepairStep and the per-batch pump in AccessInto); 0 means
+	// DefaultRepairBudget, negative disables the per-batch pump (repair then
+	// runs only through explicit RepairStep calls).
+	RepairBudget int
 	// Recorder, when non-nil, is installed on every interconnect machine
 	// the system builds, capturing one obs.RoundEvent per MPC round (ring-
 	// buffer tracing, contention histograms). The default no-op recorder
@@ -291,6 +312,16 @@ type System struct {
 	// cells on the far side (netmpc.Client); nil for in-process machines,
 	// which keeps the staging hooks off the local hot path.
 	rs RemoteStore
+	// rv is the machine's repair view when its fault model has a repair
+	// lifecycle (mpc.Failing, netmpc.Client); nil otherwise. With rv set,
+	// repairing modules are barred from read quorums and the background
+	// repair scheduler (repair.go) can run.
+	rv RepairView
+	// ro receives repair-step events when the configured Observer also
+	// implements obs.RepairObserver (obs.Collector does).
+	ro obs.RepairObserver
+	// rep is the background repair scheduler's sweep state.
+	rep repairSweep
 
 	// Per-batch scratch, reused across Access calls so the iteration loop
 	// is allocation-free once the buffers reach their high-water sizes.
@@ -418,6 +449,7 @@ func NewGenericSystem(m Mapper, cfg Config) (*System, error) {
 		hot:      hot,
 		seen:     make(map[uint64]struct{}),
 	}
+	sys.ro, _ = cfg.Observer.(obs.RepairObserver)
 	sys.observeResolver()
 	return sys, nil
 }
@@ -453,6 +485,8 @@ func (sys *System) Close() {
 	sys.machineProcs = 0
 	sys.fv = nil
 	sys.rs = nil
+	sys.rv = nil
+	sys.resetRepair()
 }
 
 // assignment is one processor's job within a phase: one copy of one request.
@@ -622,7 +656,7 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 					// failed modules, re-select spare live copies, and shed
 					// requests that can no longer reach a quorum.
 					faultEpoch = e
-					tasks = sys.refilterTasks(fv, tasks, copies, nCopies, res)
+					tasks = sys.refilterTasks(fv, tasks, reqs, copies, nCopies, res)
 					if len(tasks) == 0 {
 						break
 					}
@@ -722,6 +756,13 @@ func (sys *System) AccessInto(reqs []Request, res *Result) error {
 	}
 	res.Metrics.InterconnectCost = machine.Cost() - sys.machineCost
 	sys.observeBatch(reqs, res)
+	if sys.rv != nil && sys.cfg.RepairBudget >= 0 && sys.rv.RepairCount() > 0 {
+		// Per-flush repair budget: one bounded background-repair step rides
+		// on every batch, so sustained traffic still drains the backlog.
+		// Runs after InterconnectCost is taken — repair rounds are accounted
+		// through obs.RepairEvent, not the batch's books.
+		sys.pumpRepair(machine, geo, res)
+	}
 	if len(res.Metrics.Stranded) > 0 {
 		return fmt.Errorf("%w: %d of %d requests could not reach a quorum (%d below their live majority)",
 			ErrQuorumUnreachable, len(res.Metrics.Unfinished), len(reqs), len(res.Metrics.Stranded))
@@ -824,6 +865,8 @@ func (sys *System) obtainMachine(procs int) (Machine, int, error) {
 	sys.machineCost = machine.Cost()
 	sys.fv, _ = machine.(FaultView)
 	sys.rs, _ = machine.(RemoteStore)
+	sys.rv, _ = machine.(RepairView)
+	sys.resetRepair()
 	return machine, geo, nil
 }
 

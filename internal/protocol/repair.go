@@ -1,0 +1,490 @@
+package protocol
+
+import (
+	"detshmem/internal/mpc"
+	"detshmem/internal/obs"
+)
+
+// RepairView is the repair side of a dynamic fault model. An interconnect
+// whose fault set distinguishes "recovered but not yet rebuilt" from "live"
+// (mpc.Failing over a FaultSet with RecoverPending, netmpc.Client after a
+// generation-mismatch reconnect) exposes it so the protocol can (a) bar
+// repairing modules from read quorums — their stores may be stale or reborn
+// empty — while still counting them toward write quorums, and (b) drive the
+// background sweep that rebuilds their copies from surviving majorities and
+// certifies them back to fully live.
+//
+// obtainMachine type-asserts the machine against this interface, exactly
+// like FaultView; machines without a repair lifecycle don't implement it and
+// pay nothing. All methods must be safe to call concurrently with mutation.
+type RepairView interface {
+	// ModuleRepairing reports whether module m is under repair right now.
+	ModuleRepairing(m int64) bool
+	// RepairGeneration returns m's current repair generation (0 when m is
+	// not repairing). A sweep captures the generation at its start;
+	// certification with a stale generation fails, which fences a sweep
+	// against a module wiped again while the sweep ran.
+	RepairGeneration(m uint64) uint64
+	// RepairCount returns the number of modules under repair.
+	RepairCount() int
+	// AppendRepairing appends the repairing module ids to buf.
+	AppendRepairing(buf []uint64) []uint64
+	// CertifyRepair completes m's repair if gen is still current, making the
+	// module readable again. Returns whether the certification took effect.
+	CertifyRepair(m, gen uint64) bool
+}
+
+// DefaultRepairBudget is the number of variables one repair step scans when
+// Config.RepairBudget is zero: large enough that a sweep over a typical test
+// address space finishes in a few steps, small enough that a step stays a
+// bounded slice of a flush.
+const DefaultRepairBudget = 512
+
+// repairMetrics accumulates one step's repair work. The caller folds it
+// into batch metrics (the per-flush pump) or reports it straight to the
+// observer (the idle-loop pump); rounds/issued/granted flow to the books
+// through obs.RepairEvent only, never through Metrics.TotalRounds, so the
+// trace-vs-metrics crosscheck stays exact on both paths.
+type repairMetrics struct {
+	rounds    int // MPC rounds driven by repair waves
+	issued    int // repair bids handed to the interconnect
+	granted   int // repair bids granted
+	repaired  int // target copies rebuilt (put-if-newer writes granted)
+	salvaged  int // variables rebuilt without a sound source majority
+	certified int // modules certified back to fully live
+}
+
+// repairVar is one variable being rebuilt in the current wave.
+type repairVar struct {
+	v       uint64
+	bestTS  uint64
+	bestVal uint64
+	reads   int32 // granted reads so far
+	need    int32 // grants required for a sound rebuild (the read quorum)
+	salvage bool  // fewer than need live non-repairing sources exist
+	dirty   bool  // rebuild unsound or incomplete; blocks certification
+}
+
+// repairSweep is the scheduler state for the background rebuild: one pass of
+// the cursor over the variable space, rebuilding every variable with a copy
+// on a module of the sweep set (the repairing modules and their generations,
+// snapshotted when the sweep starts). Modules certified at sweep end are the
+// ones whose every variable was rebuilt soundly and whose generation never
+// moved; everything else waits for the next sweep.
+type repairSweep struct {
+	active bool
+	gens   map[int64]uint64 // sweep set: module -> captured generation
+	dirty  map[int64]bool   // modules with an unsoundly rebuilt variable
+	cursor uint64           // next variable the sweep will scan
+	// certified records whether the current sweep certified anything; a
+	// completed sweep that certified nothing while modules remain repairing
+	// pauses the scheduler until the fault epoch moves, so an unrepairable
+	// state (sources failed) cannot spin the idle pump. The pause latches
+	// only when the fault epoch never moved during the sweep (startEpoch):
+	// a sweep that raced a churning fault set may have gone dirty on purely
+	// transient failures or re-wipes, and the state it observed says nothing
+	// about whether a fresh sweep over the settled fault set would succeed —
+	// pausing on it would strand the backlog forever once the churn stops.
+	certified  bool
+	paused     bool
+	pauseEpoch uint64
+	startEpoch uint64
+
+	modBuf []uint64
+	vars   []repairVar
+	tasks  []taskRef
+}
+
+// RepairBacklog returns the number of modules awaiting repair certification
+// on this system's interconnect (0 when the machine has no repair
+// lifecycle). Shard dispatchers poll it to decide whether idle cycles
+// should pump RepairStep.
+func (sys *System) RepairBacklog() int {
+	if sys.rv == nil {
+		return 0
+	}
+	return sys.rv.RepairCount()
+}
+
+// RepairStep performs one budget-bounded chunk of background repair outside
+// any batch: scanning up to Config.RepairBudget variables, rebuilding those
+// with copies on repairing modules, and certifying modules when their sweep
+// completes. It reports whether it made progress; callers loop while true
+// and back off when false (the scheduler pauses itself when the remaining
+// backlog is unrepairable until the fault set changes). Must be called from
+// the goroutine that owns the system (the same discipline as AccessInto).
+func (sys *System) RepairStep() bool {
+	if sys.rv == nil && sys.machine == nil {
+		// No machine yet (no batch has run): build one so a freshly started
+		// replica can repair before serving.
+		if _, _, err := sys.obtainMachine(sys.cfg.ClusterSize); err != nil {
+			return false
+		}
+	}
+	machine, geo := sys.machine, sys.machineProcs
+	if machine == nil {
+		return false
+	}
+	var rm repairMetrics
+	did := sys.repairStep(machine, geo, &rm)
+	sys.reportRepair(&rm)
+	return did
+}
+
+// pumpRepair is the per-batch repair budget: AccessInto calls it after the
+// batch's own work (and after InterconnectCost is taken), so every flush
+// moves the backlog by one bounded step even under sustained traffic. The
+// step's work is folded into the batch's Repair* metrics.
+func (sys *System) pumpRepair(machine Machine, geo int, res *Result) {
+	var rm repairMetrics
+	sys.repairStep(machine, geo, &rm)
+	res.Metrics.RepairedCopies += rm.repaired
+	res.Metrics.RepairSalvaged += rm.salvaged
+	res.Metrics.RepairRounds += rm.rounds
+	res.Metrics.RepairCertified += rm.certified
+	sys.reportRepair(&rm)
+}
+
+// reportRepair publishes one step's work to the configured repair observer.
+func (sys *System) reportRepair(rm *repairMetrics) {
+	if sys.ro == nil || (rm.rounds == 0 && rm.certified == 0) {
+		return
+	}
+	sys.ro.ObserveRepair(obs.RepairEvent{
+		Copies:    rm.repaired,
+		Salvaged:  rm.salvaged,
+		Rounds:    rm.rounds,
+		Issued:    rm.issued,
+		Granted:   rm.granted,
+		Certified: rm.certified,
+		Backlog:   sys.rv.RepairCount(),
+	})
+}
+
+// resetRepair drops all sweep state; called when the machine is replaced
+// (the captured views would be stale).
+func (sys *System) resetRepair() {
+	sys.rep.active = false
+	sys.rep.paused = false
+}
+
+// repairStep runs one chunk of the sweep on the given machine. Returns
+// whether any work was attempted.
+func (sys *System) repairStep(machine Machine, geo int, rm *repairMetrics) bool {
+	rv, fv := sys.rv, sys.fv
+	if rv == nil || fv == nil {
+		return false
+	}
+	rep := &sys.rep
+	if rv.RepairCount() == 0 {
+		rep.active = false
+		rep.paused = false
+		return false
+	}
+	if rep.paused {
+		if fv.FaultEpoch() == rep.pauseEpoch {
+			return false
+		}
+		rep.paused = false
+	}
+	if !rep.active {
+		rep.modBuf = rv.AppendRepairing(rep.modBuf[:0])
+		if len(rep.modBuf) == 0 {
+			return false
+		}
+		if rep.gens == nil {
+			rep.gens = make(map[int64]uint64)
+			rep.dirty = make(map[int64]bool)
+		}
+		clear(rep.gens)
+		clear(rep.dirty)
+		for _, m := range rep.modBuf {
+			if g := rv.RepairGeneration(m); g != 0 {
+				rep.gens[int64(m)] = g
+			}
+		}
+		rep.cursor = 0
+		rep.certified = false
+		rep.startEpoch = fv.FaultEpoch()
+		rep.active = true
+	}
+	budget := uint64(sys.cfg.RepairBudget)
+	if budget == 0 {
+		budget = DefaultRepairBudget
+	}
+	nv := sys.Mapper.NumVars()
+	end := rep.cursor + budget
+	if end > nv || end < rep.cursor {
+		end = nv
+	}
+	sys.scanRepairRange(machine, geo, rep.cursor, end, rm)
+	rep.cursor = end
+	if rep.cursor >= nv {
+		for m, gen := range rep.gens {
+			if rep.dirty[m] {
+				continue
+			}
+			if rv.CertifyRepair(uint64(m), gen) {
+				rm.certified++
+				rep.certified = true
+			}
+		}
+		rep.active = false
+		if !rep.certified && rv.RepairCount() > 0 {
+			if e := fv.FaultEpoch(); e == rep.startEpoch {
+				rep.paused = true
+				rep.pauseEpoch = e
+			}
+		}
+	}
+	return true
+}
+
+// scanRepairRange scans variables [lo, hi), grouping those with a copy on a
+// sweep-set module into bounded waves.
+func (sys *System) scanRepairRange(machine Machine, geo int, lo, hi uint64, rm *repairMetrics) {
+	rep := &sys.rep
+	m := sys.Mapper
+	nCopies := m.Copies()
+	group := geo / nCopies
+	if group < 1 {
+		group = 1
+	}
+	vars := rep.vars[:0]
+	for v := lo; v < hi; v++ {
+		hasTarget := false
+		for c := 0; c < nCopies; c++ {
+			mod, _ := m.CopyAddr(v, c)
+			if _, ok := rep.gens[int64(mod)]; ok {
+				hasTarget = true
+				break
+			}
+		}
+		if !hasTarget {
+			continue
+		}
+		vars = append(vars, repairVar{v: v})
+		if len(vars) == group {
+			sys.repairWave(machine, geo, vars, rm)
+			vars = vars[:0]
+		}
+	}
+	if len(vars) > 0 {
+		sys.repairWave(machine, geo, vars, rm)
+	}
+	rep.vars = vars[:0]
+}
+
+// repairWave rebuilds one group of variables: a read wave collecting the
+// freshest surviving (value, timestamp) per variable, then a write wave
+// installing it onto the repairing copies with put-if-newer semantics (a
+// concurrent normal write with a newer timestamp always wins).
+//
+// Soundness rule: a rebuild is sound when it read a full read quorum of live
+// non-repairing copies — any read quorum of the c copies intersects every
+// write quorum, and a non-repairing copy's timestamp is trustworthy, so the
+// max-timestamp value is the variable's latest committed write. When fewer
+// sources exist the wave salvages: it reads every live copy including the
+// repairing targets themselves and installs the best surviving value. A
+// salvage is still certifiable when no copy was unreadable (a wiped copy
+// contributes nothing, but nothing readable was ignored); if a failed module
+// held a copy we could not read, the variable's freshest value may be
+// sitting in that crashed store, so the targets are marked dirty and their
+// modules stay uncertified until the fault set changes.
+func (sys *System) repairWave(machine Machine, geo int, vars []repairVar, rm *repairMetrics) {
+	rep := &sys.rep
+	fv, rvw := sys.fv, sys.rv
+	m := sys.Mapper
+	nCopies := m.Copies()
+	rq := int32(m.ReadQuorum())
+
+	mreqs := grow(sys.mreqs, geo)
+	grant := grow(sys.grant, geo)
+	sys.mreqs, sys.grant = mreqs, grant
+	for i := range mreqs {
+		mreqs[i] = mpc.Idle
+	}
+	maxIters := sys.cfg.MaxIterationsPerPhase
+	if maxIters == 0 {
+		maxIters = 8*int(m.NumModules()) + 64
+	}
+
+	// Classify copies and build the read task list.
+	tasks := rep.tasks[:0]
+	p := int32(0)
+	for i := range vars {
+		w := &vars[i]
+		w.need = rq
+		sources, failed := int32(0), 0
+		for c := 0; c < nCopies; c++ {
+			mod, _ := m.CopyAddr(w.v, c)
+			switch {
+			case fv.ModuleFailed(int64(mod)):
+				failed++
+			case !rvw.ModuleRepairing(int64(mod)):
+				sources++
+			}
+		}
+		w.salvage = sources < rq
+		if w.salvage && failed > 0 {
+			w.dirty = true
+		}
+		for c := 0; c < nCopies; c++ {
+			mod, addr := m.CopyAddr(w.v, c)
+			if fv.ModuleFailed(int64(mod)) {
+				continue
+			}
+			if !w.salvage && rvw.ModuleRepairing(int64(mod)) {
+				continue
+			}
+			tasks = append(tasks, taskRef{proc: p, a: assignment{req: int32(i), cpy: int16(c), module: int64(mod), addr: addr}})
+			p++
+		}
+	}
+
+	// Read wave.
+	tasks = sys.driveRepairRound(machine, tasks, vars, rm, maxIters, true)
+	for _, t := range tasks {
+		vars[t.a.req].dirty = true
+	}
+	for i := range vars {
+		w := &vars[i]
+		if !w.salvage && w.reads < w.need {
+			w.dirty = true
+		}
+		if w.salvage && w.reads == 0 {
+			w.dirty = true
+		}
+	}
+
+	// Write wave: install the best value onto the repairing copies. A zero
+	// best timestamp means no surviving write — the logically zeroed state is
+	// already correct, nothing to install.
+	tasks = rep.tasks[:0]
+	p = 0
+	for i := range vars {
+		w := &vars[i]
+		if w.bestTS == 0 {
+			continue
+		}
+		for c := 0; c < nCopies; c++ {
+			mod, addr := m.CopyAddr(w.v, c)
+			if _, target := rep.gens[int64(mod)]; !target {
+				continue
+			}
+			if fv.ModuleFailed(int64(mod)) {
+				continue
+			}
+			if sys.rs == nil && sys.store.get(addr).ts >= w.bestTS {
+				continue // local store already fresh (in-process recovery)
+			}
+			tasks = append(tasks, taskRef{proc: p, a: assignment{req: int32(i), cpy: int16(c), module: int64(mod), addr: addr}})
+			p++
+		}
+	}
+	tasks = sys.driveRepairRound(machine, tasks, vars, rm, maxIters, false)
+	for _, t := range tasks {
+		vars[t.a.req].dirty = true
+	}
+
+	// Account salvages and propagate dirt to the sweep set.
+	for i := range vars {
+		w := &vars[i]
+		if w.salvage && !w.dirty {
+			rm.salvaged++
+		}
+		if !w.dirty {
+			continue
+		}
+		for c := 0; c < nCopies; c++ {
+			mod, _ := m.CopyAddr(w.v, c)
+			if _, ok := rep.gens[int64(mod)]; ok {
+				rep.dirty[int64(mod)] = true
+			}
+		}
+	}
+	rep.tasks = tasks[:0]
+}
+
+// driveRepairRound drives one repair task list until every bid is granted,
+// the iteration cap trips, or the tasks' modules fail. Undelivered tasks are
+// returned for the caller to mark dirty. reads selects read semantics
+// (collect max-timestamp into the task's variable) vs repair-write semantics
+// (install the variable's best value if newer).
+func (sys *System) driveRepairRound(machine Machine, tasks []taskRef, vars []repairVar, rm *repairMetrics, maxIters int, reads bool) []taskRef {
+	if len(tasks) == 0 {
+		return tasks
+	}
+	fv := sys.fv
+	mreqs, grant := sys.mreqs, sys.grant
+	epoch := fv.FaultEpoch()
+	iters := 0
+	for len(tasks) > 0 && iters < maxIters {
+		if e := fv.FaultEpoch(); e != epoch {
+			epoch = e
+			n := 0
+			for _, t := range tasks {
+				if fv.ModuleFailed(t.a.module) {
+					vars[t.a.req].dirty = true
+					continue
+				}
+				tasks[n] = t
+				n++
+			}
+			tasks = tasks[:n]
+			if len(tasks) == 0 {
+				break
+			}
+		}
+		for _, t := range tasks {
+			mreqs[t.proc] = t.a.module
+		}
+		if sys.rs != nil {
+			for _, t := range tasks {
+				if reads {
+					sys.rs.StageBid(t.proc, t.a.addr, Read, 0, 0)
+				} else {
+					w := &vars[t.a.req]
+					sys.rs.StageBid(t.proc, t.a.addr, opRepair, w.bestVal, w.bestTS)
+				}
+			}
+		}
+		machine.Round(mreqs, grant)
+		iters++
+		rm.issued += len(tasks)
+		next := tasks[:0]
+		for _, t := range tasks {
+			mreqs[t.proc] = mpc.Idle
+			if !grant[t.proc] {
+				next = append(next, t)
+				continue
+			}
+			rm.granted++
+			w := &vars[t.a.req]
+			if reads {
+				var val, ts uint64
+				if sys.rs != nil {
+					val, ts = sys.rs.GrantData(t.proc)
+				} else {
+					c := sys.store.get(t.a.addr)
+					val, ts = c.val, c.ts
+				}
+				if ts >= w.bestTS {
+					w.bestTS, w.bestVal = ts, val
+				}
+				w.reads++
+			} else {
+				if sys.rs == nil {
+					putIfNewer(sys.store, t.a.addr, cell{val: w.bestVal, ts: w.bestTS})
+				}
+				rm.repaired++
+			}
+		}
+		tasks = next
+	}
+	for _, t := range tasks {
+		mreqs[t.proc] = mpc.Idle
+	}
+	rm.rounds += iters
+	return tasks
+}

@@ -1,0 +1,480 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+
+	"detshmem/internal/core"
+	"detshmem/internal/mpc"
+	"detshmem/internal/obs"
+)
+
+// repairSystem builds a PP system over a shared fault set so tests can
+// drive the full fail -> wipe -> RecoverPending -> repair lifecycle.
+// The q=2, n=3 scheme: 84 variables, 63 modules, 3 copies, quorum 2.
+// Writes stop at their quorum, so a fresh write lands on the first two
+// live copies and the third stays at timestamp 0 — which is exactly why a
+// wiped module plus one crashed module can leave a read quorum with no
+// surviving timestamp.
+func repairSystem(t testing.TB, policy CopyPolicy, hook func(round int)) (*System, *mpc.FaultSet) {
+	t.Helper()
+	s, err := core.New(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := mpc.NewFaultSet()
+	sys, err := NewSystem(s, idx, Config{
+		Policy:                policy,
+		MaxIterationsPerPhase: 2048,
+		NewMachine: func(cfg mpc.Config) (Machine, error) {
+			f, err := mpc.NewFailingShared(cfg, fs)
+			if err != nil {
+				return nil, err
+			}
+			if hook == nil {
+				return f, nil
+			}
+			return &hookedMachine{Failing: f, hook: hook}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, fs
+}
+
+// hookedMachine invokes a callback after every round, letting tests inject
+// fault-set mutations at a deterministic mid-phase point.
+type hookedMachine struct {
+	*mpc.Failing
+	round int
+	hook  func(round int)
+}
+
+func (h *hookedMachine) Round(reqs []int64, grant []bool) int {
+	n := h.Failing.Round(reqs, grant)
+	h.round++
+	h.hook(h.round)
+	return n
+}
+
+// victimModules returns the modules hosting each copy of v.
+func victimModules(sys *System, v uint64) []uint64 {
+	out := make([]uint64, sys.Mapper.Copies())
+	for c := range out {
+		out[c], _ = sys.Mapper.CopyAddr(v, c)
+	}
+	return out
+}
+
+// wipeCopies zeroes the stored cells of the given copies of v, simulating a
+// module whose store was lost across a restart.
+func wipeCopies(sys *System, v uint64, copies ...int) {
+	for _, c := range copies {
+		_, addr := sys.Mapper.CopyAddr(v, c)
+		sys.store.put(addr, cell{})
+	}
+}
+
+// drainRepair pumps RepairStep until the backlog is empty.
+func drainRepair(t *testing.T, sys *System) {
+	t.Helper()
+	for i := 0; sys.RepairBacklog() > 0; i++ {
+		if !sys.RepairStep() {
+			t.Fatalf("repair stalled with backlog %d after %d steps", sys.RepairBacklog(), i)
+		}
+		if i > 1_000_000 {
+			t.Fatalf("repair did not drain after %d steps", i)
+		}
+	}
+}
+
+// TestWipedRecoverReAdmissionBug is the regression at the heart of PR 10.
+// The scenario: a write lands on copies 0 and 1 (the quorum), copy 2 stays
+// at timestamp 0. Copy 0's module crashes and restarts with a wiped store;
+// copy 1's module crashes and stays down. Pre-fix, plain Recover re-admits
+// the wiped module immediately, and the read quorum {copy0, copy2} — both
+// at timestamp 0 — silently returns the zero value while the crashed module
+// still holds the freshest write. The first subtest documents that failure
+// mode; the second pins the fix: RecoverPending bars the wiped module from
+// read quorums, the repair sweep refuses to certify while the fresh copy is
+// unreadable, and once the crashed module returns the sweep rebuilds the
+// wiped copy from a sound majority.
+func TestWipedRecoverReAdmissionBug(t *testing.T) {
+	const v, val = 7, uint64(42)
+
+	t.Run("pre-fix path serves the lost write as zero", func(t *testing.T) {
+		sys, fs := repairSystem(t, PolicyAllCancel, nil)
+		defer sys.Close()
+		if _, err := sys.WriteBatch([]uint64{v}, []uint64{val}); err != nil {
+			t.Fatal(err)
+		}
+		mods := victimModules(sys, v)
+		fs.Fail(mods[0])
+		fs.Fail(mods[1])
+		wipeCopies(sys, v, 0)
+		fs.Recover(mods[0]) // straight to live: the pre-fix re-admission
+		got, _, err := sys.ReadBatch([]uint64{v})
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got[0] == val {
+			t.Fatalf("pre-fix read returned the correct value %d; the regression this PR fixes no longer reproduces, so the fixed path below is not actually exercising the bug", val)
+		}
+	})
+
+	t.Run("RecoverPending repairs before serving reads", func(t *testing.T) {
+		sys, fs := repairSystem(t, PolicyAllCancel, nil)
+		defer sys.Close()
+		if _, err := sys.WriteBatch([]uint64{v}, []uint64{val}); err != nil {
+			t.Fatal(err)
+		}
+		mods := victimModules(sys, v)
+		fs.Fail(mods[0])
+		fs.Fail(mods[1])
+		wipeCopies(sys, v, 0)
+		fs.RecoverPending(mods[0])
+
+		// The wiped copy is barred from read quorums: with copy 1's module
+		// down, only copy 2 is trustworthy — the read must come back
+		// incomplete, never a zero-timestamp value.
+		got, _, err := sys.ReadBatch([]uint64{v})
+		if err == nil {
+			t.Fatalf("uncertified read completed with value %d, want ErrIncomplete", got[0])
+		}
+		if !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("read during repair: %v, want ErrIncomplete", err)
+		}
+
+		// The sweep must NOT certify while the freshest copy sits in the
+		// crashed store: the backlog parks until the fault set changes.
+		for i := 0; i < 4 && sys.RepairStep(); i++ {
+		}
+		if sys.RepairBacklog() == 0 {
+			t.Fatalf("sweep certified the wiped module while the fresh copy was unreadable")
+		}
+
+		// The crashed module returns (its store intact); now a sound source
+		// majority exists and the sweep rebuilds the wiped copy.
+		fs.Recover(mods[1])
+		drainRepair(t, sys)
+		if fs.RepairCount() != 0 {
+			t.Fatalf("repair count %d after drain", fs.RepairCount())
+		}
+		got, _, err = sys.ReadBatch([]uint64{v})
+		if err != nil {
+			t.Fatalf("read after repair: %v", err)
+		}
+		if got[0] != val {
+			t.Fatalf("read after repair = %d, want %d", got[0], val)
+		}
+		// The rebuild installed the value, not just its visibility: the wiped
+		// copy carries the write's timestamp again.
+		if ts := sys.CopyState(v)[0]; ts == 0 {
+			t.Fatalf("wiped copy still at timestamp 0 after repair")
+		}
+	})
+}
+
+// TestRecoverMidWave pins the majority-intersection invariant against the
+// second PR 10 hazard: a module recovering mid-phase used to be re-selected
+// by the same batch's retry wave before any repair ran, so a retry quorum
+// could include its wiped, zero-timestamp copy. On both copy policies the
+// read must never complete against the uncertified wiped copy — it either
+// returns the true value or comes back incomplete until repair certifies.
+func TestRecoverMidWave(t *testing.T) {
+	for _, policy := range []struct {
+		name string
+		p    CopyPolicy
+	}{
+		{"all-cancel", PolicyAllCancel},
+		{"pinned-majority", PolicyFixedMajority},
+	} {
+		t.Run(policy.name, func(t *testing.T) {
+			const val = uint64(99)
+			var sys *System
+			var fs *mpc.FaultSet
+			var victim uint64
+			armed := false
+			hook := func(round int) {
+				if !armed {
+					return
+				}
+				armed = false
+				// Mid-phase: copy 0's module restarts with a wiped store.
+				// Pre-fix this was a plain Recover and the victim's retry
+				// wave would count the wiped copy toward its read quorum.
+				wipeCopies(sys, victim, 0)
+				fs.RecoverPending(victimModules(sys, victim)[0])
+			}
+			sys, fs = repairSystem(t, policy.p, hook)
+			defer sys.Close()
+
+			victim = 3
+			// Filler variables keep rounds running after the victim is
+			// queued for retry, so the hook fires genuinely mid-wave.
+			vars := []uint64{victim}
+			vals := []uint64{val}
+			for v := uint64(20); len(vars) < 24; v++ {
+				vars = append(vars, v)
+				vals = append(vals, v)
+			}
+			if _, err := sys.WriteBatch(vars, vals); err != nil {
+				t.Fatal(err)
+			}
+			mods := victimModules(sys, victim)
+			fs.Fail(mods[0])
+			fs.Fail(mods[1]) // holds the other fresh copy; stays down
+			armed = true
+
+			got, _, err := sys.ReadBatch(vars)
+			if armed {
+				t.Fatalf("hook never fired: the batch ran no rounds mid-wave")
+			}
+			if err == nil {
+				// The whole batch completed; the victim's value must be the
+				// true one — the wiped copy never won a quorum.
+				if got[0] != val {
+					t.Fatalf("mid-wave read = %d, want %d", got[0], val)
+				}
+			} else if !errors.Is(err, ErrIncomplete) {
+				t.Fatalf("mid-wave read: %v", err)
+			}
+
+			// The crashed module returns; repair rebuilds the wiped copy from
+			// the sound majority and certifies.
+			fs.Recover(mods[1])
+			drainRepair(t, sys)
+			got, _, err = sys.ReadBatch(vars)
+			if err != nil {
+				t.Fatalf("read after repair: %v", err)
+			}
+			for i := range vars {
+				if got[i] != vals[i] {
+					t.Fatalf("var %d = %d, want %d", vars[i], got[i], vals[i])
+				}
+			}
+			if ts := sys.CopyState(victim)[0]; ts == 0 {
+				t.Fatalf("wiped copy still at timestamp 0 after repair")
+			}
+		})
+	}
+}
+
+// TestRepairingCountsTowardWriteQuorum: the asymmetric gate. A module under
+// repair serves bids and counts toward write quorums immediately (the
+// written copy receives fresh data), while reads stay barred until
+// certification.
+func TestRepairingCountsTowardWriteQuorum(t *testing.T) {
+	const v, val = 11, uint64(5)
+	sys, fs := repairSystem(t, PolicyAllCancel, nil)
+	defer sys.Close()
+	mods := victimModules(sys, v)
+
+	// Two of three modules down: no write quorum, the request strands.
+	fs.Fail(mods[0])
+	fs.Fail(mods[1])
+	if _, err := sys.WriteBatch([]uint64{v}, []uint64{val}); !errors.Is(err, ErrQuorumUnreachable) {
+		t.Fatalf("write with 1 live copy: %v, want ErrQuorumUnreachable", err)
+	}
+
+	// One module comes back pending repair: writes recover immediately.
+	fs.RecoverPending(mods[0])
+	if _, err := sys.WriteBatch([]uint64{v}, []uint64{val}); err != nil {
+		t.Fatalf("write with repairing module: %v", err)
+	}
+
+	// Reads stay gated: one trustworthy copy is below the read quorum, and
+	// crucially this is reported as incomplete (transient), not stranded.
+	_, _, err := sys.ReadBatch([]uint64{v})
+	if !errors.Is(err, ErrIncomplete) || errors.Is(err, ErrQuorumUnreachable) {
+		t.Fatalf("read with repairing module: %v, want plain ErrIncomplete", err)
+	}
+
+	// Once the second module returns, the sweep certifies and reads see the
+	// write that went through while the module was still repairing.
+	fs.Recover(mods[1])
+	drainRepair(t, sys)
+	got, _, err := sys.ReadBatch([]uint64{v})
+	if err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+	if got[0] != val {
+		t.Fatalf("read after repair = %d, want %d", got[0], val)
+	}
+}
+
+// TestRepairPumpRidesBatches: with no idle pump in sight, sustained batch
+// traffic alone must drain the repair backlog (AccessInto pumps one
+// budget-bounded step per batch) and the repair books must flow through the
+// observer.
+func TestRepairPumpRidesBatches(t *testing.T) {
+	s, err := core.New(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := mpc.NewFaultSet()
+	col := obs.NewCollector()
+	sys, err := NewSystem(s, idx, Config{
+		MaxIterationsPerPhase: 2048,
+		Observer:              col,
+		NewMachine: func(cfg mpc.Config) (Machine, error) {
+			return mpc.NewFailingShared(cfg, fs)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	vars := []uint64{2, 3, 5, 8, 13}
+	vals := []uint64{1, 2, 3, 4, 5}
+	if _, err := sys.WriteBatch(vars, vals); err != nil {
+		t.Fatal(err)
+	}
+	mod := victimModules(sys, vars[0])[0]
+	fs.Fail(mod)
+	fs.RecoverPending(mod)
+
+	for i := 0; i < 64 && sys.RepairBacklog() > 0; i++ {
+		v := 20 + uint64(i)%60 // stay inside M=84 and clear of the checked vars
+		if _, err := sys.WriteBatch([]uint64{v}, []uint64{uint64(i)}); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if sys.RepairBacklog() != 0 {
+		t.Fatalf("batch traffic did not drain the repair backlog: %d left", sys.RepairBacklog())
+	}
+	if col.RepairCertified.Load() == 0 {
+		t.Fatalf("no certification reached the observer")
+	}
+	if col.RepairBacklog.Load() != 0 {
+		t.Fatalf("observer backlog gauge = %d, want 0", col.RepairBacklog.Load())
+	}
+	got, _, err := sys.ReadBatch(vars)
+	if err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+	for i := range got {
+		if got[i] != vals[i] {
+			t.Fatalf("var %d = %d, want %d", vars[i], got[i], vals[i])
+		}
+	}
+}
+
+// TestRepairSalvage: when no sound source majority will ever exist — the
+// third copy was never written — the sweep salvages: it reads every live
+// copy including the suspects themselves, installs the freshest survivor,
+// and certifies only because no crashed module could be hiding a fresher
+// value.
+func TestRepairSalvage(t *testing.T) {
+	const v, val = 19, uint64(77)
+	sys, fs := repairSystem(t, PolicyAllCancel, nil)
+	defer sys.Close()
+	if _, err := sys.WriteBatch([]uint64{v}, []uint64{val}); err != nil {
+		t.Fatal(err)
+	}
+	mods := victimModules(sys, v)
+	fs.Fail(mods[0])
+	fs.Fail(mods[1])
+	fs.Fail(mods[2])
+	wipeCopies(sys, v, 0) // copy 1's store survives its crash, copy 0's does not
+	fs.RecoverPending(mods[0])
+	fs.RecoverPending(mods[1])
+	// mods[2] stays failed: with both other modules under repair there is no
+	// trustworthy source at all, and the crashed module might hold a fresher
+	// copy — the sweep must refuse to certify and park.
+	for i := 0; i < 4 && sys.RepairStep(); i++ {
+	}
+	if sys.RepairBacklog() == 0 {
+		t.Fatalf("sweep certified suspect copies while a crashed module could hold a fresher value")
+	}
+	if sys.RepairStep() {
+		t.Fatalf("scheduler did not pause on an unrepairable backlog")
+	}
+
+	// The crashed module returns. Its copy was never written (timestamp 0),
+	// so there is still no sound majority — but now nothing unread remains:
+	// salvage reads all three copies, finds the survivor on the repairing
+	// module itself, rebuilds the wiped copy from it, and certifies.
+	fs.Recover(mods[2])
+	drainRepair(t, sys)
+	got, _, err := sys.ReadBatch([]uint64{v})
+	if err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+	if got[0] != val {
+		t.Fatalf("read after salvage = %d, want %d", got[0], val)
+	}
+	if ts := sys.CopyState(v)[0]; ts == 0 {
+		t.Fatalf("wiped copy still at timestamp 0 after salvage")
+	}
+}
+
+// TestRepairPauseIgnoresStaleSweep pins the drain-liveness rule the churn
+// soak tripped at scale: a sweep that raced fault-set churn can certify
+// nothing for reasons that evaporated with the churn — a module wiped again
+// mid-sweep fences the sweep's captured generation, transiently failed
+// sources mark variables dirty. Such a sweep proves nothing about whether a
+// fresh sweep over the settled fault set would succeed, so the scheduler
+// must not latch its no-progress pause on it (the churn being over, no
+// fault-epoch mutation would ever unlatch it and the backlog would stick
+// forever). Only a certify-nothing sweep whose fault epoch never moved —
+// genuinely unrepairable state — may pause.
+func TestRepairPauseIgnoresStaleSweep(t *testing.T) {
+	s, err := core.New(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.NewIndexer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := mpc.NewFaultSet()
+	sys, err := NewSystem(s, idx, Config{
+		MaxIterationsPerPhase: 2048,
+		// Small budget so one sweep spans several steps and the fault set
+		// can move while it is in flight.
+		RepairBudget: 8,
+		NewMachine: func(cfg mpc.Config) (Machine, error) {
+			return mpc.NewFailingShared(cfg, fs)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const victim = 5
+	fs.Fail(victim)
+	fs.RecoverPending(victim)
+	if !sys.RepairStep() {
+		t.Fatal("first repair step made no progress")
+	}
+	if !sys.rep.active {
+		t.Fatal("sweep completed in one step; shrink RepairBudget so the churn lands mid-sweep")
+	}
+
+	// Mid-sweep churn: the module is wiped and re-admitted again. Its repair
+	// generation moves, so the in-flight sweep's certification must fail —
+	// the classic certify-nothing ending.
+	fs.Fail(victim)
+	fs.RecoverPending(victim)
+
+	// Churn over, fault set settled. The scheduler must keep sweeping and
+	// drain the backlog; before the fix it paused on the stale sweep's
+	// verdict and no step ever made progress again.
+	for i := 0; fs.RepairCount() > 0; i++ {
+		if i > 1000 {
+			t.Fatalf("repair backlog stuck at %d after the churn stopped", fs.RepairCount())
+		}
+		sys.RepairStep()
+	}
+}

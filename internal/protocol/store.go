@@ -26,6 +26,16 @@ func newStore(cells uint64) store {
 	return sparseStore(make(map[uint64]cell))
 }
 
+// putIfNewer installs c only when its timestamp beats the resident cell's —
+// the repair-write rule: a rebuild carries the timestamp of the majority it
+// read, so it can race a concurrent normal write (which carries a newer
+// batch timestamp) without ever rolling the copy back.
+func putIfNewer(s store, addr uint64, c cell) {
+	if cur := s.get(addr); c.ts > cur.ts {
+		s.put(addr, c)
+	}
+}
+
 type denseStore []cell
 
 func (d denseStore) get(addr uint64) cell    { return d[addr] }

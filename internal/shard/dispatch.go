@@ -125,6 +125,15 @@ func (d *pipeDispatcher) run() {
 				continue
 			}
 			yielded = false
+			// Idle repair pump: with no client work queued, spend the slack
+			// rebuilding recovered modules instead of parking. Batch traffic
+			// already pumps repair inside AccessInto; this path keeps the
+			// backlog draining on an otherwise quiet shard. Park only when
+			// repair is drained or stalled (RepairStep false ⇒ paused until
+			// the fault set changes, so spinning on it would burn a core).
+			if d.sys.RepairBacklog() > 0 && d.sys.RepairStep() {
+				continue
+			}
 			d.ring.park()
 			continue
 		}
